@@ -1,0 +1,113 @@
+"""Ablation: the lazy partition list (Section 4.2).
+
+Lazy partitioning buys two things the paper calls out explicitly:
+
+1. navigation skips empty partitions — the access structure holds
+   ``tau * k(k+1)/2`` nodes instead of ``k(k+1)/2`` (Lemma 3), and
+2. because of that, the cost model can afford a larger k (Section 6.2,
+   advantage (c)).
+
+This bench quantifies both: it compares the materialised node count with
+the full grid, and the measured join against a "no-tightening" variant
+that derives k pretending ``tau = 1`` (what the optimiser would do if
+empty partitions were materialised).
+"""
+
+from repro.core.granules import JoinCostModel, cost_model_for, derive_k
+from repro.core.interval import Interval
+from repro.core.join import OIPJoin
+from repro.core.lazy_list import oip_create
+from repro.core.oip import OIPConfiguration, possible_partition_count
+from repro.workloads import uniform_relation
+
+from .common import heading, scaled, table, timed_join
+
+N = 3_000
+TIME_RANGE = Interval(1, 2**20)
+
+
+class _NoTighteningModel(JoinCostModel):
+    """Cost model that ignores lazy partitioning (tau pinned to 1)."""
+
+    def tightening(self, k: int) -> float:
+        return 1.0
+
+
+def test_ablation_lazy_node_count(benchmark):
+    relation = uniform_relation(
+        scaled(N), TIME_RANGE, 0.005, seed=1, name="s"
+    )
+
+    def build():
+        rows = []
+        for k in (16, 64, 256):
+            config = OIPConfiguration.for_relation(relation, k)
+            built = oip_create(relation, config)
+            possible = possible_partition_count(k)
+            rows.append(
+                (
+                    k,
+                    f"{possible:,}",
+                    f"{built.partition_count:,}",
+                    f"{built.partition_count / possible:.1%}",
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    heading(
+        "Ablation (lazy list) — materialised vs possible partitions "
+        f"(n = {scaled(N):,}, durations <= 0.5%)"
+    )
+    table(["k", "possible (Prop. 1)", "materialised", "tau"], rows)
+
+
+def test_ablation_lazy_vs_no_tightening_k(benchmark):
+    outer = uniform_relation(
+        scaled(N) // 10, TIME_RANGE, 0.005, seed=1, name="r"
+    )
+    inner = uniform_relation(scaled(N), TIME_RANGE, 0.005, seed=2, name="s")
+
+    def run():
+        lazy_model = cost_model_for(outer, inner)
+        eager_model = _NoTighteningModel(
+            outer_cardinality=lazy_model.outer_cardinality,
+            inner_cardinality=lazy_model.inner_cardinality,
+            outer_duration_fraction=lazy_model.outer_duration_fraction,
+            inner_duration_fraction=lazy_model.inner_duration_fraction,
+            tuples_per_block=lazy_model.tuples_per_block,
+            weights=lazy_model.weights,
+        )
+        k_lazy = derive_k(lazy_model).k
+        k_eager = derive_k(eager_model).k
+        rows = []
+        for label, k in (
+            ("tau-aware (lazy)", k_lazy),
+            ("tau = 1 (eager)", k_eager),
+        ):
+            result, elapsed = timed_join(OIPJoin(k=k), outer, inner)
+            rows.append(
+                (
+                    label,
+                    k,
+                    f"{result.counters.false_hits:,}",
+                    f"{result.counters.partition_accesses:,}",
+                    f"{elapsed * 1e3:.1f} ms",
+                )
+            )
+        return rows, k_lazy, k_eager
+
+    rows, k_lazy, k_eager = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    heading(
+        "Ablation (lazy list) — k derived with vs without tightening "
+        "awareness"
+    )
+    table(
+        ["optimiser", "k", "false hits", "partition accesses", "runtime"],
+        rows,
+    )
+    # Section 6.2 advantage (c): tightening awareness affords more
+    # granules (and therefore fewer false hits).
+    assert k_lazy >= k_eager

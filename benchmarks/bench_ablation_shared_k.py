@@ -1,0 +1,83 @@
+"""Ablation: shared vs per-side granule counts (Section 6.2).
+
+The paper argues that both cost components — the ``O(k_r^2 k_s^2)``
+partition accesses and the ``O(n_s n_r/k_r + n_r n_s/k_s)`` false hits —
+"reach their minimum when ``k_r = k_s``", which is why the OIPJOIN uses
+one shared ``k``.  This bench sweeps a grid of ``(k_r, k_s)`` pairs with
+the product ``k_r * k_s`` held roughly constant and checks that the
+balanced pair wins on the combined overhead (false hits + partition
+accesses priced with the paper's weights).
+"""
+
+from repro.core.interval import Interval
+from repro.core.join import OIPJoin
+from repro.storage.metrics import CostWeights
+from repro.workloads import uniform_relation
+
+from .common import emit, heading, scaled, table, timed_join
+
+N = 3_000
+TIME_RANGE = Interval(1, 2**20)
+
+#: (k_r, k_s) pairs with k_r * k_s = 4096: from maximally skewed to balanced.
+PAIRS = [(4, 1024), (16, 256), (64, 64), (256, 16), (1024, 4)]
+
+
+def test_ablation_shared_k(benchmark):
+    outer = uniform_relation(
+        scaled(N) // 3, TIME_RANGE, 0.005, seed=1, name="r"
+    )
+    inner = uniform_relation(scaled(N), TIME_RANGE, 0.005, seed=2, name="s")
+    weights = CostWeights.main_memory()
+
+    def run():
+        rows = []
+        for k_outer, k_inner in PAIRS:
+            join = OIPJoin(k_outer=k_outer, k_inner=k_inner)
+            result, elapsed = timed_join(join, outer, inner)
+            counters = result.counters
+            overhead = (
+                counters.partition_accesses * (weights.io + 2 * weights.cpu)
+                + counters.false_hits * 4 * weights.cpu
+            )
+            rows.append(
+                (
+                    f"({k_outer}, {k_inner})",
+                    f"{counters.false_hits:,}",
+                    f"{counters.partition_accesses:,}",
+                    f"{overhead:,.0f}",
+                    f"{elapsed * 1e3:.1f} ms",
+                    len(result.pairs),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    heading(
+        "Ablation (shared k) — (k_r, k_s) grid at constant k_r*k_s "
+        f"(n_r = {scaled(N) // 3:,}, n_s = {scaled(N):,})"
+    )
+    table(
+        [
+            "(k_r, k_s)",
+            "false hits",
+            "partition accesses",
+            "weighted overhead",
+            "runtime",
+            "results",
+        ],
+        rows,
+    )
+    results = {row[0]: row for row in rows}
+    assert len({row[5] for row in rows}) == 1, "all pairs must agree"
+    overheads = {
+        row[0]: float(row[3].replace(",", "")) for row in rows
+    }
+    balanced = overheads["(64, 64)"]
+    emit(
+        "balanced (64, 64) overhead vs most skewed: "
+        f"x{min(overheads['(4, 1024)'], overheads['(1024, 4)']) / balanced:.2f} "
+        "more expensive when skewed"
+    )
+    # Section 6.2: the balanced split minimises the overhead.
+    assert balanced == min(overheads.values())

@@ -1,0 +1,67 @@
+"""Figure 5 (and Example 8): convergence of the Equation (2) fixed-point
+iteration for k.
+
+Purely analytical, so it runs at the paper's full scale: (a) n_r = 10M,
+n_s = 100M and (b) n_r = 100M, n_s = 1G.  The emitted table replays the
+Example 8 iteration rows; the paper's converged value for (a) is
+k = 16,521.
+"""
+
+import pytest
+
+from repro.core.granules import JoinCostModel, derive_k
+from repro.storage import CostWeights
+
+from .common import emit, heading, table
+
+SETTINGS = {
+    "fig5a (nr=10M, ns=100M)": JoinCostModel(
+        outer_cardinality=10_000_000,
+        inner_cardinality=100_000_000,
+        outer_duration_fraction=0.0001,
+        inner_duration_fraction=0.0005,
+        tuples_per_block=14,
+        weights=CostWeights(cpu=0.5, io=10.0),
+    ),
+    "fig5b (nr=100M, ns=1G)": JoinCostModel(
+        outer_cardinality=100_000_000,
+        inner_cardinality=1_000_000_000,
+        outer_duration_fraction=0.0001,
+        inner_duration_fraction=0.0005,
+        tuples_per_block=14,
+        weights=CostWeights(cpu=0.5, io=10.0),
+    ),
+}
+
+
+@pytest.mark.parametrize("label", list(SETTINGS), ids=["fig5a", "fig5b"])
+def test_fig5_convergence(benchmark, label):
+    model = SETTINGS[label]
+    derivation = benchmark.pedantic(
+        lambda: derive_k(model), rounds=3, iterations=1
+    )
+    heading(f"Figure 5 — convergence of k: {label}")
+    table(
+        ["n", "k_n", "|p_r|_n", "tau_n"],
+        [
+            (
+                index,
+                f"{step.k:,}",
+                f"{step.outer_partitions:,}",
+                f"{step.tau:.5f}",
+            )
+            for index, step in enumerate(derivation.trace)
+        ],
+    )
+    emit(
+        f"converged: {derivation.converged} after {derivation.steps} "
+        f"steps; final k = {derivation.k:,}"
+        + (
+            "  (paper Example 8: k = 16,521)"
+            if label.startswith("fig5a")
+            else ""
+        )
+    )
+    assert derivation.converged
+    if label.startswith("fig5a"):
+        assert abs(derivation.k - 16_521) / 16_521 < 0.01

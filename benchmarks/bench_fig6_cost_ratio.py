@@ -1,0 +1,82 @@
+"""Figure 6: how the derived k adapts to the c_cpu / c_io ratio, and
+what that does to the AFR, the block IOs and the runtime.
+
+Panel (a) — derived k — is analytical and runs at paper scale
+(n_r = 10M, n_s = 100M, durations up to 0.1% of the range), sweeping
+the ratio over [0.001, 100] like the paper's x-axis.
+
+Panels (b)-(d) — AFR, block IOs, runtime — require executing the join,
+so they run at reduced scale with the same ratio sweep; the expected
+shape is: AFR decreasing in the ratio, IOs increasing, and the runtime
+minimised where the weights match the real machine.
+"""
+
+import pytest
+
+from repro.core.granules import JoinCostModel, derive_k
+from repro.core.interval import Interval
+from repro.core.join import OIPJoin
+from repro.storage import CostWeights
+from repro.workloads import uniform_relation
+
+from .common import emit, fmt_ms, heading, scaled, table, timed_join
+
+RATIOS = (0.001, 0.01, 0.1, 1.0, 10.0, 100.0)
+
+PAPER_MODEL_ARGS = dict(
+    outer_cardinality=10_000_000,
+    inner_cardinality=100_000_000,
+    outer_duration_fraction=0.001,
+    inner_duration_fraction=0.001,
+    tuples_per_block=14,
+)
+
+REDUCED_N = 3_000
+TIME_RANGE = Interval(1, 2**20)
+
+
+def test_fig6a_derived_k_paper_scale(benchmark):
+    def sweep():
+        return [
+            (
+                ratio,
+                derive_k(
+                    JoinCostModel(
+                        weights=CostWeights.from_ratio(ratio),
+                        **PAPER_MODEL_ARGS,
+                    )
+                ).k,
+            )
+            for ratio in RATIOS
+        ]
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    heading(
+        "Figure 6(a) — derived k vs c_cpu/c_io (paper scale, analytic)"
+    )
+    table(
+        ["c_cpu/c_io", "derived k", "AFR bound 1/k"],
+        [(ratio, f"{k:,}", f"{1 / k:.3e}") for ratio, k in rows],
+    )
+    ks = [k for _, k in rows]
+    assert ks == sorted(ks), "k must increase with the CPU/IO ratio"
+
+
+@pytest.mark.parametrize("ratio", RATIOS, ids=[str(r) for r in RATIOS])
+def test_fig6bcd_measured(benchmark, ratio):
+    outer = uniform_relation(
+        scaled(REDUCED_N) // 10, TIME_RANGE, 0.001, seed=1, name="r"
+    )
+    inner = uniform_relation(
+        scaled(REDUCED_N), TIME_RANGE, 0.001, seed=2, name="s"
+    )
+    join = OIPJoin(weights=CostWeights.from_ratio(ratio))
+    result, elapsed = benchmark.pedantic(
+        lambda: timed_join(join, outer, inner), rounds=1, iterations=1
+    )
+    emit(
+        f"[fig 6b-d] ratio={ratio:<7} k={result.details['k']:>5} "
+        f"AFR={result.false_hit_ratio:7.2%} "
+        f"IO={result.counters.total_ios:>7,} "
+        f"runtime={fmt_ms(elapsed):>8} ms"
+    )

@@ -1,0 +1,78 @@
+"""Figure 7: the Equation (1) cost function against the actual runtime
+when sweeping k with everything else fixed.
+
+The paper's headline is that both curves share the same shape and the
+same minimiser (k = 10,130 at its scale).  At reduced scale we sweep k
+over a log-ish grid, print modelled cost and measured runtime side by
+side, and check that the runtime at the model's minimiser is close to
+the best runtime seen anywhere in the sweep.
+"""
+
+from repro.core.granules import cost_model_for, derive_k
+from repro.core.interval import Interval
+from repro.core.join import OIPJoin
+from repro.workloads import uniform_relation
+
+from .common import emit, heading, scaled, table, timed_join
+
+K_GRID = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512)
+REDUCED_N = 3_000
+TIME_RANGE = Interval(1, 2**20)
+
+
+def test_fig7_cost_function_vs_runtime(benchmark):
+    outer = uniform_relation(
+        scaled(REDUCED_N) // 10, TIME_RANGE, 0.001, seed=1, name="r"
+    )
+    inner = uniform_relation(
+        scaled(REDUCED_N), TIME_RANGE, 0.001, seed=2, name="s"
+    )
+    model = cost_model_for(outer, inner)
+
+    def sweep():
+        rows = []
+        for k in K_GRID:
+            result, elapsed = timed_join(OIPJoin(k=k), outer, inner)
+            rows.append(
+                (
+                    k,
+                    model.overhead_cost(k),
+                    elapsed,
+                    result.counters.false_hits,
+                    result.counters.partition_accesses,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    heading(
+        "Figure 7 — Equation (1) cost function vs measured runtime "
+        f"(n_r={scaled(REDUCED_N) // 10:,}, n_s={scaled(REDUCED_N):,})"
+    )
+    table(
+        ["k", "modelled cost", "runtime ms", "false hits", "part. accesses"],
+        [
+            (
+                k,
+                f"{cost:,.0f}",
+                f"{elapsed * 1e3:.1f}",
+                f"{false_hits:,}",
+                f"{accesses:,}",
+            )
+            for k, cost, elapsed, false_hits, accesses in rows
+        ],
+    )
+    derived = derive_k(model).k
+    model_min = min(rows, key=lambda row: row[1])[0]
+    runtime_min = min(rows, key=lambda row: row[2])[0]
+    emit(
+        f"model minimiser k = {model_min}, runtime minimiser k = "
+        f"{runtime_min}, self-adjusted k = {derived}"
+    )
+    # Shape check: false hits decrease in k, partition accesses increase.
+    false_hit_series = [row[3] for row in rows]
+    access_series = [row[4] for row in rows]
+    assert all(
+        a >= b for a, b in zip(false_hit_series, false_hit_series[1:])
+    )
+    assert all(a <= b for a, b in zip(access_series, access_series[1:]))

@@ -1,0 +1,86 @@
+"""Table 2 and Figure 9: properties and distributions of the real-world
+datasets (via their synthetic stand-ins; see DESIGN.md section 3 for the
+substitution).
+
+Emits the Table 2 analogue — paper value next to stand-in value — and
+ASCII renderings of the Figure 9 curves: tuples per time point (left
+column) and the log-scale duration histogram (right column).
+"""
+
+import math
+
+import pytest
+
+from repro.workloads import (
+    DATASET_GENERATORS,
+    PAPER_DATASET_PROPERTIES,
+    dataset_properties,
+    duration_histogram,
+    temporal_distribution,
+)
+
+from .common import emit, heading, table
+
+
+def _sparkline(values, width=50, log_scale=False):
+    blocks = " .:-=+*#%@"
+    if log_scale:
+        values = [math.log10(v) - math.log10(0.001) if v > 0 else 0 for v in values]
+    top = max(values) or 1.0
+    return "".join(
+        blocks[min(len(blocks) - 1, int(v / top * (len(blocks) - 1)))]
+        for v in values[:width]
+    )
+
+
+def test_table2_properties(benchmark):
+    def build():
+        rows = []
+        for name, generator in DATASET_GENERATORS.items():
+            paper = PAPER_DATASET_PROPERTIES[name]
+            measured = dataset_properties(generator(seed=0))
+            rows.append(
+                (
+                    name,
+                    f"{measured.cardinality:,} ({paper.cardinality:,})",
+                    f"{measured.time_range:,} ({paper.time_range:,})",
+                    f"{measured.min_duration:,} ({paper.min_duration:,})",
+                    f"{measured.max_duration:,} ({paper.max_duration:,})",
+                    f"{measured.avg_duration:,.0f} ({paper.avg_duration:,})",
+                    f"{measured.distinct_points:,} ({paper.distinct_points:,})",
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    heading(
+        "Table 2 — real-world dataset properties: stand-in (paper). "
+        "Cardinalities are intentionally scaled down."
+    )
+    table(
+        [
+            "dataset",
+            "cardinality",
+            "time range",
+            "min dur",
+            "max dur",
+            "avg dur",
+            "distinct pts",
+        ],
+        rows,
+    )
+
+
+@pytest.mark.parametrize("name", sorted(DATASET_GENERATORS))
+def test_fig9_distributions(benchmark, name):
+    relation = benchmark.pedantic(
+        lambda: DATASET_GENERATORS[name](seed=0), rounds=1, iterations=1
+    )
+    density = temporal_distribution(relation, 50)
+    histogram = duration_histogram(relation, 50)
+    heading(f"Figure 9 — {name} stand-in distributions")
+    emit(f"tuples per time point (max {max(density):.1f}%):")
+    emit("  |" + _sparkline(density) + "|")
+    emit("duration histogram, log scale (first bin "
+         f"{histogram[0]:.1f}% of tuples):")
+    emit("  |" + _sparkline(histogram, log_scale=True) + "|")

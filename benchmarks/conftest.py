@@ -1,0 +1,19 @@
+"""Benchmark-suite plumbing: flush the tables emitted by the bench
+modules after pytest's own output (outside capture) and mirror them to
+``benchmarks/report.txt``."""
+
+import pathlib
+
+from .common import REPORT_LINES
+
+REPORT_PATH = pathlib.Path(__file__).parent / "report.txt"
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not REPORT_LINES:
+        return
+    terminalreporter.section("paper tables and figures (reproduction)")
+    for line in REPORT_LINES:
+        terminalreporter.write_line(line)
+    REPORT_PATH.write_text("\n".join(REPORT_LINES) + "\n")
+    terminalreporter.write_line(f"\n[written to {REPORT_PATH}]")

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Disk-resident joins and the OS page cache (paper Figure 11).
+
+The paper's last experiment contrasts a 64-GB server — where most disk
+blocks stay cached — with a 4-GB server where they do not, and shows
+that the OIPJOIN's sorted, sequential block layout keeps it fast in
+both regimes while the loose quadtree collapses once seeks matter.
+
+This example runs the same join on the disk device profile under three
+cache regimes (unbounded, small LRU, no cache) and prints the block-IO
+split per algorithm.
+
+Run with:  python examples/disk_vs_memory.py
+"""
+
+from repro.baselines import ALGORITHMS
+from repro.core.interval import Interval
+from repro.storage import BufferPool, DeviceProfile, UnboundedBufferPool
+from repro.workloads import uniform_relation
+
+CARDINALITY = 20_000
+TIME_RANGE = Interval(1, 2**20)
+CONTENDERS = ("oip", "lqt", "smj")
+
+
+def run(name: str, buffer_pool) -> dict:
+    outer = uniform_relation(
+        CARDINALITY // 10, TIME_RANGE, 0.001, seed=1, name="r"
+    )
+    inner = uniform_relation(CARDINALITY, TIME_RANGE, 0.001, seed=2, name="s")
+    join = ALGORITHMS[name](
+        device=DeviceProfile.disk(), buffer_pool=buffer_pool
+    )
+    result = join.join(outer, inner)
+    counters = result.counters
+    return {
+        "reads": counters.block_reads,
+        "sequential": counters.sequential_reads,
+        "random": counters.random_reads,
+        "hits": counters.buffer_hits,
+        "io_time": join.device.io_time(
+            counters.sequential_reads, counters.random_reads
+        ),
+    }
+
+
+def main() -> None:
+    regimes = {
+        "64GB server (everything cached)": UnboundedBufferPool,
+        "4GB server (small LRU cache)": lambda: BufferPool(8),
+        "cold (no cache)": lambda: None,
+    }
+    for regime, pool_factory in regimes.items():
+        print(f"\n=== {regime} ===")
+        print(
+            f"  {'algo':>5} {'device reads':>13} {'sequential':>11} "
+            f"{'random':>8} {'cache hits':>11} {'modelled IO ns':>15}"
+        )
+        for name in CONTENDERS:
+            stats = run(name, pool_factory() if pool_factory else None)
+            print(
+                f"  {name:>5} {stats['reads']:>13,} "
+                f"{stats['sequential']:>11,} {stats['random']:>8,} "
+                f"{stats['hits']:>11,} {stats['io_time']:>15,.0f}"
+            )
+    print(
+        "\nreading: oip's sorted partition build gives it mostly\n"
+        "sequential reads, so its modelled IO time degrades least when\n"
+        "the cache shrinks — the Figure 11(d) effect."
+    )
+
+
+if __name__ == "__main__":
+    main()

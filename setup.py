@@ -1,0 +1,6 @@
+"""Legacy setup shim for environments without the `wheel` package
+(offline editable installs: `python setup.py develop`)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,59 @@
+"""Analytical machinery of the paper: AFR/SFR (Section 5.1), APA
+(Section 5.2), duration-complete relations, and the Section 6.3
+complexity bounds."""
+
+from .afr import (
+    PartitionView,
+    average_false_hit_ratio,
+    false_hits,
+    partition_views_from_lazy_list,
+    sum_false_hit_ratio,
+    theoretical_afr_bound,
+    theoretical_sfr_oip,
+)
+from .apa import (
+    access_count,
+    access_count_enumerated,
+    apa_bound,
+    average_partition_accesses,
+    average_partition_accesses_enumerated,
+    measured_tightening_factor,
+)
+from .complexity import (
+    OIP_LOWER,
+    OIP_UPPER,
+    SMJ_LOWER,
+    SMJ_UPPER,
+    ComplexityBound,
+    asymptotic_k,
+    growth_factor,
+)
+from .duration_complete import (
+    duration_complete_cardinality,
+    duration_complete_relation,
+)
+
+__all__ = [
+    "PartitionView",
+    "partition_views_from_lazy_list",
+    "false_hits",
+    "sum_false_hit_ratio",
+    "average_false_hit_ratio",
+    "theoretical_sfr_oip",
+    "theoretical_afr_bound",
+    "access_count",
+    "access_count_enumerated",
+    "average_partition_accesses",
+    "average_partition_accesses_enumerated",
+    "apa_bound",
+    "measured_tightening_factor",
+    "ComplexityBound",
+    "OIP_LOWER",
+    "OIP_UPPER",
+    "SMJ_LOWER",
+    "SMJ_UPPER",
+    "growth_factor",
+    "asymptotic_k",
+    "duration_complete_relation",
+    "duration_complete_cardinality",
+]

@@ -1,0 +1,101 @@
+"""Average number of partition accesses (paper Section 5.2).
+
+``APA`` quantifies how many partitions exist that are *relevant* (Lemma 1)
+for a query interval.  This module provides
+
+* the exact per-query count ``#acc(s, e)`` from the Lemma 5 proof, both as
+  the closed form and as a brute-force enumeration (the tests check they
+  agree),
+* the Lemma 5 average ``(k^2 + k + 1) / 3`` over uniformly distributed
+  query start/end granules, and
+* the Theorem 2 bound ``min(tau * (k^2 + k + 1)/3, n)`` with the
+  tightening factor ``tau`` of lazy partitioning.
+"""
+
+from __future__ import annotations
+
+from ..core.lazy_list import LazyPartitionList
+from ..core.oip import possible_partition_count
+
+__all__ = [
+    "access_count",
+    "access_count_enumerated",
+    "average_partition_accesses",
+    "average_partition_accesses_enumerated",
+    "apa_bound",
+    "measured_tightening_factor",
+]
+
+
+def _validate_indices(k: int, s: int, e: int) -> None:
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if not 0 <= s <= e < k:
+        raise ValueError(
+            f"query granule indices must satisfy 0 <= s <= e < k, "
+            f"got s={s} e={e} k={k}"
+        )
+
+
+def access_count(k: int, s: int, e: int) -> int:
+    """``#acc(s, e)`` closed form (Lemma 5 proof):
+
+    ``k + k*e - (s^2 + s)/2 - (e^2 + e)/2``
+
+    — the number of partitions relevant for a query starting in granule
+    ``s`` and ending in granule ``e``, assuming all partitions are used.
+    """
+    _validate_indices(k, s, e)
+    return k + k * e - (s * s + s) // 2 - (e * e + e) // 2
+
+
+def access_count_enumerated(k: int, s: int, e: int) -> int:
+    """Brute-force count of partitions ``p_{i,j}`` with ``i <= e`` and
+    ``j >= s`` — the oracle the closed form is tested against."""
+    _validate_indices(k, s, e)
+    return sum(
+        1
+        for i in range(k)
+        for j in range(i, k)
+        if i <= e and j >= s
+    )
+
+
+def average_partition_accesses(k: int) -> float:
+    """Lemma 5: ``APA <= (k^2 + k + 1) / 3`` for uniformly distributed
+    query start and end granules, all partitions used."""
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    return (k * k + k + 1) / 3.0
+
+
+def average_partition_accesses_enumerated(k: int) -> float:
+    """The Lemma 5 average computed by summing ``#acc(s, e)`` over all
+    ``s <= e < k`` and dividing by the number of (s, e) pairs."""
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    total = 0
+    count = 0
+    for e in range(k):
+        for s in range(e + 1):
+            total += access_count(k, s, e)
+            count += 1
+    return total / count
+
+
+def apa_bound(k: int, tau: float, cardinality: int) -> float:
+    """Theorem 2: ``APA <= min(tau * (k^2 + k + 1)/3, n)``."""
+    if not 0.0 < tau <= 1.0:
+        raise ValueError(f"tau must be in (0, 1], got {tau}")
+    if cardinality < 0:
+        raise ValueError(f"cardinality must be >= 0, got {cardinality}")
+    return min(tau * average_partition_accesses(k), float(cardinality))
+
+
+def measured_tightening_factor(partition_list: LazyPartitionList) -> float:
+    """The *actual* tightening factor of a built lazy partition list:
+    materialised partitions over possible partitions."""
+    possible = possible_partition_count(partition_list.config.k)
+    if possible == 0:
+        return 1.0
+    return partition_list.partition_count / possible

@@ -1,0 +1,87 @@
+"""Asymptotic complexity of the OIPJOIN (paper Section 6.3, Table 1).
+
+The OIPJOIN cost decomposes into ``O(|p_r| * APA)`` partition fetches,
+``O(n_s * n_r * AFR)`` false hits and ``O(n_z)`` result retrieval.  With
+the asymptotic ``k = O((n_s n_r / (|p_r| tau))^{1/3})`` this yields
+
+* **upper bound** (``tau = 1``, no tightening):  ``k = O((n_r n_s)^{1/5})``
+  and total cost ``O(n_r^{4/5} n_s^{4/5} + n_z)``;
+* **lower bound** (``tau = O(1/k)``, maximal tightening):
+  ``k = O((n_r n_s)^{1/3})`` and total cost ``O(n_r^{2/3} n_s^{2/3} + n_z)``.
+
+Table 1 illustrates the bounds by doubling both inputs: the runtime grows
+by ``2^{2/3} * 2^{2/3} ~ 2.52`` at the lower and ``2^{4/5} * 2^{4/5} ~
+3.03`` at the upper bound, versus 2.06 (near-linear) and 4.00 (quadratic)
+for the sort-merge join.  :func:`growth_factor` computes these predictions
+so the Table 1 bench can print paper prediction next to measurement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "ComplexityBound",
+    "OIP_LOWER",
+    "OIP_UPPER",
+    "SMJ_LOWER",
+    "SMJ_UPPER",
+    "growth_factor",
+    "asymptotic_k",
+]
+
+
+@dataclass(frozen=True)
+class ComplexityBound:
+    """A polynomial complexity ``O(n_r^a * n_s^a)`` for an algorithm/bound
+    combination (``a`` is ``exponent``); ``label`` matches Table 1's rows."""
+
+    label: str
+    exponent: float
+
+    def cost(self, outer_cardinality: int, inner_cardinality: int) -> float:
+        """The dominating term (without the ``O(n_z)`` output part)."""
+        return (outer_cardinality**self.exponent) * (
+            inner_cardinality**self.exponent
+        )
+
+
+#: OIPJOIN lower bound: maximal tightening, tau = O(1/k).
+OIP_LOWER = ComplexityBound(label="OIPJOIN LB (tau ~ 1/k)", exponent=2.0 / 3.0)
+#: OIPJOIN upper bound: no tightening, tau = 1.
+OIP_UPPER = ComplexityBound(label="OIPJOIN UB (tau = 1)", exponent=4.0 / 5.0)
+#: Sort-merge join lower bound: near-linear scan behaviour.
+SMJ_LOWER = ComplexityBound(label="SMJ LB", exponent=0.5)
+#: Sort-merge join upper bound: every pair compared.
+SMJ_UPPER = ComplexityBound(label="SMJ UB", exponent=1.0)
+
+
+def growth_factor(bound: ComplexityBound, scale: float = 2.0) -> float:
+    """Predicted runtime multiplier when *both* inputs grow by *scale*.
+
+    With cost ``(n_r n_s)^a``, scaling both inputs by ``c`` multiplies the
+    cost by ``c^{2a}``; Table 1's doubling gives 2.52 (OIP LB), 3.03
+    (OIP UB), 2.0 (SMJ LB, before its logarithmic sort factor) and 4.0
+    (SMJ UB).
+    """
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    return scale ** (2.0 * bound.exponent)
+
+
+def asymptotic_k(
+    outer_cardinality: int,
+    inner_cardinality: int,
+    tight: bool,
+) -> float:
+    """Section 6.3 asymptotic granule count.
+
+    ``tight=True`` is the maximal-tightening regime,
+    ``k = (n_r n_s)^{1/3}``; ``tight=False`` the no-tightening regime,
+    ``k = (n_r n_s)^{1/5}``.
+    """
+    if outer_cardinality < 0 or inner_cardinality < 0:
+        raise ValueError("cardinalities must be non-negative")
+    product = outer_cardinality * inner_cardinality
+    exponent = 1.0 / 3.0 if tight else 1.0 / 5.0
+    return product**exponent

@@ -1,0 +1,64 @@
+"""Duration-complete relations (paper Section 5.1, before Theorem 1).
+
+A duration-complete relation ``r^l_U`` contains *exactly one* tuple for
+every interval of duration at most ``l`` inside the time range ``U``:
+
+* every interval ``T subseteq U`` with ``|T| <= l`` appears,
+* no tuple is longer than ``l``, and
+* no interval appears twice.
+
+The paper uses these relations to analyse the average false hit ratio over
+tuples of *all* possible positions and durations; the tests use them to
+check Theorem 1's closed forms exactly.
+"""
+
+from __future__ import annotations
+
+from ..core.interval import Interval
+from ..core.relation import TemporalRelation, TemporalTuple
+
+__all__ = ["duration_complete_relation", "duration_complete_cardinality"]
+
+
+def duration_complete_cardinality(time_range: Interval, max_duration: int) -> int:
+    """``|r^l_U| = |U| * l - (l^2 - l) / 2`` (used in the Theorem 1 proof).
+
+    There are ``|U| - m + 1`` intervals of duration ``m`` inside ``U``;
+    summing over ``m = 1..l`` gives the closed form.
+    """
+    u = time_range.duration
+    l = max_duration
+    if l < 1:
+        raise ValueError(f"max duration must be >= 1, got {l}")
+    if l > u:
+        raise ValueError(
+            f"max duration {l} exceeds the time range duration {u}"
+        )
+    return u * l - (l * l - l) // 2
+
+
+def duration_complete_relation(
+    time_range: Interval,
+    max_duration: int,
+    name: str = "duration-complete",
+) -> TemporalRelation:
+    """Materialise ``r^l_U``: one tuple per interval of duration ``<= l``
+    in *time_range*; payloads are consecutive integers.
+
+    Example: ``r^2_[0,3]`` has the seven tuples ``[0,0], [1,1], [2,2],
+    [3,3], [0,1], [1,2], [2,3]``.
+    """
+    u = time_range.duration
+    if max_duration < 1:
+        raise ValueError(f"max duration must be >= 1, got {max_duration}")
+    if max_duration > u:
+        raise ValueError(
+            f"max duration {max_duration} exceeds the time range duration {u}"
+        )
+    tuples = []
+    payload = 0
+    for duration in range(1, max_duration + 1):
+        for start in range(time_range.start, time_range.end - duration + 2):
+            tuples.append(TemporalTuple(start, start + duration - 1, payload))
+            payload += 1
+    return TemporalRelation(tuples, name=name)

@@ -1,0 +1,58 @@
+"""Baseline overlap-join algorithms the paper evaluates against.
+
+``lqt`` loose quadtree, ``qt`` regular quadtree, ``rit`` relational
+interval tree, ``sgt`` segment tree, ``smj`` sort-merge join — plus the
+``grace`` partition join from related work and the block nested-loop
+correctness oracle ``nlj``.
+"""
+
+from typing import Dict, Type
+
+from ..core.base import OverlapJoinAlgorithm
+from ..core.join import OIPJoin
+from .grace import GracePartitionJoin
+from .loose_quadtree import LooseIntervalQuadtree, LooseQuadtreeJoin
+from .nested_loop import NestedLoopJoin
+from .quadtree import IntervalQuadtree, QuadtreeJoin, QuadtreeNode
+from .rit import RelationalIntervalTree, RITJoin
+from .rtree import IntervalRTree, RTreeJoin
+from .s3j import SizeSeparationJoin
+from .spatial_grid import SpatialGridJoin
+from .segment_tree import SegmentTree, SegmentTreeJoin, elementary_segments
+from .sort_merge import SortMergeJoin
+
+#: The algorithms of the paper's evaluation (plus extras), by short name.
+ALGORITHMS: Dict[str, Type[OverlapJoinAlgorithm]] = {
+    "oip": OIPJoin,
+    "lqt": LooseQuadtreeJoin,
+    "qt": QuadtreeJoin,
+    "rit": RITJoin,
+    "sgt": SegmentTreeJoin,
+    "smj": SortMergeJoin,
+    "grace": GracePartitionJoin,
+    "rtr": RTreeJoin,
+    "s3j": SizeSeparationJoin,
+    "spj": SpatialGridJoin,
+    "nlj": NestedLoopJoin,
+}
+
+__all__ = [
+    "ALGORITHMS",
+    "NestedLoopJoin",
+    "SortMergeJoin",
+    "QuadtreeJoin",
+    "QuadtreeNode",
+    "IntervalQuadtree",
+    "LooseQuadtreeJoin",
+    "LooseIntervalQuadtree",
+    "SegmentTree",
+    "SegmentTreeJoin",
+    "elementary_segments",
+    "RelationalIntervalTree",
+    "RITJoin",
+    "GracePartitionJoin",
+    "IntervalRTree",
+    "RTreeJoin",
+    "SizeSeparationJoin",
+    "SpatialGridJoin",
+]

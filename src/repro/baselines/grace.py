@@ -1,0 +1,128 @@
+"""Grace partition join — the disk-based related-work baseline
+(Soo, Snodgrass, Jensen: "Efficient evaluation of the valid-time natural
+join", ICDE 1994; paper Section 2, "Disk-Based Approaches").
+
+The time range is divided into ``m`` consecutive ranges.  Every tuple is
+stored in the **last** partition it overlaps (the one containing its end
+point).  Partitions are joined from last to first; tuples whose interval
+extends into earlier ranges are *migrated* to the next partition to be
+joined there as well.  A pair is emitted in the partition containing the
+later of the two start points, which makes every pair appear exactly
+once.
+
+The approach is parameter-guided (``m`` must be chosen by the
+application) and, as the paper notes, "is only efficient for few
+long-lived tuples, where the overhead of migration is low": every
+long-lived tuple is rewritten and re-scanned once per overlapped
+partition, which the counters expose as ``migrations`` plus the extra
+block writes and reads.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from ..core.base import JoinResult, OverlapJoinAlgorithm
+from ..core.relation import TemporalRelation, TemporalTuple
+from ..storage.manager import StorageManager
+from ..storage.metrics import CostCounters
+
+__all__ = ["GracePartitionJoin"]
+
+
+class GracePartitionJoin(OverlapJoinAlgorithm):
+    """Range-partitioned overlap join with backward tuple migration.
+
+    ``partitions`` fixes ``m``; by default ``m`` is chosen so an average
+    inner partition fills roughly eight blocks — a stand-in for the
+    sampling step of the original paper, which sizes partitions to the
+    available buffer.
+    """
+
+    name = "grace"
+
+    def __init__(self, *args, partitions: Optional[int] = None, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if partitions is not None and partitions < 1:
+            raise ValueError(f"partitions must be >= 1, got {partitions}")
+        self.partitions = partitions
+
+    def _partition_count(self, inner: TemporalRelation) -> int:
+        if self.partitions is not None:
+            return self.partitions
+        blocks = max(
+            1, inner.cardinality // self.device.tuples_per_block
+        )
+        return max(1, math.ceil(blocks / 8))
+
+    def _execute(
+        self,
+        outer: TemporalRelation,
+        inner: TemporalRelation,
+        counters: CostCounters,
+    ) -> JoinResult:
+        storage = StorageManager(
+            device=self.device,
+            counters=counters,
+            buffer_pool=self.buffer_pool,
+        )
+        range_start = min(outer.time_range.start, inner.time_range.start)
+        range_end = max(outer.time_range.end, inner.time_range.end)
+        m = self._partition_count(inner)
+        width = -(-(range_end - range_start + 1) // m)
+
+        def partition_of(point: int) -> int:
+            return (point - range_start) // width
+
+        def partition_start(index: int) -> int:
+            return range_start + index * width
+
+        # Native placement: the partition containing the tuple's end.
+        outer_native: List[List[TemporalTuple]] = [[] for _ in range(m)]
+        inner_native: List[List[TemporalTuple]] = [[] for _ in range(m)]
+        for tup in outer:
+            outer_native[partition_of(tup.end)].append(tup)
+        for tup in inner:
+            inner_native[partition_of(tup.end)].append(tup)
+
+        pairs: List = []
+        outer_carry: List[TemporalTuple] = []
+        inner_carry: List[TemporalTuple] = []
+        for index in range(m - 1, -1, -1):
+            start_of_range = partition_start(index)
+            outer_here = outer_native[index] + outer_carry
+            inner_here = inner_native[index] + inner_carry
+            outer_run = storage.store_tuples(outer_here)
+            inner_run = storage.store_tuples(inner_here)
+            for outer_block in outer_run:
+                storage.read_block(outer_block.block_id)
+                for inner_tuple in storage.read_run(inner_run):
+                    for outer_tuple in outer_block:
+                        # Deduplication: emit only in the partition that
+                        # contains the later start point; earlier
+                        # partitions would see the pair again after both
+                        # tuples migrate.
+                        counters.charge_cpu()
+                        later_start = max(outer_tuple.start, inner_tuple.start)
+                        if later_start < start_of_range:
+                            counters.charge_extra("duplicate_candidates")
+                            continue
+                        self._match(outer_tuple, inner_tuple, counters, pairs)
+            # Migrate tuples spanning into the previous range.
+            outer_carry = [
+                tup for tup in outer_here if tup.start < start_of_range
+            ]
+            inner_carry = [
+                tup for tup in inner_here if tup.start < start_of_range
+            ]
+            migrated = len(outer_carry) + len(inner_carry)
+            if migrated:
+                counters.charge_extra("migrations", migrated)
+
+        return JoinResult(
+            algorithm=self.name,
+            pairs=pairs,
+            counters=counters,
+            details={"partitions": m, "partition_width": width},
+        )

@@ -1,0 +1,190 @@
+"""Segment tree overlap join — the paper's ``sgt`` baseline (Section 7).
+
+The index is built on the inner relation.  Elementary segments are the
+maximal ranges delimited by any tuple start point or any point following a
+tuple end (for tuples ``[1,5], [3,9], [8,9]`` the leaves are ``[1,2],
+[3,5], [6,7], [8,9]``, matching the Section 2 example).  Internal nodes
+merge the segments of their children.  A tuple is assigned to the
+*canonical* set of nodes: the highest nodes whose segment its interval
+completely covers (tuple ``[3,9]`` of the example lands in ``[3,5]`` and
+``[6,9]`` — stored twice).
+
+The overlap join probes the tree with every outer tuple.  All tuples
+stored at a node whose segment intersects the query interval are genuine
+results (the segment tree produces **no false hits**), but long-lived
+tuples are stored at — and fetched from — many nodes.  Duplicates are
+identified during the join with the paper's test: visiting nodes
+left-to-right, a stored tuple is emitted only when the intersection of
+tuple and query *starts inside the current segment*; if the intersection
+starts earlier, the pair was already produced at a previous segment.
+Duplicate fetches still pay their block IO and CPU, which is exactly the
+overhead the paper measures for ``sgt``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..core.base import JoinResult, OverlapJoinAlgorithm
+from ..core.interval import Interval
+from ..core.relation import TemporalRelation, TemporalTuple
+from ..storage.block import BlockRun
+from ..storage.manager import StorageManager
+from ..storage.metrics import CostCounters
+
+__all__ = ["SegmentTree", "SegmentTreeJoin", "elementary_segments"]
+
+
+def elementary_segments(tuples: Sequence[TemporalTuple]) -> List[Interval]:
+    """The leaf segments of the tree: splits at every tuple start and at
+    every point following a tuple end."""
+    if not tuples:
+        return []
+    boundaries = set()
+    last = max(t.end for t in tuples) + 1
+    for tup in tuples:
+        boundaries.add(tup.start)
+        boundaries.add(tup.end + 1)
+    boundaries.add(min(t.start for t in tuples))
+    ordered = sorted(boundaries | {last})
+    return [
+        Interval(low, high - 1)
+        for low, high in zip(ordered, ordered[1:])
+        if high - 1 >= low
+    ]
+
+
+class _SegmentNode:
+    __slots__ = ("segment", "left", "right", "run")
+
+    def __init__(self, segment: Interval, run: BlockRun) -> None:
+        self.segment = segment
+        self.left: Optional["_SegmentNode"] = None
+        self.right: Optional["_SegmentNode"] = None
+        self.run = run
+
+
+class SegmentTree:
+    """Balanced segment tree over the elementary segments of a relation."""
+
+    def __init__(
+        self,
+        relation: TemporalRelation,
+        storage: StorageManager,
+    ) -> None:
+        self.storage = storage
+        self.node_count = 0
+        leaves = elementary_segments(relation.tuples)
+        self.root = self._build(leaves, 0, len(leaves) - 1)
+        for tup in relation:
+            self._insert(self.root, tup)
+
+    def _build(
+        self, leaves: List[Interval], low: int, high: int
+    ) -> Optional[_SegmentNode]:
+        if low > high:
+            return None
+        self.node_count += 1
+        if low == high:
+            return _SegmentNode(leaves[low], self.storage.new_run())
+        middle = (low + high) // 2
+        node = _SegmentNode(
+            Interval(leaves[low].start, leaves[high].end),
+            self.storage.new_run(),
+        )
+        node.left = self._build(leaves, low, middle)
+        node.right = self._build(leaves, middle + 1, high)
+        return node
+
+    def _insert(self, node: Optional[_SegmentNode], tup: TemporalTuple) -> None:
+        """Canonical assignment: store at the highest nodes whose segment
+        the tuple's interval completely covers."""
+        if node is None or not tup.overlaps_interval(node.segment):
+            return
+        if tup.start <= node.segment.start and node.segment.end <= tup.end:
+            self.storage.append(node.run, tup)
+            return
+        self._insert(node.left, tup)
+        self._insert(node.right, tup)
+
+    @property
+    def height(self) -> int:
+        def depth(node: Optional[_SegmentNode]) -> int:
+            if node is None:
+                return 0
+            return 1 + max(depth(node.left), depth(node.right))
+
+        return depth(self.root)
+
+    def stored_entries(self) -> int:
+        """Total stored tuple copies — exceeds the relation cardinality by
+        the duplication long-lived tuples cause."""
+
+        def count(node: Optional[_SegmentNode]) -> int:
+            if node is None:
+                return 0
+            return node.run.tuple_count + count(node.left) + count(node.right)
+
+        return count(self.root)
+
+
+class SegmentTreeJoin(OverlapJoinAlgorithm):
+    """Overlap join probing a segment tree on the inner relation."""
+
+    name = "sgt"
+
+    def _execute(
+        self,
+        outer: TemporalRelation,
+        inner: TemporalRelation,
+        counters: CostCounters,
+    ) -> JoinResult:
+        storage = StorageManager(
+            device=self.device,
+            counters=counters,
+            buffer_pool=self.buffer_pool,
+        )
+        tree = SegmentTree(inner, storage)
+        outer_run = storage.store_tuples(outer)
+
+        pairs: List = []
+
+        def probe(
+            node: Optional[_SegmentNode], outer_tuple: TemporalTuple
+        ) -> None:
+            if node is None:
+                return
+            counters.charge_cpu(2)  # segment-overlap test
+            if not outer_tuple.overlaps_interval(node.segment):
+                return
+            counters.charge_partition_access()
+            segment_start = node.segment.start
+            for inner_tuple in storage.read_run(node.run):
+                # Duplicate test: the intersection of the two intervals
+                # starts at max of the start points; if that lies before
+                # this segment, the pair was emitted at an earlier node.
+                counters.charge_cpu(2)
+                intersection_start = max(inner_tuple.start, outer_tuple.start)
+                if intersection_start < segment_start:
+                    counters.charge_extra("duplicates")
+                    continue
+                pairs.append((outer_tuple, inner_tuple))
+            probe(node.left, outer_tuple)
+            probe(node.right, outer_tuple)
+
+        for outer_block in outer_run:
+            storage.read_block(outer_block.block_id)
+            for outer_tuple in outer_block:
+                probe(tree.root, outer_tuple)
+
+        return JoinResult(
+            algorithm=self.name,
+            pairs=pairs,
+            counters=counters,
+            details={
+                "tree_nodes": tree.node_count,
+                "tree_height": tree.height,
+                "stored_entries": tree.stored_entries(),
+                "inner_cardinality": inner.cardinality,
+            },
+        )

@@ -1,0 +1,5 @@
+"""B+-tree substrate used by the relational interval tree baseline."""
+
+from .tree import BPlusTree
+
+__all__ = ["BPlusTree"]

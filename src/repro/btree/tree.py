@@ -1,0 +1,252 @@
+"""A B+-tree over ordered keys.
+
+Substrate for the Relational Interval Tree baseline, which indexes
+``(fork_node, start)`` and ``(fork_node, end)`` composite keys in two
+B+-trees (Kriegel et al., "Managing intervals efficiently in
+object-relational databases").  The tree supports duplicate keys (every
+key maps to a list of values), point lookup and half-open range scans —
+the operations the RI-tree query algorithm needs.
+
+The implementation is a classic order-``m`` B+-tree: internal nodes hold
+separator keys and children, leaves hold sorted key/value-list pairs and
+are chained left-to-right for range scans.  An optional
+:class:`~repro.storage.metrics.CostCounters` records one node access per
+visited node and one CPU comparison per key comparison, so index
+navigation shows up in the measured join costs exactly as the paper
+describes ("a high number of operations on the indices").
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterator, List, Optional, Tuple
+
+from ..storage.metrics import CostCounters
+
+__all__ = ["BPlusTree"]
+
+
+class _Node:
+    __slots__ = ("keys", "children", "values", "next_leaf", "is_leaf")
+
+    def __init__(self, is_leaf: bool) -> None:
+        self.is_leaf = is_leaf
+        self.keys: List[Any] = []
+        # Internal nodes: children[i] subtree holds keys < keys[i].
+        self.children: List["_Node"] = []
+        # Leaves: values[i] is the list of values stored under keys[i].
+        self.values: List[List[Any]] = []
+        self.next_leaf: Optional["_Node"] = None
+
+
+class BPlusTree:
+    """Order-``m`` B+-tree with duplicate support and leaf chaining."""
+
+    def __init__(
+        self,
+        order: int = 32,
+        counters: Optional[CostCounters] = None,
+    ) -> None:
+        if order < 3:
+            raise ValueError(f"B+-tree order must be >= 3, got {order}")
+        self.order = order
+        self.counters = counters
+        self._root = _Node(is_leaf=True)
+        self._size = 0
+
+    # -- bookkeeping ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Number of stored values (not distinct keys)."""
+        return self._size
+
+    @property
+    def height(self) -> int:
+        """Number of levels from root to leaves (1 for a leaf-only tree)."""
+        height = 1
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]
+            height += 1
+        return height
+
+    def _charge_node(self) -> None:
+        if self.counters is not None:
+            self.counters.charge_partition_access()
+
+    def _charge_cpu(self, count: int = 1) -> None:
+        if self.counters is not None:
+            self.counters.charge_cpu(count)
+
+    def _position(self, node: _Node, key: Any) -> int:
+        """Index of *key* in ``node.keys`` via binary search; charges the
+        comparisons the search performs."""
+        position = bisect.bisect_left(node.keys, key)
+        self._charge_cpu(max(1, len(node.keys).bit_length()))
+        return position
+
+    # -- insertion --------------------------------------------------------------
+
+    def insert(self, key: Any, value: Any) -> None:
+        """Insert *value* under *key*; duplicates accumulate in order."""
+        split = self._insert(self._root, key, value)
+        if split is not None:
+            separator, right = split
+            new_root = _Node(is_leaf=False)
+            new_root.keys = [separator]
+            new_root.children = [self._root, right]
+            self._root = new_root
+        self._size += 1
+
+    def _insert(
+        self, node: _Node, key: Any, value: Any
+    ) -> Optional[Tuple[Any, _Node]]:
+        if node.is_leaf:
+            position = self._position(node, key)
+            if position < len(node.keys) and node.keys[position] == key:
+                node.values[position].append(value)
+            else:
+                node.keys.insert(position, key)
+                node.values.insert(position, [value])
+            if len(node.keys) > self.order:
+                return self._split_leaf(node)
+            return None
+
+        position = bisect.bisect_right(node.keys, key)
+        self._charge_cpu(max(1, len(node.keys).bit_length()))
+        split = self._insert(node.children[position], key, value)
+        if split is None:
+            return None
+        separator, right = split
+        node.keys.insert(position, separator)
+        node.children.insert(position + 1, right)
+        if len(node.keys) > self.order:
+            return self._split_internal(node)
+        return None
+
+    def _split_leaf(self, node: _Node) -> Tuple[Any, _Node]:
+        middle = len(node.keys) // 2
+        right = _Node(is_leaf=True)
+        right.keys = node.keys[middle:]
+        right.values = node.values[middle:]
+        node.keys = node.keys[:middle]
+        node.values = node.values[:middle]
+        right.next_leaf = node.next_leaf
+        node.next_leaf = right
+        return right.keys[0], right
+
+    def _split_internal(self, node: _Node) -> Tuple[Any, _Node]:
+        middle = len(node.keys) // 2
+        separator = node.keys[middle]
+        right = _Node(is_leaf=False)
+        right.keys = node.keys[middle + 1 :]
+        right.children = node.children[middle + 1 :]
+        node.keys = node.keys[:middle]
+        node.children = node.children[: middle + 1]
+        return separator, right
+
+    # -- lookup --------------------------------------------------------------------
+
+    def _descend_to_leaf(self, key: Any) -> _Node:
+        node = self._root
+        self._charge_node()
+        while not node.is_leaf:
+            position = bisect.bisect_right(node.keys, key)
+            self._charge_cpu(max(1, len(node.keys).bit_length()))
+            node = node.children[position]
+            self._charge_node()
+        return node
+
+    def search(self, key: Any) -> List[Any]:
+        """All values stored under exactly *key* (empty list if absent)."""
+        leaf = self._descend_to_leaf(key)
+        position = self._position(leaf, key)
+        if position < len(leaf.keys) and leaf.keys[position] == key:
+            return list(leaf.values[position])
+        return []
+
+    def range_scan(
+        self,
+        low: Any,
+        high: Any,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> Iterator[Tuple[Any, Any]]:
+        """Yield ``(key, value)`` for keys between *low* and *high*.
+
+        Keys are visited in ascending order by following the leaf chain;
+        each yielded key stays within the requested bounds.
+        """
+        leaf: Optional[_Node] = self._descend_to_leaf(low)
+        position = self._position(leaf, low)
+        while leaf is not None:
+            while position < len(leaf.keys):
+                key = leaf.keys[position]
+                self._charge_cpu()
+                if key > high or (key == high and not include_high):
+                    return
+                if key > low or (key == low and include_low):
+                    for value in leaf.values[position]:
+                        yield key, value
+                position += 1
+            leaf = leaf.next_leaf
+            position = 0
+            if leaf is not None:
+                self._charge_node()
+
+    def items(self) -> Iterator[Tuple[Any, Any]]:
+        """All ``(key, value)`` pairs in key order (no cost charged; used
+        by tests and diagnostics)."""
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]
+        leaf: Optional[_Node] = node
+        while leaf is not None:
+            for key, values in zip(leaf.keys, leaf.values):
+                for value in values:
+                    yield key, value
+            leaf = leaf.next_leaf
+
+    def keys(self) -> List[Any]:
+        """All distinct keys in order."""
+        seen: List[Any] = []
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]
+        leaf: Optional[_Node] = node
+        while leaf is not None:
+            seen.extend(leaf.keys)
+            leaf = leaf.next_leaf
+        return seen
+
+    # -- structural checks (tests) -----------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Raise ``AssertionError`` when a B+-tree invariant is violated:
+        sorted keys, fanout bounds, uniform leaf depth, chained leaves."""
+        depths = set()
+
+        def visit(node: _Node, depth: int, low: Any, high: Any) -> None:
+            assert node.keys == sorted(node.keys), "unsorted node keys"
+            for key in node.keys:
+                if low is not None:
+                    assert key >= low, "key below subtree bound"
+                if high is not None:
+                    assert key < high, "key above subtree bound"
+            if node is not self._root:
+                minimum = 1 if node.is_leaf else (self.order // 2) - 1
+                assert len(node.keys) >= max(1, minimum), "underfull node"
+            assert len(node.keys) <= self.order, "overfull node"
+            if node.is_leaf:
+                depths.add(depth)
+                assert len(node.values) == len(node.keys)
+            else:
+                assert len(node.children) == len(node.keys) + 1
+                bounds = [low, *node.keys, high]
+                for index, child in enumerate(node.children):
+                    visit(child, depth + 1, bounds[index], bounds[index + 1])
+
+        visit(self._root, 0, None, None)
+        assert len(depths) <= 1, "leaves at different depths"
+        keys = self.keys()
+        assert keys == sorted(keys), "leaf chain out of order"

@@ -1,0 +1,263 @@
+"""Command-line interface: run joins, compare algorithms, derive k and
+inspect datasets without writing code.
+
+::
+
+    python -m repro join --workload mixture --cardinality 2000 \\
+        --long-fraction 0.5 --algorithm oip
+    python -m repro compare --workload uniform --cardinality 1500 \\
+        --algorithms oip,lqt,smj
+    python -m repro derive-k --outer 10000000 --inner 100000000 \\
+        --lambda-outer 0.0001 --lambda-inner 0.0005
+    python -m repro datasets
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional, Sequence
+
+from .baselines import ALGORITHMS
+from .core.granules import JoinCostModel, derive_k
+from .core.interval import Interval
+from .core.relation import TemporalRelation
+from .storage.metrics import CostWeights
+from .workloads import (
+    DATASET_GENERATORS,
+    PAPER_DATASET_PROPERTIES,
+    clustered_relation,
+    dataset_properties,
+    long_lived_mixture,
+    point_relation,
+    uniform_relation,
+)
+
+__all__ = ["main", "build_parser"]
+
+_WORKLOADS = ("uniform", "mixture", "points", "clustered")
+
+
+def _make_relation(args: argparse.Namespace, seed: int, name: str) -> TemporalRelation:
+    if args.workload in DATASET_GENERATORS:
+        return DATASET_GENERATORS[args.workload](
+            cardinality=args.cardinality, seed=seed, name=name
+        )
+    time_range = Interval(1, args.time_range)
+    if args.workload == "uniform":
+        return uniform_relation(
+            args.cardinality,
+            time_range,
+            args.max_duration,
+            seed=seed,
+            name=name,
+        )
+    if args.workload == "mixture":
+        return long_lived_mixture(
+            args.cardinality,
+            args.long_fraction,
+            time_range,
+            seed=seed,
+            name=name,
+        )
+    if args.workload == "points":
+        return point_relation(args.cardinality, time_range, seed=seed, name=name)
+    if args.workload == "clustered":
+        return clustered_relation(
+            args.cardinality, time_range, seed=seed, name=name
+        )
+    raise SystemExit(f"unknown workload {args.workload!r}")
+
+
+def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workload",
+        default="uniform",
+        choices=_WORKLOADS + tuple(DATASET_GENERATORS),
+        help="synthetic family or real-dataset stand-in",
+    )
+    parser.add_argument(
+        "--cardinality", type=int, default=1_000, help="tuples per relation"
+    )
+    parser.add_argument(
+        "--time-range",
+        type=int,
+        default=2**20,
+        help="number of time points (synthetic workloads)",
+    )
+    parser.add_argument(
+        "--max-duration",
+        type=float,
+        default=0.001,
+        help="max tuple duration as a fraction of the range (uniform)",
+    )
+    parser.add_argument(
+        "--long-fraction",
+        type=float,
+        default=0.25,
+        help="share of long-lived tuples (mixture)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _run_single(args: argparse.Namespace) -> int:
+    if args.algorithm not in ALGORITHMS:
+        raise SystemExit(
+            f"unknown algorithm {args.algorithm!r}; "
+            f"choose from {', '.join(sorted(ALGORITHMS))}"
+        )
+    outer = _make_relation(args, args.seed, "outer")
+    inner = _make_relation(args, args.seed + 1, "inner")
+    join = ALGORITHMS[args.algorithm]()
+    started = time.perf_counter()
+    result = join.join(outer, inner)
+    elapsed = time.perf_counter() - started
+    print(
+        f"{args.algorithm}: {result.cardinality:,} result pairs in "
+        f"{elapsed * 1e3:.1f} ms"
+    )
+    for key, value in sorted(result.counters.snapshot().items()):
+        print(f"  {key:>20}: {value:,}")
+    for key, value in sorted(result.details.items()):
+        print(f"  {key:>20}: {value}")
+    return 0
+
+
+def _run_compare(args: argparse.Namespace) -> int:
+    names = [name.strip() for name in args.algorithms.split(",") if name.strip()]
+    unknown = [name for name in names if name not in ALGORITHMS]
+    if unknown:
+        raise SystemExit(
+            f"unknown algorithm(s): {', '.join(unknown)}; "
+            f"choose from {', '.join(sorted(ALGORITHMS))}"
+        )
+    outer = _make_relation(args, args.seed, "outer")
+    inner = _make_relation(args, args.seed + 1, "inner")
+    print(
+        f"{'algorithm':>10} {'runtime':>10} {'results':>9} "
+        f"{'false hits':>11} {'block IO':>9} {'cpu ops':>10}"
+    )
+    reference: Optional[List] = None
+    for name in names:
+        join = ALGORITHMS[name]()
+        started = time.perf_counter()
+        result = join.join(outer, inner)
+        elapsed = time.perf_counter() - started
+        keys = result.pair_keys()
+        if reference is None:
+            reference = keys
+        elif keys != reference:
+            print(f"WARNING: {name} returned a different result set!")
+        print(
+            f"{name:>10} {elapsed * 1e3:>8.1f}ms {result.cardinality:>9,} "
+            f"{result.counters.false_hits:>11,} "
+            f"{result.counters.total_ios:>9,} "
+            f"{result.counters.cpu_comparisons:>10,}"
+        )
+    return 0
+
+
+def _run_derive_k(args: argparse.Namespace) -> int:
+    model = JoinCostModel(
+        outer_cardinality=args.outer,
+        inner_cardinality=args.inner,
+        outer_duration_fraction=args.lambda_outer,
+        inner_duration_fraction=args.lambda_inner,
+        tuples_per_block=args.tuples_per_block,
+        weights=CostWeights(cpu=args.cpu_cost, io=args.io_cost),
+    )
+    derivation = derive_k(model)
+    print(f"{'n':>3} {'k_n':>10} {'|p_r|_n':>12} {'tau_n':>10}")
+    for index, step in enumerate(derivation.trace):
+        print(
+            f"{index:>3} {step.k:>10,} {step.outer_partitions:>12,} "
+            f"{step.tau:>10.5f}"
+        )
+    print(
+        f"k = {derivation.k:,} (converged: {derivation.converged}, "
+        f"oscillated: {derivation.oscillated})"
+    )
+    return 0
+
+
+def _run_datasets(args: argparse.Namespace) -> int:
+    print(
+        f"{'dataset':>10} {'n (paper n)':>22} {'range':>16} "
+        f"{'avg dur (paper)':>22}"
+    )
+    for name, generator in sorted(DATASET_GENERATORS.items()):
+        paper = PAPER_DATASET_PROPERTIES[name]
+        props = dataset_properties(
+            generator(cardinality=args.cardinality, seed=args.seed)
+        )
+        print(
+            f"{name:>10} "
+            f"{props.cardinality:>9,} ({paper.cardinality:>10,}) "
+            f"{props.time_range:>16,} "
+            f"{props.avg_duration:>10,.0f} ({paper.avg_duration:>8,})"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Overlap Interval Partition Join (SIGMOD 2014) reproduction "
+            "command line"
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    join_parser = commands.add_parser(
+        "join", help="run one overlap join and print its cost counters"
+    )
+    _add_workload_arguments(join_parser)
+    join_parser.add_argument(
+        "--algorithm", default="oip", help="short algorithm name"
+    )
+    join_parser.set_defaults(handler=_run_single)
+
+    compare_parser = commands.add_parser(
+        "compare", help="run several algorithms on the same input"
+    )
+    _add_workload_arguments(compare_parser)
+    compare_parser.add_argument(
+        "--algorithms",
+        default="oip,lqt,rit,sgt,smj",
+        help="comma-separated short names",
+    )
+    compare_parser.set_defaults(handler=_run_compare)
+
+    derive_parser = commands.add_parser(
+        "derive-k", help="run the Section 6.2 fixed-point iteration"
+    )
+    derive_parser.add_argument("--outer", type=int, required=True)
+    derive_parser.add_argument("--inner", type=int, required=True)
+    derive_parser.add_argument("--lambda-outer", type=float, default=0.0001)
+    derive_parser.add_argument("--lambda-inner", type=float, default=0.0005)
+    derive_parser.add_argument("--tuples-per-block", type=int, default=14)
+    derive_parser.add_argument("--cpu-cost", type=float, default=0.5)
+    derive_parser.add_argument("--io-cost", type=float, default=10.0)
+    derive_parser.set_defaults(handler=_run_derive_k)
+
+    datasets_parser = commands.add_parser(
+        "datasets", help="print the Table 2 stand-in properties"
+    )
+    datasets_parser.add_argument("--cardinality", type=int, default=2_000)
+    datasets_parser.add_argument("--seed", type=int, default=0)
+    datasets_parser.set_defaults(handler=_run_datasets)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

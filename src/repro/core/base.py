@@ -1,0 +1,149 @@
+"""Common interface for every overlap-join algorithm in the library.
+
+All joins — the OIPJOIN and all baselines — answer the same question
+(Section 1): given valid-time relations ``r`` and ``s``, find all pairs
+``(r, s)`` with ``r.T`` intersecting ``s.T``.  They share
+
+* the output: a :class:`JoinResult` carrying the matched pairs and the
+  :class:`~repro.storage.metrics.CostCounters` accumulated while producing
+  them, and
+* the environment: a :class:`~repro.storage.device.DeviceProfile` plus an
+  optional buffer pool, injected at construction.
+
+The base class also fixes the charging conventions so counters are
+comparable across algorithms: one ``partition access`` per fetched
+partition/index node, one ``false hit`` per fetched candidate that fails
+the overlap test, CPU comparisons for every endpoint/index comparison the
+algorithm performs.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..storage.buffer import BufferPool
+from ..storage.device import DeviceProfile
+from ..storage.metrics import CostCounters, CostWeights
+from .relation import TemporalRelation, TemporalTuple
+
+__all__ = ["JoinResult", "OverlapJoinAlgorithm", "join_pair_key"]
+
+#: A result pair: (outer tuple, inner tuple).
+JoinPair = Tuple[TemporalTuple, TemporalTuple]
+
+
+def join_pair_key(pair: JoinPair) -> Tuple[int, int, Any, int, int, Any]:
+    """Canonical sort/set key for a result pair (tests compare join outputs
+    of different algorithms through this key)."""
+    outer, inner = pair
+    return (
+        outer.start,
+        outer.end,
+        outer.payload,
+        inner.start,
+        inner.end,
+        inner.payload,
+    )
+
+
+@dataclass
+class JoinResult:
+    """Output of one join execution.
+
+    ``pairs`` is the overlap-join result ``{r o s | r.T cap s.T}``;
+    ``counters`` the cost events charged while computing it; ``details``
+    algorithm-specific facts (derived ``k``, partition counts, tree heights,
+    ...) the benchmarks report.
+    """
+
+    algorithm: str
+    pairs: List[JoinPair]
+    counters: CostCounters
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    @property
+    def cardinality(self) -> int:
+        """``n_z``, the number of result tuples."""
+        return len(self.pairs)
+
+    @property
+    def false_hit_ratio(self) -> float:
+        """False hits over fetched candidates for this run."""
+        return self.counters.false_hit_ratio()
+
+    def pair_keys(self) -> List[Tuple]:
+        """Sorted canonical keys of all result pairs."""
+        return sorted(join_pair_key(pair) for pair in self.pairs)
+
+    def modelled_cost(self, weights: CostWeights) -> float:
+        """Paper-style modelled cost of the run."""
+        return self.counters.modelled_cost(weights)
+
+
+class OverlapJoinAlgorithm(ABC):
+    """Base class of all overlap joins.
+
+    Subclasses implement :meth:`_execute`; the public :meth:`join` wraps it
+    with fresh counters, empty-input short-circuiting, and result-count
+    book-keeping, so every algorithm is measured identically.
+    """
+
+    #: Short name used in benchmark tables ("oip", "lqt", "rit", ...).
+    name: str = "join"
+
+    def __init__(
+        self,
+        device: Optional[DeviceProfile] = None,
+        buffer_pool: Optional[BufferPool] = None,
+    ) -> None:
+        self.device = device if device is not None else DeviceProfile.main_memory()
+        self.buffer_pool = buffer_pool
+
+    def join(
+        self,
+        outer: TemporalRelation,
+        inner: TemporalRelation,
+    ) -> JoinResult:
+        """Compute the overlap join of *outer* and *inner*."""
+        counters = CostCounters()
+        if outer.is_empty or inner.is_empty:
+            return JoinResult(
+                algorithm=self.name, pairs=[], counters=counters
+            )
+        result = self._execute(outer, inner, counters)
+        result.counters.result_tuples = len(result.pairs)
+        return result
+
+    @abstractmethod
+    def _execute(
+        self,
+        outer: TemporalRelation,
+        inner: TemporalRelation,
+        counters: CostCounters,
+    ) -> JoinResult:
+        """Algorithm-specific join over non-empty inputs."""
+
+    # -- shared charging helpers --------------------------------------------
+
+    @staticmethod
+    def _match(
+        outer: TemporalTuple,
+        inner: TemporalTuple,
+        counters: CostCounters,
+        pairs: List[JoinPair],
+    ) -> None:
+        """Compare one candidate pair: two endpoint comparisons (``TS`` and
+        ``TE``), then either emit the pair or record a false hit."""
+        counters.charge_cpu(2)
+        if outer.start <= inner.end and inner.start <= outer.end:
+            pairs.append((outer, inner))
+        else:
+            counters.charge_false_hit()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(device={self.device.name!r})"

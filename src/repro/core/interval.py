@@ -1,0 +1,156 @@
+"""Discrete time domain and closed intervals (paper Section 3).
+
+The paper assumes a discrete, linearly ordered time domain ``Omega_T``.  An
+interval ``T`` is a contiguous set of time points represented as a pair
+``[TS, TE]`` where ``TS`` is the *inclusive* start point and ``TE`` the
+*inclusive* end point.  All interval arithmetic in the library goes through
+this module so that the conventions of Section 3 (closed endpoints, duration
+``|T| = TE - TS + 1``) hold everywhere.
+
+Time points are plain integers.  Applications that work with dates map them
+to day (or millisecond) ordinals before constructing intervals; the examples
+show how.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+__all__ = ["Interval", "IntervalError"]
+
+
+class IntervalError(ValueError):
+    """Raised when an operation would construct an invalid interval."""
+
+
+class Interval:
+    """A closed interval ``[start, end]`` over the discrete time domain.
+
+    Both endpoints are inclusive, matching the paper's ``[TS, TE]``
+    representation, and ``start <= end`` always holds (an interval contains
+    at least one time point).
+
+    Instances are immutable, hashable and totally ordered by
+    ``(start, end)``, which makes them usable as dictionary keys and
+    directly sortable.
+    """
+
+    __slots__ = ("start", "end")
+
+    start: int
+    end: int
+
+    def __init__(self, start: int, end: int) -> None:
+        if end < start:
+            raise IntervalError(
+                f"interval end {end!r} precedes start {start!r}"
+            )
+        object.__setattr__(self, "start", int(start))
+        object.__setattr__(self, "end", int(end))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Interval is immutable")
+
+    # -- basic protocol ----------------------------------------------------
+
+    def __repr__(self) -> str:
+        return f"Interval({self.start}, {self.end})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Interval):
+            return NotImplemented
+        return self.start == other.start and self.end == other.end
+
+    def __lt__(self, other: "Interval") -> bool:
+        return (self.start, self.end) < (other.start, other.end)
+
+    def __le__(self, other: "Interval") -> bool:
+        return (self.start, self.end) <= (other.start, other.end)
+
+    def __gt__(self, other: "Interval") -> bool:
+        return (self.start, self.end) > (other.start, other.end)
+
+    def __ge__(self, other: "Interval") -> bool:
+        return (self.start, self.end) >= (other.start, other.end)
+
+    def __hash__(self) -> int:
+        return hash((self.start, self.end))
+
+    def __len__(self) -> int:
+        return self.duration
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self.start, self.end + 1))
+
+    def __contains__(self, point: int) -> bool:
+        return self.start <= point <= self.end
+
+    # -- paper Section 3 operations ---------------------------------------
+
+    @property
+    def duration(self) -> int:
+        """Number of time points ``|T| = (TE - TS) + 1``."""
+        return self.end - self.start + 1
+
+    def contains_point(self, point: int) -> bool:
+        """``x in T``: true iff ``TS <= x <= TE``."""
+        return self.start <= point <= self.end
+
+    def overlaps(self, other: "Interval") -> bool:
+        """``T cap U``: true iff the intervals share at least one point."""
+        return self.start <= other.end and other.start <= self.end
+
+    def contains(self, other: "Interval") -> bool:
+        """``U subseteq T``: true iff every point of *other* is in *self*."""
+        return self.start <= other.start and other.end <= self.end
+
+    def intersection(self, other: "Interval") -> "Interval":
+        """The overlapping interval ``T cap U``.
+
+        Raises :class:`IntervalError` when the intervals do not overlap;
+        test with :meth:`overlaps` first when intersection may be empty.
+        """
+        if not self.overlaps(other):
+            raise IntervalError(f"{self!r} and {other!r} do not overlap")
+        return Interval(max(self.start, other.start), min(self.end, other.end))
+
+    def union_span(self, other: "Interval") -> "Interval":
+        """Smallest interval covering both *self* and *other*."""
+        return Interval(min(self.start, other.start), max(self.end, other.end))
+
+    def shift(self, offset: int) -> "Interval":
+        """Interval translated by *offset* time points."""
+        return Interval(self.start + offset, self.end + offset)
+
+    def expand(self, before: int, after: int) -> "Interval":
+        """Interval grown by *before* points on the left and *after* on the
+        right (either may be negative as long as the result is non-empty)."""
+        return Interval(self.start - before, self.end + after)
+
+    def clamp(self, bounds: "Interval") -> "Interval":
+        """Intersection with *bounds*; alias used when clipping to a range."""
+        return self.intersection(bounds)
+
+    def precedes(self, other: "Interval") -> bool:
+        """True iff *self* ends strictly before *other* starts."""
+        return self.end < other.start
+
+    def meets(self, other: "Interval") -> bool:
+        """Allen *meets*: adjacent with no gap and no overlap."""
+        return self.end + 1 == other.start
+
+    def as_tuple(self) -> Tuple[int, int]:
+        """The ``(start, end)`` pair."""
+        return (self.start, self.end)
+
+    @classmethod
+    def point(cls, instant: int) -> "Interval":
+        """Degenerate interval ``[x, x]`` of duration 1."""
+        return cls(instant, instant)
+
+    @classmethod
+    def from_duration(cls, start: int, duration: int) -> "Interval":
+        """Interval of *duration* points beginning at *start*."""
+        if duration < 1:
+            raise IntervalError(f"duration must be >= 1, got {duration}")
+        return cls(start, start + duration - 1)

@@ -1,0 +1,204 @@
+"""The Overlap Interval Partition Join — OIPJOIN (paper Section 6.1,
+Algorithm 2).
+
+The join partitions both inputs on the fly with :func:`~repro.core
+.lazy_list.oip_create`, using one shared granule count ``k`` (the cost
+analysis shows both ``O(k_r^2 k_s^2)`` partition accesses and the false-hit
+term are minimised at ``k_r = k_s``).  ``k`` is derived by the Section 6.2
+fixed-point iteration unless the caller pins it (Figure 7 sweeps a fixed
+``k``; the self-adjustment ablation compares both modes).
+
+For every outer partition node the algorithm issues an overlap query with
+the *partition interval* as query interval (Lemma 1), walks the inner lazy
+partition list down while ``j >= s`` and right while ``i <= e``, fetches
+each relevant inner partition (one partition access + its block IOs) and
+compares its tuples pairwise with the outer partition's tuples (two
+endpoint comparisons per pair; failing pairs are false hits).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..storage.buffer import BufferPool
+from ..storage.device import DeviceProfile
+from ..storage.manager import StorageManager
+from ..storage.metrics import CostCounters, CostWeights
+from .base import JoinResult, OverlapJoinAlgorithm
+from .granules import KDerivation, cost_model_for, derive_k
+from .lazy_list import oip_create
+from .oip import OIPConfiguration
+from .relation import TemporalRelation
+
+__all__ = ["OIPJoin"]
+
+
+class OIPJoin(OverlapJoinAlgorithm):
+    """Self-adjusting overlap join based on Overlap Interval Partitioning.
+
+    Parameters
+    ----------
+    device, buffer_pool:
+        Storage environment; see :class:`OverlapJoinAlgorithm`.
+    k:
+        Pin the granule count instead of deriving it (ablations, Figure 7).
+    k_outer, k_inner:
+        Pin *different* granule counts per side.  Section 6.2 proves both
+        cost terms are minimised at ``k_r = k_s``; these parameters exist
+        for the ablation that verifies that claim and are mutually
+        exclusive with ``k``.
+    weights:
+        Override the device's cost weights for the ``k`` derivation only
+        (the Figure 6 ``c_cpu / c_io`` sweep).
+    use_exact_root:
+        Derive ``k`` from the exact cubic root (default) or the paper's
+        compact approximation.
+    use_histogram_statistics:
+        Derive the partition estimates from duration histograms
+        (:mod:`repro.core.statistics`) instead of Lemma 3's
+        maximum-duration bound — the paper's future-work refinement for
+        skewed data.
+    """
+
+    name = "oip"
+
+    def __init__(
+        self,
+        device: Optional[DeviceProfile] = None,
+        buffer_pool: Optional[BufferPool] = None,
+        k: Optional[int] = None,
+        weights: Optional[CostWeights] = None,
+        use_exact_root: bool = True,
+        use_histogram_statistics: bool = False,
+        k_outer: Optional[int] = None,
+        k_inner: Optional[int] = None,
+    ) -> None:
+        super().__init__(device=device, buffer_pool=buffer_pool)
+        if k is not None and k < 1:
+            raise ValueError(f"k must be >= 1 when pinned, got {k}")
+        if (k_outer is None) != (k_inner is None):
+            raise ValueError("k_outer and k_inner must be given together")
+        if k_outer is not None:
+            if k is not None:
+                raise ValueError("pass either k or (k_outer, k_inner)")
+            if k_outer < 1 or k_inner < 1:
+                raise ValueError(
+                    f"per-side granule counts must be >= 1, got "
+                    f"({k_outer}, {k_inner})"
+                )
+        self.fixed_k = k
+        self.fixed_k_outer = k_outer
+        self.fixed_k_inner = k_inner
+        self.weights = weights
+        self.use_exact_root = use_exact_root
+        self.use_histogram_statistics = use_histogram_statistics
+
+    # ------------------------------------------------------------------
+
+    def _derive_k(
+        self,
+        outer: TemporalRelation,
+        inner: TemporalRelation,
+    ) -> Optional[KDerivation]:
+        if self.fixed_k is not None or self.fixed_k_outer is not None:
+            return None
+        if self.use_histogram_statistics:
+            from .statistics import histogram_cost_model
+
+            weights = (
+                self.weights
+                if self.weights is not None
+                else self.device.weights
+            )
+            model = histogram_cost_model(
+                outer,
+                inner,
+                tuples_per_block=self.device.tuples_per_block,
+                weights=weights,
+            )
+        else:
+            model = cost_model_for(
+                outer, inner, device=self.device, weights=self.weights
+            )
+        return derive_k(model, use_exact_root=self.use_exact_root)
+
+    def _execute(
+        self,
+        outer: TemporalRelation,
+        inner: TemporalRelation,
+        counters: CostCounters,
+    ) -> JoinResult:
+        derivation = self._derive_k(outer, inner)
+        if derivation is not None:
+            k_outer = k_inner = derivation.k
+        elif self.fixed_k is not None:
+            k_outer = k_inner = self.fixed_k
+        else:
+            k_outer, k_inner = self.fixed_k_outer, self.fixed_k_inner
+        # More granules than time points cannot reduce false hits further
+        # (d is already 1); cap to keep index arithmetic small.
+        k_outer = max(1, min(k_outer, outer.time_range_duration))
+        k_inner = max(1, min(k_inner, inner.time_range_duration))
+
+        config_r = OIPConfiguration.for_relation(outer, k_outer)
+        config_s = OIPConfiguration.for_relation(inner, k_inner)
+        storage = StorageManager(
+            device=self.device,
+            counters=counters,
+            buffer_pool=self.buffer_pool,
+        )
+        outer_list = oip_create(outer, config_r, storage)
+        inner_list = oip_create(inner, config_s, storage)
+
+        pairs: List = []
+        d_r, o_r = config_r.d, config_r.o
+        d_s, o_s = config_s.d, config_s.o
+        inner_range_start = o_s
+        inner_range_stop = o_s + k_inner * d_s  # exclusive
+
+        for outer_node in outer_list.iter_nodes():
+            outer_tuples = list(storage.read_run(outer_node.run))
+            query_start = o_r + outer_node.i * d_r
+            query_end = o_r + (outer_node.j + 1) * d_r - 1
+            counters.charge_cpu(2)  # range-overlap guard of Algorithm 2
+            if query_end < inner_range_start or query_start >= inner_range_stop:
+                continue
+            s = (query_start - o_s) // d_s
+            e = (query_end - o_s) // d_s
+
+            node = inner_list.head
+            while node is not None:
+                counters.charge_cpu()  # j >= s test
+                if node.j < s:
+                    break
+                branch = node
+                while branch is not None:
+                    counters.charge_cpu()  # i <= e test
+                    if branch.i > e:
+                        break
+                    counters.charge_partition_access()
+                    for inner_tuple in storage.read_run(branch.run):
+                        for outer_tuple in outer_tuples:
+                            self._match(
+                                outer_tuple, inner_tuple, counters, pairs
+                            )
+                    branch = branch.right
+                node = node.down
+
+        details = {
+            "k": k_inner if k_inner == k_outer else (k_outer, k_inner),
+            "granule_duration_outer": d_r,
+            "granule_duration_inner": d_s,
+            "outer_partitions": outer_list.partition_count,
+            "inner_partitions": inner_list.partition_count,
+            "self_adjusting": derivation is not None,
+        }
+        if derivation is not None:
+            details["k_derivation_steps"] = derivation.steps
+            details["k_oscillated"] = derivation.oscillated
+        return JoinResult(
+            algorithm=self.name,
+            pairs=pairs,
+            counters=counters,
+            details=details,
+        )

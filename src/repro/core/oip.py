@@ -1,0 +1,169 @@
+"""Overlap Interval Partitioning — configuration and partition math.
+
+Implements Section 4.1 of the paper:
+
+* :class:`OIPConfiguration` — Definition 1: the triple ``(k, d, o)`` with
+  granule duration ``d = ceil(|U| / k)`` and origin ``o = US``.
+* Partition assignment — Definition 2: tuple ``r`` goes to partition
+  ``p_{i,j}`` with ``i = floor((r.TS - o) / d)`` and
+  ``j = floor((r.TE - o) / d)``.
+* Relevant partitions — Lemma 1: a query interval ``Q`` with start index
+  ``s`` and end index ``e`` can only find overlapping tuples in partitions
+  with ``j >= s`` and ``i <= e``.
+* The counting results: Proposition 1 (``k(k+1)/2`` possible partitions),
+  Lemma 2 (constant clustering guarantee ``|p.T| - |r.T| < 2d``) and
+  Lemma 3 (upper bound on *used* partitions under lazy partitioning).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+from .interval import Interval
+from .relation import TemporalRelation, TemporalTuple
+
+__all__ = [
+    "OIPConfiguration",
+    "possible_partition_count",
+    "used_partition_bound",
+    "tightening_factor",
+]
+
+
+@dataclass(frozen=True)
+class OIPConfiguration:
+    """An OIP configuration ``(k, d, o)`` (Definition 1).
+
+    ``k`` is the number of granules, ``d`` the duration of each granule and
+    ``o`` the start point of the partitioned time range.  The configuration
+    is all that is needed to map tuples and query intervals to partition
+    indices; it never materialises partitions itself.
+    """
+
+    k: int
+    d: int
+    o: int
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError(f"granule count k must be >= 1, got {self.k}")
+        if self.d < 1:
+            raise ValueError(f"granule duration d must be >= 1, got {self.d}")
+
+    @classmethod
+    def for_time_range(cls, time_range: Interval, k: int) -> "OIPConfiguration":
+        """Definition 1: ``d = ceil(|U| / k)``, ``o = US``."""
+        if k < 1:
+            raise ValueError(f"granule count k must be >= 1, got {k}")
+        d = -(-time_range.duration // k)
+        return cls(k=k, d=d, o=time_range.start)
+
+    @classmethod
+    def for_relation(cls, relation: TemporalRelation, k: int) -> "OIPConfiguration":
+        """Configuration over the relation's time range ``U``."""
+        return cls.for_time_range(relation.time_range, k)
+
+    # -- partition assignment (Definition 2) --------------------------------
+
+    def granule_index(self, point: int) -> int:
+        """``floor((x - o) / d)`` — the granule a time point falls in."""
+        return (point - self.o) // self.d
+
+    def assign(self, tup: TemporalTuple) -> Tuple[int, int]:
+        """Partition indices ``(i, j)`` of *tup* per Definition 2."""
+        return (self.granule_index(tup.start), self.granule_index(tup.end))
+
+    def assign_interval(self, interval: Interval) -> Tuple[int, int]:
+        """Partition indices of an interval (used by the analysis code)."""
+        return (
+            self.granule_index(interval.start),
+            self.granule_index(interval.end),
+        )
+
+    def partition_interval(self, i: int, j: int) -> Interval:
+        """Partition interval ``p_{i,j}.T = [o + i*d, o + (j+1)*d - 1]``."""
+        if not 0 <= i <= j:
+            raise ValueError(f"invalid partition indices ({i}, {j})")
+        return Interval(self.o + i * self.d, self.o + (j + 1) * self.d - 1)
+
+    # -- relevant partitions (Lemma 1) ----------------------------------------
+
+    def query_indices(self, query: Interval) -> Tuple[int, int]:
+        """Start index ``s = floor((QS - o)/d)`` and end index
+        ``e = floor((QE - o)/d)`` of a query interval."""
+        return (
+            self.granule_index(query.start),
+            self.granule_index(query.end),
+        )
+
+    def is_relevant(self, i: int, j: int, s: int, e: int) -> bool:
+        """Lemma 1: partition ``p_{i,j}`` is relevant for query indices
+        ``(s, e)`` iff ``i <= e`` and ``j >= s``."""
+        return i <= e and j >= s
+
+    # -- derived quantities -------------------------------------------------------
+
+    @property
+    def time_range(self) -> Interval:
+        """The full partitioned range ``[o, o + k*d - 1]``.
+
+        Note this may extend past ``UE`` because ``d`` is rounded up.
+        """
+        return Interval(self.o, self.o + self.k * self.d - 1)
+
+    def clustering_slack(self, tup: TemporalTuple) -> int:
+        """``|p.T| - |r.T|`` for the partition *tup* is assigned to.
+
+        Lemma 2 guarantees this is ``< 2d`` for every tuple inside the
+        configured range.
+        """
+        i, j = self.assign(tup)
+        return self.partition_interval(i, j).duration - tup.duration
+
+    def covers(self, tup: TemporalTuple) -> bool:
+        """True iff the tuple lies inside the partitioned time range."""
+        rng = self.time_range
+        return rng.start <= tup.start and tup.end <= rng.end
+
+
+def possible_partition_count(k: int) -> int:
+    """Proposition 1: the number of possible partitions is ``(k^2 + k)/2``."""
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    return (k * k + k) // 2
+
+
+def used_partition_bound(k: int, duration_fraction: float, cardinality: int) -> int:
+    """Lemma 3: upper bound on the number of non-empty partitions.
+
+    With tuple durations at most ``lambda`` (as a fraction of the time
+    range), tuples span at most ``ceil(lambda * k)`` granules and, by the
+    clustering guarantee, the longest used partition spans at most
+    ``ceil(lambda * k) + 1`` granules.  The bound is additionally capped by
+    the relation cardinality ``n`` since empty partitions are never created.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if cardinality < 0:
+        raise ValueError(f"cardinality must be >= 0, got {cardinality}")
+    g = math.ceil(duration_fraction * k)
+    # The paper's k*g + k - g^2/2 - g/2 equals sum_{x=0}^{g} (k - x)
+    # = k*(g + 1) - g*(g + 1)/2; g*(g + 1) is even, so this is exact.
+    structural = k * (g + 1) - (g * (g + 1)) // 2
+    return min(structural, cardinality)
+
+
+def tightening_factor(k: int, duration_fraction: float, cardinality: int) -> float:
+    """``tau``: used partitions (Lemma 3) over possible partitions
+    (Proposition 1); satisfies ``0 < tau <= 1``."""
+    possible = possible_partition_count(k)
+    if possible == 0:
+        return 1.0
+    used = used_partition_bound(k, duration_fraction, cardinality)
+    if used <= 0:
+        # An empty relation uses no partitions; treat tau as its supremum
+        # so cost formulas remain well defined.
+        return 1.0 / possible
+    return min(used / possible, 1.0)

@@ -1,0 +1,180 @@
+"""Distribution-aware tightening statistics — the paper's third
+future-work item.
+
+    "we have planned to develop statistics to tighten k not only based
+     on the maximum duration of tuples, but also on the data
+     distribution" (Section 8).
+
+Lemma 3 bounds the number of used partitions from the *maximum* tuple
+duration alone: every partition length up to ``ceil(lambda k) + 1``
+granules is assumed usable.  When durations are skewed (a few long
+outliers over a mass of short tuples — exactly the real datasets of
+Table 2), that bound is far too pessimistic: it forces a large
+``|p_r|`` estimate and a small tightening factor denominator, and the
+optimiser under- or over-shoots k.
+
+:class:`DurationHistogram` keeps per-granule-span tuple counts and
+estimates the number of non-empty partitions *per span*: tuples that
+span ``g`` or ``g+1`` granules (the two spans a duration can map to,
+by Lemma 2) fall into one of the ``k - g`` partitions of that span, and
+with ``m`` tuples thrown uniformly into ``c`` cells the expected number
+of occupied cells is ``c * (1 - (1 - 1/c)^m)``.  Summing over spans
+gives an expected used-partition count that honours the whole duration
+distribution, not just its maximum.
+
+:class:`HistogramCostModel` plugs the estimate into the Section 6.2
+optimiser; the ablation bench compares the derived k and the realised
+partition statistics against the Lemma 3 baseline on skewed data.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..storage.metrics import CostWeights
+from .granules import JoinCostModel
+from .oip import possible_partition_count
+from .relation import TemporalRelation
+
+__all__ = ["DurationHistogram", "HistogramCostModel", "histogram_cost_model"]
+
+
+@dataclass(frozen=True)
+class DurationHistogram:
+    """Tuple counts bucketed by duration, plus the time-range size.
+
+    Buckets are exact durations for small values and exponentially
+    growing ranges beyond, which keeps the histogram tiny even for the
+    Webkit-scale domains while preserving the short-duration resolution
+    that matters for partition-span estimates.
+    """
+
+    time_range_duration: int
+    #: bucket upper bounds (inclusive), strictly increasing
+    bounds: "tuple[int, ...]"
+    #: tuple count per bucket
+    counts: "tuple[int, ...]"
+
+    @classmethod
+    def from_relation(
+        cls, relation: TemporalRelation, exact_up_to: int = 16
+    ) -> "DurationHistogram":
+        """Build the histogram: exact buckets for durations up to
+        *exact_up_to*, then doubling ranges."""
+        if relation.is_empty:
+            return cls(time_range_duration=1, bounds=(1,), counts=(0,))
+        span = relation.time_range_duration
+        bounds: List[int] = list(range(1, min(exact_up_to, span) + 1))
+        bound = bounds[-1]
+        while bound < span:
+            bound = min(bound * 2, span)
+            bounds.append(bound)
+        counts = [0] * len(bounds)
+        for tup in relation:
+            index = _bucket_index(bounds, tup.duration)
+            counts[index] += 1
+        return cls(
+            time_range_duration=span,
+            bounds=tuple(bounds),
+            counts=tuple(counts),
+        )
+
+    @property
+    def cardinality(self) -> int:
+        return sum(self.counts)
+
+    def span_counts(self, k: int, granule_duration: int) -> Dict[int, int]:
+        """Tuple counts per partition span (in granules) for a
+        configuration ``(k, d)``.
+
+        A tuple of duration ``l`` spans between ``ceil(l / d)`` and
+        ``ceil(l / d) + 1`` granules depending on alignment; we charge
+        the longer span (conservative, like Lemma 3 but per bucket).
+        """
+        spans: Dict[int, int] = {}
+        for bound, count in zip(self.bounds, self.counts):
+            if count == 0:
+                continue
+            span = min(math.ceil(bound / granule_duration) + 1, k)
+            spans[span] = spans.get(span, 0) + count
+        return spans
+
+    def expected_used_partitions(self, k: int, granule_duration: int) -> int:
+        """Expected non-empty partitions for ``(k, d)`` under a
+        uniform-position assumption per span class."""
+        expected = 0.0
+        for span, count in self.span_counts(k, granule_duration).items():
+            cells = max(k - span + 1, 1)
+            expected += cells * (1.0 - (1.0 - 1.0 / cells) ** count)
+        return max(1, min(round(expected), self.cardinality))
+
+
+def _bucket_index(bounds: "tuple[int, ...] | List[int]", value: int) -> int:
+    import bisect
+
+    return min(bisect.bisect_left(bounds, value), len(bounds) - 1)
+
+
+class HistogramCostModel(JoinCostModel):
+    """Section 6.2 cost model with histogram-based partition estimates.
+
+    ``outer_partitions`` and ``tightening`` use
+    :meth:`DurationHistogram.expected_used_partitions` instead of the
+    Lemma 3 maximum-duration bound.  On skewed data the estimates are
+    much tighter (smaller ``|p_r|``, smaller ``tau``), which lets the
+    optimiser pick a larger k and cut false hits further.
+    """
+
+    def __init__(
+        self,
+        outer_histogram: DurationHistogram,
+        inner_histogram: DurationHistogram,
+        tuples_per_block: int = 14,
+        weights: CostWeights = CostWeights.main_memory(),
+    ) -> None:
+        super().__init__(
+            outer_cardinality=outer_histogram.cardinality,
+            inner_cardinality=inner_histogram.cardinality,
+            outer_duration_fraction=1.0,  # unused by the overrides
+            inner_duration_fraction=1.0,
+            tuples_per_block=tuples_per_block,
+            weights=weights,
+        )
+        object.__setattr__(self, "outer_histogram", outer_histogram)
+        object.__setattr__(self, "inner_histogram", inner_histogram)
+
+    def _granule_duration(self, histogram: DurationHistogram, k: int) -> int:
+        return max(1, math.ceil(histogram.time_range_duration / k))
+
+    def outer_partitions(self, k: int) -> int:
+        histogram: DurationHistogram = self.outer_histogram
+        return histogram.expected_used_partitions(
+            k, self._granule_duration(histogram, k)
+        )
+
+    def tightening(self, k: int) -> float:
+        histogram: DurationHistogram = self.inner_histogram
+        used = histogram.expected_used_partitions(
+            k, self._granule_duration(histogram, k)
+        )
+        possible = possible_partition_count(k)
+        if possible == 0:
+            return 1.0
+        return min(max(used, 1) / possible, 1.0)
+
+
+def histogram_cost_model(
+    outer: TemporalRelation,
+    inner: TemporalRelation,
+    tuples_per_block: int = 14,
+    weights: Optional[CostWeights] = None,
+) -> HistogramCostModel:
+    """Convenience constructor from two relations."""
+    return HistogramCostModel(
+        outer_histogram=DurationHistogram.from_relation(outer),
+        inner_histogram=DurationHistogram.from_relation(inner),
+        tuples_per_block=tuples_per_block,
+        weights=weights if weights is not None else CostWeights.main_memory(),
+    )

@@ -1,0 +1,56 @@
+"""Query surface: temporal predicates, composable operators and a
+statistics-driven join planner (the "viable option for the optimizer"
+the paper's introduction motivates)."""
+
+from .operators import (
+    JoinedRow,
+    OverlapJoinOperator,
+    ScanOperator,
+    SelectOperator,
+    TimeSliceOperator,
+)
+from .planner import JoinPlan, JoinPlanner
+from .predicates import (
+    after,
+    allen_relation,
+    before,
+    contains,
+    during,
+    equals,
+    finished_by,
+    finishes,
+    meets,
+    met_by,
+    overlap_duration,
+    overlap_interval,
+    overlaps,
+    overlaps_at_least,
+    started_by,
+    starts,
+)
+
+__all__ = [
+    "ScanOperator",
+    "SelectOperator",
+    "TimeSliceOperator",
+    "OverlapJoinOperator",
+    "JoinedRow",
+    "JoinPlan",
+    "JoinPlanner",
+    "overlaps",
+    "overlap_interval",
+    "overlap_duration",
+    "overlaps_at_least",
+    "before",
+    "after",
+    "meets",
+    "met_by",
+    "starts",
+    "started_by",
+    "finishes",
+    "finished_by",
+    "during",
+    "contains",
+    "equals",
+    "allen_relation",
+]

@@ -1,0 +1,140 @@
+"""Composable query operators over temporal relations.
+
+A thin, eager operator algebra so applications can express the paper's
+motivating queries — "overlap join, then refine" — without touching join
+internals::
+
+    query = (
+        OverlapJoinOperator(ScanOperator(employees), ScanOperator(projects))
+        .refine(overlaps_at_least(5))
+    )
+    for employee, project, shared in query.execute():
+        ...
+
+Operators evaluate to plain Python lists; this is a reproduction harness,
+not a volcano engine, but the shapes (scan -> filter -> join -> refine)
+mirror how the OIPJOIN would slot into an optimizer as "an efficient
+option if other predicates are absent, exhibit a poor selectivity, or
+must be evaluated after the overlapping interval has been computed"
+(Section 1).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from ..core.base import JoinResult, OverlapJoinAlgorithm
+from ..core.interval import Interval
+from ..core.join import OIPJoin
+from ..core.relation import TemporalRelation, TemporalTuple
+from .predicates import PairPredicate, overlap_interval
+
+__all__ = [
+    "ScanOperator",
+    "SelectOperator",
+    "TimeSliceOperator",
+    "OverlapJoinOperator",
+    "JoinedRow",
+]
+
+#: One refined join row: outer tuple, inner tuple, overlapping interval.
+JoinedRow = Tuple[TemporalTuple, TemporalTuple, Interval]
+
+
+class ScanOperator:
+    """Leaf operator: yields a relation unchanged."""
+
+    def __init__(self, relation: TemporalRelation) -> None:
+        self.relation = relation
+
+    def execute(self) -> TemporalRelation:
+        return self.relation
+
+    def select(
+        self, predicate: Callable[[TemporalTuple], bool]
+    ) -> "SelectOperator":
+        return SelectOperator(self, predicate)
+
+    def time_slice(self, window: Interval) -> "TimeSliceOperator":
+        return TimeSliceOperator(self, window)
+
+
+class SelectOperator:
+    """Filter on the explicit attributes or the interval."""
+
+    def __init__(
+        self,
+        source: "ScanOperator | SelectOperator | TimeSliceOperator",
+        predicate: Callable[[TemporalTuple], bool],
+    ) -> None:
+        self.source = source
+        self.predicate = predicate
+
+    def execute(self) -> TemporalRelation:
+        relation = self.source.execute()
+        return relation.filter(self.predicate)
+
+    def select(
+        self, predicate: Callable[[TemporalTuple], bool]
+    ) -> "SelectOperator":
+        return SelectOperator(self, predicate)
+
+
+class TimeSliceOperator:
+    """Keep only tuples whose valid time intersects a window."""
+
+    def __init__(
+        self,
+        source: "ScanOperator | SelectOperator | TimeSliceOperator",
+        window: Interval,
+    ) -> None:
+        self.source = source
+        self.window = window
+
+    def execute(self) -> TemporalRelation:
+        window = self.window
+        return self.source.execute().filter(
+            lambda tup: tup.overlaps_interval(window)
+        )
+
+
+class OverlapJoinOperator:
+    """Overlap join node; the join algorithm is injectable (defaults to
+    the self-adjusting OIPJOIN) so the planner can swap it."""
+
+    def __init__(
+        self,
+        outer: "ScanOperator | SelectOperator | TimeSliceOperator",
+        inner: "ScanOperator | SelectOperator | TimeSliceOperator",
+        algorithm: Optional[OverlapJoinAlgorithm] = None,
+    ) -> None:
+        self.outer = outer
+        self.inner = inner
+        self.algorithm = algorithm if algorithm is not None else OIPJoin()
+        self._refinements: List[PairPredicate] = []
+        self.last_result: Optional[JoinResult] = None
+
+    def refine(self, predicate: PairPredicate) -> "OverlapJoinOperator":
+        """Add a post-join predicate over the matched pairs (evaluated
+        after the overlapping interval exists, as in the Section 1
+        employee/project example)."""
+        self._refinements.append(predicate)
+        return self
+
+    def execute(self) -> List[JoinedRow]:
+        """Run the join and the refinements; returns rows of
+        ``(outer tuple, inner tuple, overlapping interval)``."""
+        result = self.algorithm.join(
+            self.outer.execute(), self.inner.execute()
+        )
+        self.last_result = result
+        rows: List[JoinedRow] = []
+        for outer_tuple, inner_tuple in result.pairs:
+            if all(
+                predicate(outer_tuple, inner_tuple)
+                for predicate in self._refinements
+            ):
+                shared = overlap_interval(outer_tuple, inner_tuple)
+                assert shared is not None  # join guarantees overlap
+                rows.append((outer_tuple, inner_tuple, shared))
+        return rows

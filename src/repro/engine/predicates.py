@@ -1,0 +1,162 @@
+"""Temporal predicates over intervals and tuples.
+
+The overlap join computes ``r.T cap s.T``; downstream predicates — the
+paper's motivating example filters employee-project pairs by "overlap of
+at least 5 months" *after* the overlapping interval has been computed —
+are expressed with the helpers here.  Allen's thirteen interval relations
+are included because a temporal query surface without them would not be
+adoptable, and they are all cheap refinements over an overlap-join
+result.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..core.interval import Interval
+from ..core.relation import TemporalTuple
+
+__all__ = [
+    "overlaps",
+    "overlap_interval",
+    "overlap_duration",
+    "overlaps_at_least",
+    "before",
+    "after",
+    "meets",
+    "met_by",
+    "starts",
+    "started_by",
+    "finishes",
+    "finished_by",
+    "during",
+    "contains",
+    "equals",
+    "allen_relation",
+]
+
+PairPredicate = Callable[[TemporalTuple, TemporalTuple], bool]
+
+
+def overlaps(left: TemporalTuple, right: TemporalTuple) -> bool:
+    """The join predicate: the valid times intersect."""
+    return left.start <= right.end and right.start <= left.end
+
+
+def overlap_interval(
+    left: TemporalTuple, right: TemporalTuple
+) -> Optional[Interval]:
+    """The overlapping interval ``r.T cap s.T``, or ``None``."""
+    if not overlaps(left, right):
+        return None
+    return Interval(max(left.start, right.start), min(left.end, right.end))
+
+
+def overlap_duration(left: TemporalTuple, right: TemporalTuple) -> int:
+    """Number of shared time points (0 when disjoint)."""
+    shared = min(left.end, right.end) - max(left.start, right.start) + 1
+    return max(0, shared)
+
+
+def overlaps_at_least(minimum: int) -> PairPredicate:
+    """Predicate factory: overlap of at least *minimum* time points —
+    the paper's "employed during at least 5 months of a project"."""
+    if minimum < 1:
+        raise ValueError(f"minimum overlap must be >= 1, got {minimum}")
+
+    def predicate(left: TemporalTuple, right: TemporalTuple) -> bool:
+        return overlap_duration(left, right) >= minimum
+
+    return predicate
+
+
+# -- Allen's interval relations -------------------------------------------------
+
+
+def before(left: TemporalTuple, right: TemporalTuple) -> bool:
+    """Allen *before*: left ends strictly before right starts (gap)."""
+    return left.end + 1 < right.start
+
+
+def after(left: TemporalTuple, right: TemporalTuple) -> bool:
+    """Allen *after*: inverse of :func:`before`."""
+    return before(right, left)
+
+
+def meets(left: TemporalTuple, right: TemporalTuple) -> bool:
+    """Allen *meets*: adjacent, no gap, no shared point."""
+    return left.end + 1 == right.start
+
+
+def met_by(left: TemporalTuple, right: TemporalTuple) -> bool:
+    """Allen *met-by*: inverse of :func:`meets`."""
+    return meets(right, left)
+
+
+def starts(left: TemporalTuple, right: TemporalTuple) -> bool:
+    """Allen *starts*: same start, left ends earlier."""
+    return left.start == right.start and left.end < right.end
+
+
+def started_by(left: TemporalTuple, right: TemporalTuple) -> bool:
+    """Allen *started-by*: inverse of :func:`starts`."""
+    return starts(right, left)
+
+
+def finishes(left: TemporalTuple, right: TemporalTuple) -> bool:
+    """Allen *finishes*: same end, left starts later."""
+    return left.end == right.end and left.start > right.start
+
+
+def finished_by(left: TemporalTuple, right: TemporalTuple) -> bool:
+    """Allen *finished-by*: inverse of :func:`finishes`."""
+    return finishes(right, left)
+
+
+def during(left: TemporalTuple, right: TemporalTuple) -> bool:
+    """Allen *during*: left strictly inside right."""
+    return left.start > right.start and left.end < right.end
+
+
+def contains(left: TemporalTuple, right: TemporalTuple) -> bool:
+    """Allen *contains*: inverse of :func:`during`."""
+    return during(right, left)
+
+
+def equals(left: TemporalTuple, right: TemporalTuple) -> bool:
+    """Allen *equals*: identical intervals."""
+    return left.start == right.start and left.end == right.end
+
+
+def allen_relation(left: TemporalTuple, right: TemporalTuple) -> str:
+    """Name of the Allen relation holding between the two intervals.
+
+    Exactly one of the thirteen relations holds for any pair; the two
+    partial-overlap cases are reported as ``"overlaps"`` and
+    ``"overlapped_by"``.
+    """
+    if before(left, right):
+        return "before"
+    if after(left, right):
+        return "after"
+    if meets(left, right):
+        return "meets"
+    if met_by(left, right):
+        return "met_by"
+    if equals(left, right):
+        return "equals"
+    if starts(left, right):
+        return "starts"
+    if started_by(left, right):
+        return "started_by"
+    if finishes(left, right):
+        return "finishes"
+    if finished_by(left, right):
+        return "finished_by"
+    if during(left, right):
+        return "during"
+    if contains(left, right):
+        return "contains"
+    if left.start < right.start:
+        return "overlaps"
+    return "overlapped_by"

@@ -1,0 +1,38 @@
+"""Block-storage substrate: devices, blocks, buffer pool and cost counters.
+
+This package is the measured "hardware" of the reproduction.  Every join
+algorithm stores its partitions/nodes in :class:`~repro.storage.block.Block`
+runs via a :class:`~repro.storage.manager.StorageManager` and pays for reads
+through an optional :class:`~repro.storage.buffer.BufferPool`, so the block
+IOs, buffer hits and sequential/random split the paper plots fall out of the
+same code path the join executes.
+"""
+
+from .block import Block, BlockRun
+from .buffer import (
+    BufferPool,
+    ClockPolicy,
+    FIFOPolicy,
+    LRUPolicy,
+    ReplacementPolicy,
+    UnboundedBufferPool,
+)
+from .device import TUPLE_SIZE_BYTES, DeviceProfile
+from .manager import StorageManager
+from .metrics import CostCounters, CostWeights
+
+__all__ = [
+    "Block",
+    "BlockRun",
+    "BufferPool",
+    "ClockPolicy",
+    "FIFOPolicy",
+    "LRUPolicy",
+    "ReplacementPolicy",
+    "UnboundedBufferPool",
+    "DeviceProfile",
+    "TUPLE_SIZE_BYTES",
+    "StorageManager",
+    "CostCounters",
+    "CostWeights",
+]

@@ -1,0 +1,110 @@
+"""Fixed-capacity storage blocks.
+
+Tuples are stored in blocks of a fixed byte size; a block holds at most
+``b = block_size // tuple_size`` tuples.  Partitions and index nodes own
+*runs* of blocks; the block ids double as the device addresses the buffer
+pool caches, and consecutive ids model physically contiguous storage (the
+property Algorithm 1's sorting buys the OIPJOIN).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence
+
+from ..core.relation import TemporalTuple
+
+__all__ = ["Block", "BlockRun"]
+
+
+class Block:
+    """One storage block holding up to *capacity* tuples."""
+
+    __slots__ = ("block_id", "capacity", "_tuples")
+
+    def __init__(self, block_id: int, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"block capacity must be >= 1, got {capacity}")
+        self.block_id = block_id
+        self.capacity = capacity
+        self._tuples: List[TemporalTuple] = []
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __iter__(self) -> Iterator[TemporalTuple]:
+        return iter(self._tuples)
+
+    def __repr__(self) -> str:
+        return (
+            f"Block(id={self.block_id}, {len(self._tuples)}/{self.capacity})"
+        )
+
+    @property
+    def tuples(self) -> Sequence[TemporalTuple]:
+        return self._tuples
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._tuples) >= self.capacity
+
+    @property
+    def free_slots(self) -> int:
+        return self.capacity - len(self._tuples)
+
+    def append(self, tup: TemporalTuple) -> None:
+        """Add *tup*; raises :class:`OverflowError` when the block is full."""
+        if self.is_full:
+            raise OverflowError(f"block {self.block_id} is full")
+        self._tuples.append(tup)
+
+
+class BlockRun:
+    """A sequence of blocks owned by one partition or index node.
+
+    Blocks are appended in allocation order; when the run was allocated
+    from consecutive block ids, reading it is sequential IO.
+    """
+
+    __slots__ = ("_blocks",)
+
+    def __init__(self) -> None:
+        self._blocks: List[Block] = []
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __iter__(self) -> Iterator[Block]:
+        return iter(self._blocks)
+
+    def __repr__(self) -> str:
+        return f"BlockRun(blocks={len(self._blocks)}, tuples={self.tuple_count})"
+
+    @property
+    def blocks(self) -> Sequence[Block]:
+        return self._blocks
+
+    @property
+    def block_ids(self) -> List[int]:
+        return [block.block_id for block in self._blocks]
+
+    @property
+    def tuple_count(self) -> int:
+        return sum(len(block) for block in self._blocks)
+
+    @property
+    def last_block(self) -> Block:
+        if not self._blocks:
+            raise IndexError("block run is empty")
+        return self._blocks[-1]
+
+    @property
+    def has_open_block(self) -> bool:
+        """True when the last block still has free slots."""
+        return bool(self._blocks) and not self._blocks[-1].is_full
+
+    def add_block(self, block: Block) -> None:
+        self._blocks.append(block)
+
+    def iter_tuples(self) -> Iterator[TemporalTuple]:
+        for block in self._blocks:
+            yield from block

@@ -1,0 +1,206 @@
+"""Buffer pool with pluggable replacement policies.
+
+Figure 11 of the paper contrasts a 64-GB server, where "a large number of
+disk blocks is cached by the operating system", with a 4-GB server where
+they are not.  We model that OS page cache with a bounded buffer pool in
+front of the device: a read request for a cached block id is a buffer hit
+(no IO charged); a miss charges one block read — sequential when the id
+directly follows the previously *device-read* id, random otherwise.
+
+LRU is the default policy; FIFO and CLOCK are provided for the
+buffer-replacement ablation the paper's future-work section mentions.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterable, List, Optional
+
+from .metrics import CostCounters
+
+__all__ = [
+    "ReplacementPolicy",
+    "LRUPolicy",
+    "FIFOPolicy",
+    "ClockPolicy",
+    "BufferPool",
+    "UnboundedBufferPool",
+]
+
+
+class ReplacementPolicy:
+    """Interface of a buffer replacement policy over block ids."""
+
+    def record_access(self, block_id: int) -> None:
+        """Note that *block_id* was requested (hit or newly admitted)."""
+        raise NotImplementedError
+
+    def admit(self, block_id: int) -> None:
+        """Note that *block_id* entered the pool."""
+        raise NotImplementedError
+
+    def evict(self) -> int:
+        """Choose and forget the block id to evict."""
+        raise NotImplementedError
+
+    def discard(self, block_id: int) -> None:
+        """Forget *block_id* without counting it as an eviction decision."""
+        raise NotImplementedError
+
+
+class LRUPolicy(ReplacementPolicy):
+    """Least-recently-used eviction."""
+
+    def __init__(self) -> None:
+        self._order: "OrderedDict[int, None]" = OrderedDict()
+
+    def record_access(self, block_id: int) -> None:
+        if block_id in self._order:
+            self._order.move_to_end(block_id)
+
+    def admit(self, block_id: int) -> None:
+        self._order[block_id] = None
+
+    def evict(self) -> int:
+        block_id, _ = self._order.popitem(last=False)
+        return block_id
+
+    def discard(self, block_id: int) -> None:
+        self._order.pop(block_id, None)
+
+
+class FIFOPolicy(ReplacementPolicy):
+    """First-in-first-out eviction; accesses do not refresh residency."""
+
+    def __init__(self) -> None:
+        self._order: "OrderedDict[int, None]" = OrderedDict()
+
+    def record_access(self, block_id: int) -> None:
+        pass
+
+    def admit(self, block_id: int) -> None:
+        self._order[block_id] = None
+
+    def evict(self) -> int:
+        block_id, _ = self._order.popitem(last=False)
+        return block_id
+
+    def discard(self, block_id: int) -> None:
+        self._order.pop(block_id, None)
+
+
+class ClockPolicy(ReplacementPolicy):
+    """Second-chance (CLOCK) eviction."""
+
+    def __init__(self) -> None:
+        self._ring: List[int] = []
+        self._referenced: Dict[int, bool] = {}
+        self._hand = 0
+
+    def record_access(self, block_id: int) -> None:
+        if block_id in self._referenced:
+            self._referenced[block_id] = True
+
+    def admit(self, block_id: int) -> None:
+        self._ring.append(block_id)
+        self._referenced[block_id] = False
+
+    def evict(self) -> int:
+        while True:
+            if self._hand >= len(self._ring):
+                self._hand = 0
+            block_id = self._ring[self._hand]
+            if self._referenced.get(block_id, False):
+                self._referenced[block_id] = False
+                self._hand += 1
+            else:
+                self._ring.pop(self._hand)
+                del self._referenced[block_id]
+                return block_id
+
+    def discard(self, block_id: int) -> None:
+        if block_id in self._referenced:
+            self._ring.remove(block_id)
+            del self._referenced[block_id]
+            self._hand = 0
+
+
+class BufferPool:
+    """Bounded cache of block ids in front of the storage device.
+
+    The pool does not hold block *contents* — the simulation keeps tuples in
+    Python objects regardless — it decides which read requests are charged
+    as device IOs.
+    """
+
+    def __init__(
+        self,
+        capacity_blocks: int,
+        policy: Optional[ReplacementPolicy] = None,
+    ) -> None:
+        if capacity_blocks < 1:
+            raise ValueError(
+                f"buffer capacity must be >= 1 block, got {capacity_blocks}"
+            )
+        self.capacity_blocks = capacity_blocks
+        self._policy = policy if policy is not None else LRUPolicy()
+        self._resident: set = set()
+        self._last_device_read: Optional[int] = None
+
+    def __contains__(self, block_id: int) -> bool:
+        return block_id in self._resident
+
+    def __len__(self) -> int:
+        return len(self._resident)
+
+    @property
+    def resident_count(self) -> int:
+        return len(self._resident)
+
+    def read(self, block_id: int, counters: CostCounters) -> None:
+        """Request *block_id*, charging a hit or a device read."""
+        if block_id in self._resident:
+            counters.charge_buffer_hit()
+            self._policy.record_access(block_id)
+            return
+        sequential = (
+            self._last_device_read is not None
+            and block_id == self._last_device_read + 1
+        )
+        counters.charge_read(sequential=sequential)
+        self._last_device_read = block_id
+        self._admit(block_id)
+
+    def read_run(self, block_ids: Iterable[int], counters: CostCounters) -> None:
+        """Request a run of block ids in order."""
+        for block_id in block_ids:
+            self.read(block_id, counters)
+
+    def _admit(self, block_id: int) -> None:
+        if len(self._resident) >= self.capacity_blocks:
+            victim = self._policy.evict()
+            self._resident.discard(victim)
+        self._resident.add(block_id)
+        self._policy.admit(block_id)
+
+    def clear(self) -> None:
+        """Drop all residency state (a cold cache)."""
+        for block_id in list(self._resident):
+            self._policy.discard(block_id)
+        self._resident.clear()
+        self._last_device_read = None
+
+
+class UnboundedBufferPool(BufferPool):
+    """A pool that never evicts — models the 64-GB server where the whole
+    working set stays cached after the first read."""
+
+    def __init__(self) -> None:
+        super().__init__(capacity_blocks=1)
+
+    def _admit(self, block_id: int) -> None:
+        self._resident.add(block_id)
+
+    def clear(self) -> None:
+        self._resident.clear()
+        self._last_device_read = None

@@ -1,0 +1,90 @@
+"""Storage device profiles (paper Section 7 "Setup").
+
+The paper runs every algorithm against two storage configurations:
+
+* **main memory** — 512-byte blocks ("gives the best performance on our
+  machine"), block fetch ~20x the cost of a CPU comparison, and
+* **disk** — 4-KB physical blocks, IO ~200x the cost of a comparison,
+  where *sequential* access matters: the Figure 11(d) discussion attributes
+  the loose quadtree's collapse on the small-memory server to seek time.
+
+A :class:`DeviceProfile` bundles block size, tuple size (the paper uses 35
+bytes throughout), the cost weights, and a seek penalty expressed as "a
+random block read costs as much as this many sequential reads".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .metrics import CostWeights
+
+__all__ = ["DeviceProfile", "TUPLE_SIZE_BYTES"]
+
+#: The fixed tuple size used in all of the paper's experiments.
+TUPLE_SIZE_BYTES = 35
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Physical parameters of the storage the relations live on."""
+
+    name: str
+    block_size_bytes: int
+    tuple_size_bytes: int = TUPLE_SIZE_BYTES
+    weights: CostWeights = CostWeights.main_memory()
+    #: A random read costs ``seek_factor`` sequential reads.  1.0 means
+    #: seeks are free (main memory); disk profiles use a larger factor.
+    seek_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.block_size_bytes < self.tuple_size_bytes:
+            raise ValueError(
+                f"block size {self.block_size_bytes} cannot hold a single "
+                f"{self.tuple_size_bytes}-byte tuple"
+            )
+        if self.seek_factor < 1.0:
+            raise ValueError(
+                f"seek factor must be >= 1.0, got {self.seek_factor}"
+            )
+
+    @property
+    def tuples_per_block(self) -> int:
+        """``b``, the number of tuples that fit in one block (paper: 14 for
+        512-byte memory blocks and 35-byte tuples)."""
+        return self.block_size_bytes // self.tuple_size_bytes
+
+    def blocks_for_tuples(self, tuple_count: int) -> int:
+        """Blocks needed to store *tuple_count* tuples contiguously."""
+        if tuple_count <= 0:
+            return 0
+        b = self.tuples_per_block
+        return (tuple_count + b - 1) // b
+
+    def io_time(self, sequential_reads: int, random_reads: int) -> float:
+        """Modelled IO time with the seek penalty applied to random reads."""
+        return self.weights.io * (
+            sequential_reads + self.seek_factor * random_reads
+        )
+
+    # -- canonical profiles -------------------------------------------------
+
+    @classmethod
+    def main_memory(cls) -> "DeviceProfile":
+        """512-byte blocks, b = 14, c_io/c_cpu = 20, no seek penalty."""
+        return cls(
+            name="main-memory",
+            block_size_bytes=512,
+            weights=CostWeights.main_memory(),
+            seek_factor=1.0,
+        )
+
+    @classmethod
+    def disk(cls, seek_factor: float = 8.0) -> "DeviceProfile":
+        """4-KB blocks, c_io/c_cpu = 200, random reads pay a seek penalty."""
+        return cls(
+            name="disk",
+            block_size_bytes=4096,
+            weights=CostWeights(cpu=0.5, io=100.0),
+            seek_factor=seek_factor,
+        )

@@ -1,0 +1,45 @@
+"""Workload generators: synthetic interval data (Section 7), synthetic
+stand-ins for the paper's real-world datasets (Table 2 / Figure 9), and
+dataset statistics."""
+
+from .realworld import (
+    DATASET_GENERATORS,
+    PAPER_DATASET_PROPERTIES,
+    PaperDatasetRow,
+    feed_standin,
+    incumbent_standin,
+    webkit_standin,
+)
+from .stats import (
+    DatasetProperties,
+    dataset_properties,
+    duration_histogram,
+    temporal_distribution,
+)
+from .synthetic import (
+    PAPER_TIME_RANGE,
+    clustered_relation,
+    long_lived_mixture,
+    point_relation,
+    scaling_pair,
+    uniform_relation,
+)
+
+__all__ = [
+    "PAPER_TIME_RANGE",
+    "uniform_relation",
+    "long_lived_mixture",
+    "point_relation",
+    "clustered_relation",
+    "scaling_pair",
+    "PAPER_DATASET_PROPERTIES",
+    "PaperDatasetRow",
+    "incumbent_standin",
+    "feed_standin",
+    "webkit_standin",
+    "DATASET_GENERATORS",
+    "DatasetProperties",
+    "dataset_properties",
+    "duration_histogram",
+    "temporal_distribution",
+]

@@ -1,0 +1,119 @@
+"""Dataset statistics: the Table 2 properties and Figure 9 distributions.
+
+Table 2 characterises each real-world dataset by cardinality, time range,
+minimum/maximum/average tuple duration and the number of distinct time
+points; Figure 9 plots, for each dataset, the number of overlapping tuple
+intervals per time point (temporal distribution) and a log-scale
+histogram of tuple durations.  This module computes all of them for any
+:class:`~repro.core.relation.TemporalRelation`, so the stand-in
+generators can be validated against the published numbers and the
+Figure 9 bench can print the same curves.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import List
+
+from ..core.relation import TemporalRelation
+
+__all__ = [
+    "DatasetProperties",
+    "dataset_properties",
+    "duration_histogram",
+    "temporal_distribution",
+]
+
+
+@dataclass(frozen=True)
+class DatasetProperties:
+    """One row of Table 2."""
+
+    name: str
+    cardinality: int
+    time_range: int
+    min_duration: int
+    max_duration: int
+    avg_duration: float
+    distinct_points: int
+
+    def as_row(self) -> List[str]:
+        """Formatted cells in Table 2's column order."""
+        return [
+            self.name,
+            f"{self.cardinality:,}",
+            f"{self.time_range:,}",
+            f"{self.min_duration:,}",
+            f"{self.max_duration:,}",
+            f"{self.avg_duration:,.0f}",
+            f"{self.distinct_points:,}",
+        ]
+
+
+def dataset_properties(relation: TemporalRelation) -> DatasetProperties:
+    """Compute the Table 2 row for *relation*."""
+    if relation.is_empty:
+        raise ValueError("cannot compute properties of an empty relation")
+    durations = [tup.duration for tup in relation]
+    distinct = set()
+    for tup in relation:
+        distinct.add(tup.start)
+        distinct.add(tup.end)
+    return DatasetProperties(
+        name=relation.name,
+        cardinality=relation.cardinality,
+        time_range=relation.time_range_duration,
+        min_duration=min(durations),
+        max_duration=max(durations),
+        avg_duration=sum(durations) / len(durations),
+        distinct_points=len(distinct),
+    )
+
+
+def duration_histogram(
+    relation: TemporalRelation, bins: int = 20
+) -> List[float]:
+    """Figure 9 (right column): percentage of tuples per duration bin.
+
+    Bin ``i`` covers durations in ``(i, i+1]`` twentieths (by default) of
+    the time range; the values sum to 100.
+    """
+    if bins < 1:
+        raise ValueError(f"bins must be >= 1, got {bins}")
+    if relation.is_empty:
+        return [0.0] * bins
+    span = relation.time_range_duration
+    counts = [0] * bins
+    for tup in relation:
+        fraction = tup.duration / span
+        index = min(bins - 1, int(fraction * bins))
+        counts[index] += 1
+    return [100.0 * count / relation.cardinality for count in counts]
+
+
+def temporal_distribution(
+    relation: TemporalRelation, sample_points: int = 50
+) -> List[float]:
+    """Figure 9 (left column): percentage of tuples whose interval covers
+    each of ``sample_points`` evenly spaced time points."""
+    if sample_points < 1:
+        raise ValueError(
+            f"sample points must be >= 1, got {sample_points}"
+        )
+    if relation.is_empty:
+        return [0.0] * sample_points
+    time_range = relation.time_range
+    step = max(1, time_range.duration // sample_points)
+    points = [
+        min(time_range.start + index * step, time_range.end)
+        for index in range(sample_points)
+    ]
+    starts = sorted(tup.start for tup in relation)
+    ends = sorted(tup.end for tup in relation)
+    values = []
+    for point in points:
+        started = bisect.bisect_right(starts, point)
+        ended = bisect.bisect_left(ends, point)
+        values.append(100.0 * (started - ended) / relation.cardinality)
+    return values

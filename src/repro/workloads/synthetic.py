@@ -1,0 +1,180 @@
+"""Synthetic workload generators (paper Section 7).
+
+The paper's synthetic experiments draw interval data over a time range of
+``[1, 2^24]`` with controlled duration distributions:
+
+* **long-lived mixtures** (Figure 8(a)): a share of long-lived tuples with
+  durations up to 8% of the time range (average 4%) mixed with short
+  tuples of duration up to 0.01%;
+* **maximum-duration sweeps** (Figure 8(b)): all durations uniform up to a
+  varying maximum;
+* **scaling series** (Figure 11, Table 1): growing cardinalities at fixed
+  duration profile (0.1% of the range for the disk experiment).
+
+Everything is seeded and deterministic: the same parameters always yield
+the same relation, so benchmark runs are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..core.interval import Interval
+from ..core.relation import TemporalRelation, TemporalTuple
+
+__all__ = [
+    "PAPER_TIME_RANGE",
+    "uniform_relation",
+    "long_lived_mixture",
+    "point_relation",
+    "clustered_relation",
+    "scaling_pair",
+]
+
+#: The paper's synthetic time range, [1, 2^24].
+PAPER_TIME_RANGE = Interval(1, 2**24)
+
+
+def _duration(rng: random.Random, max_duration: int) -> int:
+    return rng.randint(1, max(1, max_duration))
+
+
+def uniform_relation(
+    cardinality: int,
+    time_range: Interval = PAPER_TIME_RANGE,
+    max_duration_fraction: float = 0.001,
+    seed: int = 0,
+    name: str = "uniform",
+) -> TemporalRelation:
+    """Relation with uniform start points and durations uniform in
+    ``[1, max_duration_fraction * |U|]``, clipped to the time range."""
+    if cardinality < 0:
+        raise ValueError(f"cardinality must be >= 0, got {cardinality}")
+    if not 0.0 < max_duration_fraction <= 1.0:
+        raise ValueError(
+            "max duration fraction must be in (0, 1], got "
+            f"{max_duration_fraction}"
+        )
+    rng = random.Random(seed)
+    max_duration = max(1, int(max_duration_fraction * time_range.duration))
+    tuples: List[TemporalTuple] = []
+    for index in range(cardinality):
+        start = rng.randint(time_range.start, time_range.end)
+        end = min(start + _duration(rng, max_duration) - 1, time_range.end)
+        tuples.append(TemporalTuple(start, end, index))
+    return TemporalRelation(tuples, name=name)
+
+
+def long_lived_mixture(
+    cardinality: int,
+    long_fraction: float,
+    time_range: Interval = PAPER_TIME_RANGE,
+    long_max_fraction: float = 0.08,
+    short_max_fraction: float = 0.0001,
+    seed: int = 0,
+    name: str = "mixture",
+) -> TemporalRelation:
+    """The Figure 8(a) workload: ``long_fraction`` of the tuples are
+    long-lived (duration uniform up to ``long_max_fraction`` of the range,
+    hence averaging half of it — the paper's 8% max / 4% average), the
+    rest short-lived (up to ``short_max_fraction``)."""
+    if not 0.0 <= long_fraction <= 1.0:
+        raise ValueError(
+            f"long fraction must be in [0, 1], got {long_fraction}"
+        )
+    rng = random.Random(seed)
+    span = time_range.duration
+    long_max = max(1, int(long_max_fraction * span))
+    short_max = max(1, int(short_max_fraction * span))
+    long_count = round(cardinality * long_fraction)
+    tuples: List[TemporalTuple] = []
+    for index in range(cardinality):
+        max_duration = long_max if index < long_count else short_max
+        start = rng.randint(time_range.start, time_range.end)
+        end = min(start + _duration(rng, max_duration) - 1, time_range.end)
+        tuples.append(TemporalTuple(start, end, index))
+    rng.shuffle(tuples)
+    return TemporalRelation(tuples, name=name)
+
+
+def point_relation(
+    cardinality: int,
+    time_range: Interval = PAPER_TIME_RANGE,
+    seed: int = 0,
+    name: str = "points",
+) -> TemporalRelation:
+    """Duration-1 tuples only (the regime where the paper's summary says
+    the sort-merge join wins)."""
+    rng = random.Random(seed)
+    return TemporalRelation(
+        (
+            TemporalTuple(point, point, index)
+            for index, point in enumerate(
+                rng.randint(time_range.start, time_range.end)
+                for _ in range(cardinality)
+            )
+        ),
+        name=name,
+    )
+
+
+def clustered_relation(
+    cardinality: int,
+    time_range: Interval = PAPER_TIME_RANGE,
+    cluster_count: int = 8,
+    cluster_spread_fraction: float = 0.01,
+    max_duration_fraction: float = 0.001,
+    seed: int = 0,
+    name: str = "clustered",
+) -> TemporalRelation:
+    """Start points clustered around ``cluster_count`` centres — a skewed
+    temporal density like the real datasets' (Figure 9 left column)."""
+    if cluster_count < 1:
+        raise ValueError(f"cluster count must be >= 1, got {cluster_count}")
+    rng = random.Random(seed)
+    span = time_range.duration
+    spread = max(1, int(cluster_spread_fraction * span))
+    max_duration = max(1, int(max_duration_fraction * span))
+    centres = [
+        rng.randint(time_range.start, time_range.end)
+        for _ in range(cluster_count)
+    ]
+    tuples: List[TemporalTuple] = []
+    for index in range(cardinality):
+        centre = rng.choice(centres)
+        start = min(
+            max(time_range.start, int(rng.gauss(centre, spread))),
+            time_range.end,
+        )
+        end = min(start + _duration(rng, max_duration) - 1, time_range.end)
+        tuples.append(TemporalTuple(start, end, index))
+    return TemporalRelation(tuples, name=name)
+
+
+def scaling_pair(
+    inner_cardinality: int,
+    outer_percent: float = 1.0,
+    time_range: Interval = PAPER_TIME_RANGE,
+    max_duration_fraction: float = 0.001,
+    seed: int = 0,
+) -> "tuple[TemporalRelation, TemporalRelation]":
+    """The Figure 11 configuration: an inner relation of the given size
+    and an outer relation of ``outer_percent`` % of it, same duration
+    profile, independent seeds."""
+    outer_cardinality = max(1, round(inner_cardinality * outer_percent / 100))
+    outer = uniform_relation(
+        outer_cardinality,
+        time_range=time_range,
+        max_duration_fraction=max_duration_fraction,
+        seed=seed,
+        name="outer",
+    )
+    inner = uniform_relation(
+        inner_cardinality,
+        time_range=time_range,
+        max_duration_fraction=max_duration_fraction,
+        seed=seed + 1,
+        name="inner",
+    )
+    return outer, inner

@@ -1,0 +1,186 @@
+"""Tests for false hits, SFR and AFR (Section 5.1): Definitions 3-5,
+Lemma 4 and Theorem 1 with its Equation (3)/(4) closed forms."""
+
+import pytest
+
+from repro.analysis.afr import (
+    average_false_hit_ratio,
+    false_hits,
+    partition_views_from_lazy_list,
+    sum_false_hit_ratio,
+    theoretical_afr_bound,
+    theoretical_sfr_oip,
+)
+from repro.analysis.duration_complete import duration_complete_relation
+from repro.core.interval import Interval
+from repro.core.lazy_list import oip_create
+from repro.core.oip import OIPConfiguration
+
+
+def paper_views(paper_s):
+    config = OIPConfiguration.for_relation(paper_s, 4)
+    return partition_views_from_lazy_list(oip_create(paper_s, config))
+
+
+class TestFalseHits:
+    """Definition 3 and the paper's Q = [2012-5, 2012-5] example."""
+
+    def test_paper_query(self, paper_s):
+        views = paper_views(paper_s)
+        hits = false_hits(views, Interval(5, 5))
+        assert [t.payload for t in hits] == ["s6"]
+
+    def test_no_false_hits_on_full_range_query(self, paper_s):
+        views = paper_views(paper_s)
+        assert false_hits(views, paper_s.time_range) == []
+
+    def test_query_outside_all_partitions(self, paper_s):
+        views = paper_views(paper_s)
+        assert false_hits(views, Interval(100, 110)) == []
+
+    def test_false_hits_never_overlap_query(self, paper_s):
+        views = paper_views(paper_s)
+        for x in range(1, 13):
+            query = Interval(x, x)
+            for tup in false_hits(views, query):
+                assert not tup.overlaps_interval(query)
+
+
+class TestSFR:
+    """Definition 4: the Figure 2 partitioning has SFR = 14/7 = 2."""
+
+    def test_paper_value(self, paper_s):
+        views = paper_views(paper_s)
+        assert sum_false_hit_ratio(views, paper_s, 1) == pytest.approx(2.0)
+
+    @pytest.mark.parametrize("q", [1, 2, 3, 5, 7, 12, 20])
+    def test_lemma_4_independence_of_query_duration(self, q, paper_s):
+        """Lemma 4: the SFR is the same for every query duration."""
+        views = paper_views(paper_s)
+        assert sum_false_hit_ratio(views, paper_s, q) == pytest.approx(2.0)
+
+    def test_rejects_bad_query_duration(self, paper_s):
+        with pytest.raises(ValueError):
+            sum_false_hit_ratio(paper_views(paper_s), paper_s, 0)
+
+
+class TestAFR:
+    """Definition 5 and the Example 6 values."""
+
+    def test_example_6_q1(self, paper_s):
+        views = paper_views(paper_s)
+        afr = average_false_hit_ratio(views, paper_s, 1)
+        assert afr == pytest.approx(2 / 12)  # 16.7%
+
+    def test_example_6_q5(self, paper_s):
+        views = paper_views(paper_s)
+        afr = average_false_hit_ratio(views, paper_s, 5)
+        assert afr == pytest.approx(2 / 16)  # 12.5%
+
+    def test_proposition_2_monotone_decrease_in_q(self, paper_s):
+        views = paper_views(paper_s)
+        values = [
+            average_false_hit_ratio(views, paper_s, q) for q in range(1, 8)
+        ]
+        assert values == sorted(values, reverse=True)
+
+
+class TestTheorem1ClosedForms:
+    """Equations (3) and (4) match brute-force enumeration exactly."""
+
+    @pytest.mark.parametrize(
+        "k,d,l",
+        [
+            (4, 3, 1),
+            (4, 3, 2),
+            (4, 3, 3),  # l = d boundary of Equation (3)
+            (3, 5, 4),
+            (5, 2, 1),
+            (2, 6, 6),
+        ],
+    )
+    def test_equation_3_short_tuples(self, k, d, l):
+        time_range = Interval(0, k * d - 1)
+        relation = duration_complete_relation(time_range, l)
+        config = OIPConfiguration(k=k, d=d, o=0)
+        views = partition_views_from_lazy_list(oip_create(relation, config))
+        empirical = sum_false_hit_ratio(views, relation, 1)
+        assert empirical == pytest.approx(theoretical_sfr_oip(k, d, l))
+
+    @pytest.mark.parametrize(
+        "k,d,l",
+        [
+            (4, 3, 6),
+            (4, 3, 9),
+            (4, 3, 12),  # l = k*d: tuples up to the whole range
+            (5, 2, 6),
+            (3, 4, 8),
+        ],
+    )
+    def test_equation_4_long_tuples(self, k, d, l):
+        """l > d, l a multiple of d — the regime of Equation (4)."""
+        time_range = Interval(0, k * d - 1)
+        relation = duration_complete_relation(time_range, l)
+        config = OIPConfiguration(k=k, d=d, o=0)
+        views = partition_views_from_lazy_list(oip_create(relation, config))
+        empirical = sum_false_hit_ratio(views, relation, 1)
+        assert empirical == pytest.approx(theoretical_sfr_oip(k, d, l))
+
+    @pytest.mark.parametrize("k,d", [(3, 3), (4, 3), (5, 2), (2, 8)])
+    def test_theorem_1_bound(self, k, d):
+        """AFR < 1/k for every tuple-duration limit."""
+        time_range = Interval(0, k * d - 1)
+        config = OIPConfiguration(k=k, d=d, o=0)
+        for l in range(1, k * d + 1):
+            relation = duration_complete_relation(time_range, l)
+            views = partition_views_from_lazy_list(
+                oip_create(relation, config)
+            )
+            afr = average_false_hit_ratio(views, relation, 1)
+            assert afr < theoretical_afr_bound(k)
+
+    def test_afr_independent_of_duration_mix(self):
+        """Theorem 1's headline: the bound does not degrade when tuples
+        get longer (unlike the loose quadtree)."""
+        k, d = 4, 4
+        time_range = Interval(0, k * d - 1)
+        config = OIPConfiguration(k=k, d=d, o=0)
+        afrs = []
+        for l in (1, d, 2 * d, k * d):
+            relation = duration_complete_relation(time_range, l)
+            views = partition_views_from_lazy_list(
+                oip_create(relation, config)
+            )
+            afrs.append(average_false_hit_ratio(views, relation, 1))
+        assert max(afrs) < 1 / k
+        # Longer tuples do not increase the AFR (Part 3 of the proof).
+        assert afrs == sorted(afrs, reverse=True)
+
+    def test_sfr_for_l_equals_1_is_d_minus_1(self):
+        """Part 2 of the proof: SFR = d - 1 for duration-1 tuples."""
+        for k, d in [(3, 4), (5, 3), (2, 7)]:
+            assert theoretical_sfr_oip(k, d, 1) == pytest.approx(d - 1)
+
+    def test_rejects_out_of_range_duration(self):
+        with pytest.raises(ValueError):
+            theoretical_sfr_oip(4, 3, 0)
+        with pytest.raises(ValueError):
+            theoretical_sfr_oip(4, 3, 13)
+        with pytest.raises(ValueError):
+            theoretical_sfr_oip(0, 3, 1)
+
+    def test_bound_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            theoretical_afr_bound(0)
+
+
+class TestEmptyRelation:
+    def test_sfr_of_empty_relation(self):
+        from repro.core.relation import TemporalRelation
+
+        assert sum_false_hit_ratio([], TemporalRelation([]), 1) == 0.0
+
+    def test_afr_of_empty_relation(self):
+        from repro.core.relation import TemporalRelation
+
+        assert average_false_hit_ratio([], TemporalRelation([]), 1) == 0.0

@@ -1,0 +1,106 @@
+"""Tests for partition-access counting (Section 5.2): Lemma 5 and
+Theorem 2."""
+
+import pytest
+
+from repro.analysis.apa import (
+    access_count,
+    access_count_enumerated,
+    apa_bound,
+    average_partition_accesses,
+    average_partition_accesses_enumerated,
+    measured_tightening_factor,
+)
+from repro.core.lazy_list import oip_create
+from repro.core.oip import OIPConfiguration, possible_partition_count
+
+
+class TestAccessCount:
+    @pytest.mark.parametrize("k", [1, 2, 3, 5, 9, 14])
+    def test_closed_form_matches_enumeration(self, k):
+        for e in range(k):
+            for s in range(e + 1):
+                assert access_count(k, s, e) == access_count_enumerated(
+                    k, s, e
+                )
+
+    def test_full_range_query_accesses_everything(self):
+        k = 7
+        assert access_count(k, 0, k - 1) == possible_partition_count(k)
+
+    def test_point_query_in_first_granule(self):
+        # Query in granule 0: partitions with i = 0 (all k of them).
+        assert access_count(5, 0, 0) == 5
+
+    def test_point_query_in_last_granule(self):
+        # Query in granule k-1: partitions with j = k-1 (all k of them).
+        k = 5
+        assert access_count(k, k - 1, k - 1) == k
+
+    def test_invalid_indices_rejected(self):
+        with pytest.raises(ValueError):
+            access_count(4, 2, 1)
+        with pytest.raises(ValueError):
+            access_count(4, 0, 4)
+        with pytest.raises(ValueError):
+            access_count(4, -1, 2)
+
+
+class TestLemma5:
+    @pytest.mark.parametrize("k", [1, 2, 3, 8, 21])
+    def test_average_closed_form(self, k):
+        """APA = (k^2 + k + 1)/3 equals the enumerated average."""
+        assert average_partition_accesses(k) == pytest.approx(
+            average_partition_accesses_enumerated(k)
+        )
+
+    def test_k_one(self):
+        assert average_partition_accesses(1) == pytest.approx(1.0)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            average_partition_accesses(0)
+
+
+class TestTheorem2:
+    def test_bound_shrinks_with_tau(self):
+        assert apa_bound(10, 0.1, 10**6) == pytest.approx(
+            0.1 * average_partition_accesses(10)
+        )
+
+    def test_bound_capped_by_cardinality(self):
+        assert apa_bound(1000, 1.0, 50) == 50.0
+
+    def test_rejects_invalid_tau(self):
+        with pytest.raises(ValueError):
+            apa_bound(10, 0.0, 100)
+        with pytest.raises(ValueError):
+            apa_bound(10, 1.5, 100)
+
+    def test_rejects_negative_cardinality(self):
+        with pytest.raises(ValueError):
+            apa_bound(10, 0.5, -1)
+
+
+class TestMeasuredTighteningFactor:
+    def test_paper_partitioning(self, paper_s):
+        """Figure 2 uses 5 of 10 possible partitions: tau = 0.5."""
+        config = OIPConfiguration.for_relation(paper_s, 4)
+        built = oip_create(paper_s, config)
+        assert measured_tightening_factor(built) == pytest.approx(0.5)
+
+    def test_measured_apa_respects_theorem_2(self, paper_s):
+        """Average relevant partitions over all (s, e) queries is below
+        the Theorem 2 bound computed from the measured tau."""
+        config = OIPConfiguration.for_relation(paper_s, 4)
+        built = oip_create(paper_s, config)
+        tau = measured_tightening_factor(built)
+        k = config.k
+        total = 0
+        count = 0
+        for e in range(k):
+            for s in range(e + 1):
+                total += sum(1 for _ in built.iter_relevant(s, e))
+                count += 1
+        measured_apa = total / count
+        assert measured_apa <= apa_bound(k, tau, len(paper_s)) + 1e-9

@@ -1,0 +1,82 @@
+"""Tests for the Section 6.3 complexity bounds and Table 1 growth
+predictions."""
+
+import pytest
+
+from repro.analysis.complexity import (
+    OIP_LOWER,
+    OIP_UPPER,
+    SMJ_LOWER,
+    SMJ_UPPER,
+    asymptotic_k,
+    growth_factor,
+)
+
+
+class TestGrowthFactors:
+    """Table 1's doubling factors."""
+
+    def test_oip_lower_bound(self):
+        # 2^(2/3) * 2^(2/3) ~ 2.52.
+        assert growth_factor(OIP_LOWER) == pytest.approx(2.52, abs=0.01)
+
+    def test_oip_upper_bound(self):
+        # 2^(4/5) * 2^(4/5) ~ 3.03.
+        assert growth_factor(OIP_UPPER) == pytest.approx(3.03, abs=0.01)
+
+    def test_smj_upper_bound_quadratic(self):
+        assert growth_factor(SMJ_UPPER) == pytest.approx(4.0)
+
+    def test_smj_lower_bound_linear(self):
+        assert growth_factor(SMJ_LOWER) == pytest.approx(2.0)
+
+    def test_other_scales(self):
+        assert growth_factor(OIP_LOWER, scale=4.0) == pytest.approx(
+            4 ** (4 / 3)
+        )
+
+    def test_rejects_non_positive_scale(self):
+        with pytest.raises(ValueError):
+            growth_factor(OIP_LOWER, scale=0.0)
+
+
+class TestCostShapes:
+    def test_lower_bound_cheaper_than_upper(self):
+        n = 10**6
+        assert OIP_LOWER.cost(n, n) < OIP_UPPER.cost(n, n)
+
+    def test_oip_upper_beats_smj_upper_asymptotically(self):
+        n = 10**6
+        assert OIP_UPPER.cost(n, n) < SMJ_UPPER.cost(n, n)
+
+    def test_paper_table_1_ordering(self):
+        """Table 1: SMJ LB < OIP LB < OIP UB < SMJ UB for large inputs."""
+        n = 5 * 10**6
+        costs = [
+            SMJ_LOWER.cost(n, n),
+            OIP_LOWER.cost(n, n),
+            OIP_UPPER.cost(n, n),
+            SMJ_UPPER.cost(n, n),
+        ]
+        assert costs == sorted(costs)
+
+
+class TestAsymptoticK:
+    def test_tight_regime(self):
+        assert asymptotic_k(10**6, 10**6, tight=True) == pytest.approx(
+            (10**12) ** (1 / 3)
+        )
+
+    def test_loose_regime(self):
+        assert asymptotic_k(10**6, 10**6, tight=False) == pytest.approx(
+            (10**12) ** (1 / 5)
+        )
+
+    def test_tight_regime_uses_more_granules(self):
+        assert asymptotic_k(10**6, 10**6, True) > asymptotic_k(
+            10**6, 10**6, False
+        )
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            asymptotic_k(-1, 10, True)

@@ -1,0 +1,81 @@
+"""Tests for duration-complete relations (Section 5.1)."""
+
+import pytest
+
+from repro.analysis.duration_complete import (
+    duration_complete_cardinality,
+    duration_complete_relation,
+)
+from repro.core.interval import Interval
+
+
+class TestGeneration:
+    def test_paper_example_r2_03(self):
+        """r^2_[0,3] contains exactly [0,0], [1,1], [2,2], [3,3],
+        [0,1], [1,2], [2,3]."""
+        relation = duration_complete_relation(Interval(0, 3), 2)
+        intervals = sorted(
+            (t.start, t.end) for t in relation
+        )
+        assert intervals == [
+            (0, 0),
+            (0, 1),
+            (1, 1),
+            (1, 2),
+            (2, 2),
+            (2, 3),
+            (3, 3),
+        ]
+
+    def test_every_interval_up_to_l_present_once(self):
+        time_range = Interval(5, 14)
+        l = 4
+        relation = duration_complete_relation(time_range, l)
+        seen = set()
+        for tup in relation:
+            assert tup.duration <= l
+            assert time_range.contains(tup.interval)
+            key = (tup.start, tup.end)
+            assert key not in seen
+            seen.add(key)
+        expected = {
+            (start, start + duration - 1)
+            for duration in range(1, l + 1)
+            for start in range(
+                time_range.start, time_range.end - duration + 2
+            )
+        }
+        assert seen == expected
+
+    def test_l_equal_range(self):
+        relation = duration_complete_relation(Interval(0, 4), 5)
+        assert any(t.duration == 5 for t in relation)
+
+    def test_distinct_payloads(self):
+        relation = duration_complete_relation(Interval(0, 9), 3)
+        payloads = [t.payload for t in relation]
+        assert len(payloads) == len(set(payloads))
+
+
+class TestCardinality:
+    @pytest.mark.parametrize(
+        "span,l", [(4, 1), (4, 2), (10, 3), (10, 10), (7, 5)]
+    )
+    def test_closed_form_matches_generation(self, span, l):
+        time_range = Interval(0, span - 1)
+        relation = duration_complete_relation(time_range, l)
+        assert len(relation) == duration_complete_cardinality(time_range, l)
+
+    def test_known_value(self):
+        # |U| = 4, l = 2 -> 4*2 - (4-2)/2 = 7 tuples.
+        assert duration_complete_cardinality(Interval(0, 3), 2) == 7
+
+    def test_rejects_invalid_duration(self):
+        with pytest.raises(ValueError):
+            duration_complete_cardinality(Interval(0, 3), 0)
+        with pytest.raises(ValueError):
+            duration_complete_cardinality(Interval(0, 3), 5)
+        with pytest.raises(ValueError):
+            duration_complete_relation(Interval(0, 3), 0)
+        with pytest.raises(ValueError):
+            duration_complete_relation(Interval(0, 3), 5)

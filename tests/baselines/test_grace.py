@@ -1,0 +1,72 @@
+"""Tests for the grace partition join (related-work baseline)."""
+
+import random
+
+import pytest
+
+from repro.baselines.grace import GracePartitionJoin
+from repro.core.relation import TemporalRelation
+from tests.conftest import oracle_pairs, random_relation
+
+
+class TestCorrectness:
+    def test_paper_example(self, paper_r, paper_s):
+        result = GracePartitionJoin(partitions=3).join(paper_r, paper_s)
+        assert result.pair_keys() == oracle_pairs(paper_r, paper_s)
+
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("partitions", [1, 2, 5, 16])
+    def test_matches_oracle_random(self, seed, partitions):
+        rng = random.Random(seed * 100 + partitions)
+        outer = random_relation(rng, rng.randint(1, 100), 600, 120, "r")
+        inner = random_relation(rng, rng.randint(1, 100), 600, 120, "s")
+        result = GracePartitionJoin(partitions=partitions).join(outer, inner)
+        assert result.pair_keys() == oracle_pairs(outer, inner)
+
+    def test_no_duplicates_despite_migration(self):
+        """A pair of long tuples spans many partitions but is emitted in
+        exactly one."""
+        outer = TemporalRelation.from_pairs([(0, 999)], name="r")
+        inner = TemporalRelation.from_pairs([(0, 999), (500, 999)], name="s")
+        result = GracePartitionJoin(partitions=10).join(outer, inner)
+        assert result.cardinality == 2
+
+    def test_default_partition_count(self, paper_r, paper_s):
+        result = GracePartitionJoin().join(paper_r, paper_s)
+        assert result.details["partitions"] >= 1
+
+
+class TestMigrationOverhead:
+    def test_long_tuples_migrate(self):
+        outer = TemporalRelation.from_pairs([(0, 999)], name="r")
+        inner = TemporalRelation.from_pairs([(500, 501)], name="s")
+        result = GracePartitionJoin(partitions=10).join(outer, inner)
+        # The outer tuple spans all 10 partitions: 9 migrations.
+        assert result.counters.extras.get("migrations", 0) == 9
+
+    def test_short_tuples_do_not_migrate(self):
+        outer = TemporalRelation.from_pairs([(5, 6), (100, 101)], name="r")
+        inner = TemporalRelation.from_pairs([(900, 901)], name="s")
+        result = GracePartitionJoin(partitions=10).join(outer, inner)
+        assert result.counters.extras.get("migrations", 0) == 0
+
+    def test_migration_cost_grows_with_long_lived_share(self):
+        """The paper: grace is 'only efficient for few long-lived
+        tuples, where the overhead of migration is low'."""
+        from repro.core.interval import Interval
+        from repro.workloads import long_lived_mixture
+
+        range_ = Interval(1, 2**14)
+        outer = long_lived_mixture(150, 0.0, range_, seed=1, name="r")
+        few = long_lived_mixture(150, 0.05, range_, seed=2, name="s")
+        many = long_lived_mixture(150, 0.8, range_, seed=2, name="s")
+        join = GracePartitionJoin(partitions=20)
+        cheap = join.join(outer, few)
+        costly = join.join(outer, many)
+        assert costly.counters.extras.get(
+            "migrations", 0
+        ) > cheap.counters.extras.get("migrations", 0)
+
+    def test_invalid_partition_count_rejected(self):
+        with pytest.raises(ValueError):
+            GracePartitionJoin(partitions=0)

@@ -1,0 +1,165 @@
+"""Tests for the loose quadtree and its join (``lqt``)."""
+
+import random
+
+import pytest
+
+from repro.baselines.loose_quadtree import (
+    LooseIntervalQuadtree,
+    LooseQuadtreeJoin,
+)
+from repro.baselines.quadtree import IntervalQuadtree
+from repro.core.interval import Interval
+from repro.core.relation import TemporalRelation
+from repro.storage.manager import StorageManager
+from tests.conftest import oracle_pairs, random_relation
+
+
+def build_tree(relation, capacity=2, p=1.0):
+    storage = StorageManager()
+    return LooseIntervalQuadtree.build(
+        relation, storage, block_capacity=capacity, expansion=p
+    )
+
+
+class TestExpandedCells:
+    def test_paper_expansion_example(self):
+        """Section 2: with p = 1, range [1, 32] splits into the expanded
+        cells [1, 24] and [9, 32]."""
+        relation = TemporalRelation.from_pairs([(1, 1), (32, 32)])
+        tree = build_tree(relation)
+        left = tree.root.left if tree.root.is_split else None
+        if left is None:
+            # Force a split by inserting more points.
+            relation = TemporalRelation.from_pairs(
+                [(1, 1), (2, 2), (31, 31), (32, 32)]
+            )
+            tree = build_tree(relation, capacity=2)
+        assert tree.root.left.bounds == Interval(1, 24)
+        assert tree.root.right.bounds == Interval(9, 32)
+
+    def test_boundary_tuple_descends(self):
+        """The [16, 17] tuple from the Section 2 example reaches a
+        width-2 cell ([14, 17] or [16, 19]) instead of the root."""
+        points = [(i, i) for i in range(1, 33, 2)]
+        relation = TemporalRelation.from_pairs([(16, 17)] + points)
+        tree = build_tree(relation, capacity=2)
+        holder = next(
+            node
+            for node in tree.iter_nodes()
+            if any(
+                (t.start, t.end) == (16, 17) for t in node.run.iter_tuples()
+            )
+        )
+        assert holder.cell.duration == 2
+        assert holder.bounds in (Interval(14, 17), Interval(16, 19))
+
+    def test_expansion_rejects_non_positive_p(self):
+        relation = TemporalRelation.from_pairs([(0, 1)])
+        with pytest.raises(ValueError):
+            build_tree(relation, p=0.0)
+
+    def test_tuples_fit_expanded_bounds(self):
+        rng = random.Random(4)
+        relation = random_relation(rng, 150, 500, 80)
+        tree = build_tree(relation, capacity=4)
+        for node in tree.iter_nodes():
+            for tup in node.run.iter_tuples():
+                assert node.bounds.contains(tup.interval)
+
+    def test_looser_than_regular_quadtree(self):
+        """Boundary crossers descend deeper than in the regular tree."""
+        # Cells are 1-based, so the split boundaries lie between 2^i and
+        # 2^i + 1: these tuples cross them and stick high in the regular
+        # tree.
+        boundary_tuples = [(2**i, 2**i + 1) for i in range(2, 8)]
+        filler = [(i, i) for i in range(1, 250, 2)]
+        relation = TemporalRelation.from_pairs(boundary_tuples + filler)
+        storage = StorageManager()
+        regular = IntervalQuadtree.build(relation, storage, block_capacity=2)
+        loose = build_tree(relation, capacity=2)
+
+        def depth_of_boundary_tuples(tree):
+            depths = {}
+
+            def visit(node, depth):
+                for tup in node.run.iter_tuples():
+                    key = (tup.start, tup.end)
+                    if key in set(boundary_tuples):
+                        depths[key] = depth
+                if node.is_split:
+                    visit(node.left, depth + 1)
+                    visit(node.right, depth + 1)
+
+            visit(tree.root, 0)
+            return depths
+
+        regular_depths = depth_of_boundary_tuples(regular)
+        loose_depths = depth_of_boundary_tuples(loose)
+        assert sum(loose_depths.values()) > sum(regular_depths.values())
+
+
+class TestJoin:
+    def test_paper_example(self, paper_r, paper_s):
+        result = LooseQuadtreeJoin().join(paper_r, paper_s)
+        assert result.pair_keys() == oracle_pairs(paper_r, paper_s)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_oracle_random(self, seed):
+        rng = random.Random(seed + 50)
+        outer = random_relation(rng, rng.randint(1, 120), 700, 90, "r")
+        inner = random_relation(rng, rng.randint(1, 120), 700, 90, "s")
+        result = LooseQuadtreeJoin().join(outer, inner)
+        assert result.pair_keys() == oracle_pairs(outer, inner)
+
+    @pytest.mark.parametrize("p", [0.5, 1.0, 2.0])
+    def test_any_expansion_is_correct(self, p, paper_r, paper_s):
+        result = LooseQuadtreeJoin(expansion=p).join(paper_r, paper_s)
+        assert result.pair_keys() == oracle_pairs(paper_r, paper_s)
+
+    def test_clustering_guarantee_is_not_constant(self):
+        """Section 2: the loose quadtree's clustering guarantee weakens
+        with tuple duration — the slack between a tuple and its cell
+        grows — while OIP's stays below 2d regardless (Lemma 2)."""
+        from repro.core.oip import OIPConfiguration
+        from repro.core.relation import TemporalTuple
+
+        span = Interval(1, 2048)
+        filler = [(i, i) for i in range(1, 2048, 4)]
+        short_tuple = (100, 101)
+        long_tuple = (100, 612)  # duration 513: needs a 1024-wide cell
+        relation = TemporalRelation.from_pairs(
+            [short_tuple, long_tuple] + filler
+        )
+        tree = build_tree(relation, capacity=2)
+
+        def slack_of(key):
+            for node in tree.iter_nodes():
+                for tup in node.run.iter_tuples():
+                    if (tup.start, tup.end) == key:
+                        return node.bounds.duration - tup.duration
+            raise AssertionError(f"tuple {key} not found")
+
+        # lqt: the long tuple's slack is far larger than the short one's.
+        assert slack_of(long_tuple) > 4 * slack_of(short_tuple)
+
+        # OIP with a comparable resolution keeps both below 2d.
+        config = OIPConfiguration.for_time_range(span, 64)
+        for key in (short_tuple, long_tuple):
+            slack = config.clustering_slack(TemporalTuple(*key))
+            assert slack < 2 * config.d
+
+    def test_worse_than_oip_at_equal_resolution(self):
+        """Figure 8(a)'s mechanism at reduced scale: with long-lived
+        tuples present and a comparable partition resolution, the loose
+        quadtree fetches more false hits than OIP."""
+        from repro.core.join import OIPJoin
+        from repro.workloads import long_lived_mixture
+
+        range_ = Interval(1, 2**16)
+        outer = long_lived_mixture(600, 0.5, range_, seed=1, name="r")
+        inner = long_lived_mixture(600, 0.5, range_, seed=2, name="s")
+        lqt = LooseQuadtreeJoin().join(outer, inner)
+        oip = OIPJoin(k=64).join(outer, inner)
+        assert lqt.pair_keys() == oip.pair_keys()
+        assert lqt.counters.false_hits > 2 * oip.counters.false_hits

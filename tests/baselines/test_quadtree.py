@@ -1,0 +1,102 @@
+"""Tests for the regular 1-D quadtree and its join (``qt``)."""
+
+import random
+
+import pytest
+
+from repro.baselines.quadtree import IntervalQuadtree, QuadtreeJoin
+from repro.core.interval import Interval
+from repro.core.relation import TemporalRelation, TemporalTuple
+from repro.storage.manager import StorageManager
+from tests.conftest import oracle_pairs, random_relation
+
+
+def build_tree(relation, capacity=2):
+    storage = StorageManager()
+    return IntervalQuadtree.build(relation, storage, block_capacity=capacity)
+
+
+class TestStructure:
+    def test_root_cell_padded_to_power_of_two(self):
+        relation = TemporalRelation.from_pairs([(1, 20)])
+        tree = build_tree(relation)
+        assert tree.root.cell == Interval(1, 32)
+
+    def test_boundary_tuple_stays_at_root(self):
+        """The paper's Section 2 example: in range [1, 32] the tuple
+        [16, 17] crosses the first split boundary and stays at the top."""
+        tuples = [(16, 17)] + [(i, i) for i in range(1, 9)]
+        relation = TemporalRelation.from_pairs(tuples)
+        tree = build_tree(relation, capacity=2)
+        root_payloads = [
+            (t.start, t.end) for t in tree.root.run.iter_tuples()
+        ]
+        assert (16, 17) in root_payloads
+
+    def test_density_based_splitting(self):
+        """Nodes split only when the block is full."""
+        relation = TemporalRelation.from_pairs([(1, 1), (30, 30)])
+        tree = build_tree(relation, capacity=4)
+        assert not tree.root.is_split  # only 2 tuples, capacity 4
+
+    def test_split_pushes_fitting_tuples_down(self):
+        relation = TemporalRelation.from_pairs(
+            [(1, 1), (2, 2), (30, 30), (31, 31), (3, 3)]
+        )
+        tree = build_tree(relation, capacity=2)
+        assert tree.root.is_split
+        assert tree.root.run.tuple_count == 0  # all points fit children
+
+    def test_all_tuples_stored_exactly_once(self):
+        rng = random.Random(1)
+        relation = random_relation(rng, 120, 400, 60)
+        tree = build_tree(relation, capacity=4)
+        stored = sorted(
+            t.payload
+            for node in tree.iter_nodes()
+            for t in node.run.iter_tuples()
+        )
+        assert stored == sorted(t.payload for t in relation)
+
+    def test_tuples_fit_their_node_bounds(self):
+        rng = random.Random(2)
+        relation = random_relation(rng, 120, 400, 60)
+        tree = build_tree(relation, capacity=4)
+        for node in tree.iter_nodes():
+            for tup in node.run.iter_tuples():
+                assert node.bounds.contains(tup.interval)
+
+    def test_width_one_cells_never_split(self):
+        relation = TemporalRelation.from_pairs([(0, 0)] * 20)
+        tree = build_tree(relation, capacity=2)
+        for node in tree.iter_nodes():
+            if node.cell.duration == 1:
+                assert not node.is_split
+
+
+class TestJoin:
+    def test_paper_example(self, paper_r, paper_s):
+        result = QuadtreeJoin().join(paper_r, paper_s)
+        assert result.pair_keys() == oracle_pairs(paper_r, paper_s)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_oracle_random(self, seed):
+        rng = random.Random(seed)
+        outer = random_relation(rng, rng.randint(1, 120), 700, 90, "r")
+        inner = random_relation(rng, rng.randint(1, 120), 700, 90, "s")
+        result = QuadtreeJoin().join(outer, inner)
+        assert result.pair_keys() == oracle_pairs(outer, inner)
+
+    def test_boundary_crossers_cause_false_hits(self):
+        """Tuples stuck high in the tree are fetched for most queries."""
+        boundary = [(2**i, 2**i + 1) for i in range(3, 9)]
+        points = [(3 * i + 1, 3 * i + 1) for i in range(60)]
+        outer = TemporalRelation.from_pairs(points, name="r")
+        inner = TemporalRelation.from_pairs(boundary + points, name="s")
+        result = QuadtreeJoin(block_capacity=2).join(outer, inner)
+        assert result.counters.false_hits > 0
+
+    def test_details(self, paper_r, paper_s):
+        result = QuadtreeJoin().join(paper_r, paper_s)
+        assert result.details["inner_nodes"] >= 1
+        assert result.details["outer_height"] >= 1

@@ -1,0 +1,149 @@
+"""Tests for the relational interval tree and its join (``rit``)."""
+
+import random
+
+import pytest
+
+from repro.baselines.rit import RelationalIntervalTree, RITJoin
+from repro.core.relation import TemporalRelation
+from repro.storage.manager import StorageManager
+from tests.conftest import oracle_pairs, random_relation
+
+
+def build_tree(relation):
+    return RelationalIntervalTree(relation, StorageManager())
+
+
+class TestBackbone:
+    def test_paper_key_lists_example(self):
+        """Section 2: indexed range [1, 64], query [5, 7] -> key point
+        list {32, 16, 8} and key range list {[4, 4], [5, 7]}.  The point
+        list is our right-node descent (nodes above QE), the [4, 4] range
+        is our left-node descent (nodes below QS), and [5, 7] is the
+        inner fork-range scan.  Our backbone is one level taller (root 64
+        so that the point 64 itself is a valid fork)."""
+        relation = TemporalRelation.from_pairs([(1, 64)])
+        tree = build_tree(relation)
+        assert tree.root == 64
+        assert set(tree.right_nodes(7)) >= {32, 16, 8}
+        assert tree.left_nodes(5) == [4]
+
+    def test_root_is_power_of_two(self):
+        relation = TemporalRelation.from_pairs([(1, 100)])
+        tree = build_tree(relation)
+        assert tree.root & (tree.root - 1) == 0
+
+    def test_fork_node_inside_interval(self):
+        rng = random.Random(0)
+        relation = random_relation(rng, 200, 1000, 100)
+        tree = build_tree(relation)
+        for tup in relation:
+            fork = tree.fork_node(
+                tup.start - tree.offset, tup.end - tree.offset
+            )
+            assert tup.start - tree.offset <= fork <= tup.end - tree.offset
+
+    def test_fork_node_is_first_on_root_path(self):
+        """The fork is the highest backbone node inside the interval."""
+        relation = TemporalRelation.from_pairs([(1, 64)])
+        tree = build_tree(relation)
+        # Interval containing the root forks at the root.
+        assert tree.fork_node(1, 64) == tree.root
+        assert tree.fork_node(60, 64) == tree.fork_node(60, 64)
+        # [5, 7]: path 64 -> 32 -> 16 -> 8 -> 4 -> 6: fork = 6.
+        assert tree.fork_node(5, 7) == 6
+
+    def test_left_right_nodes_disjoint_from_query_range(self):
+        relation = TemporalRelation.from_pairs([(1, 256)])
+        tree = build_tree(relation)
+        for qs, qe in [(5, 9), (100, 200), (1, 1), (250, 256)]:
+            assert all(node < qs for node in tree.left_nodes(qs))
+            assert all(node > qe for node in tree.right_nodes(qe))
+
+    def test_negative_time_domain_shifted(self):
+        relation = TemporalRelation.from_pairs([(-50, -10), (-30, 20)])
+        tree = build_tree(relation)
+        assert len(tree.overlap_query(-40, -35)) == 1
+        assert len(tree.overlap_query(-25, -20)) == 2
+        assert len(tree.overlap_query(0, 5)) == 1
+        assert tree.overlap_query(-100, -60) == []
+
+
+class TestOverlapQuery:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_query_matches_filter_oracle(self, seed):
+        rng = random.Random(seed)
+        relation = random_relation(rng, 150, 600, 80)
+        tree = build_tree(relation)
+        for _ in range(25):
+            qs = rng.randint(0, 700)
+            qe = qs + rng.randint(0, 100)
+            found = sorted(
+                t.payload for _, t in tree.overlap_query(qs, qe)
+            )
+            expected = sorted(
+                t.payload
+                for t in relation
+                if t.start <= qe and qs <= t.end
+            )
+            assert found == expected
+
+    def test_no_duplicates(self):
+        rng = random.Random(7)
+        relation = random_relation(rng, 200, 500, 200)
+        tree = build_tree(relation)
+        found = [t.payload for _, t in tree.overlap_query(100, 300)]
+        assert len(found) == len(set(found))
+
+    def test_query_outside_domain(self):
+        relation = TemporalRelation.from_pairs([(10, 20)])
+        tree = build_tree(relation)
+        assert tree.overlap_query(500, 600) == []
+        assert tree.overlap_query(-100, -50) == []
+
+
+class TestJoin:
+    def test_paper_example(self, paper_r, paper_s):
+        result = RITJoin().join(paper_r, paper_s)
+        assert result.pair_keys() == oracle_pairs(paper_r, paper_s)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_oracle_random(self, seed):
+        rng = random.Random(seed + 11)
+        outer = random_relation(rng, rng.randint(1, 120), 700, 90, "r")
+        inner = random_relation(rng, rng.randint(1, 120), 700, 90, "s")
+        result = RITJoin().join(outer, inner)
+        assert result.pair_keys() == oracle_pairs(outer, inner)
+
+    def test_produces_no_false_hits(self, paper_r, paper_s):
+        """Section 7: the AFR of rit is omitted because it has none."""
+        result = RITJoin().join(paper_r, paper_s)
+        assert result.counters.false_hits == 0
+
+    def test_long_tuples_cost_more_index_operations(self):
+        """Long-lived tuples fork high (inner side: more index node
+        touches) and widen the probe ranges (outer side: more CPU)."""
+        from repro.core.interval import Interval
+        from repro.workloads import long_lived_mixture
+
+        range_ = Interval(1, 2**14)
+        outer_short = long_lived_mixture(300, 0.0, range_, seed=1, name="r")
+        outer_long = long_lived_mixture(300, 0.8, range_, seed=1, name="r")
+        inner_short = long_lived_mixture(300, 0.0, range_, seed=2, name="s")
+        inner_long = long_lived_mixture(300, 0.8, range_, seed=2, name="s")
+        baseline = RITJoin().join(outer_short, inner_short)
+        long_inner = RITJoin().join(outer_short, inner_long)
+        long_outer = RITJoin().join(outer_long, inner_short)
+        assert (
+            long_inner.counters.partition_accesses
+            > baseline.counters.partition_accesses
+        )
+        assert (
+            long_outer.counters.cpu_comparisons
+            > baseline.counters.cpu_comparisons
+        )
+
+    def test_details(self, paper_r, paper_s):
+        result = RITJoin().join(paper_r, paper_s)
+        assert result.details["backbone_height"] >= 4
+        assert result.details["lower_index_height"] >= 1

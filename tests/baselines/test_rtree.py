@@ -1,0 +1,113 @@
+"""Tests for the interval R-tree baseline (``rtr``)."""
+
+import random
+
+import pytest
+
+from repro.baselines.rtree import IntervalRTree, RTreeJoin
+from repro.core.interval import Interval
+from repro.core.relation import TemporalRelation
+from repro.storage.manager import StorageManager
+from tests.conftest import oracle_pairs, random_relation
+
+
+def build_tree(relation, fanout=4):
+    return IntervalRTree(relation, StorageManager(), fanout=fanout)
+
+
+class TestStructure:
+    def test_root_bounds_cover_relation(self):
+        rng = random.Random(1)
+        relation = random_relation(rng, 100, 500, 60)
+        tree = build_tree(relation)
+        assert tree.root.bounds.contains(relation.time_range)
+
+    def test_node_bounds_cover_children(self):
+        rng = random.Random(2)
+        relation = random_relation(rng, 150, 500, 60)
+        tree = build_tree(relation)
+
+        def visit(node):
+            if node.is_leaf:
+                for tup in node.run.iter_tuples():
+                    assert node.bounds.contains(tup.interval)
+            else:
+                for child in node.children:
+                    assert node.bounds.contains(child.bounds)
+                    visit(child)
+
+        visit(tree.root)
+
+    def test_fanout_respected(self):
+        rng = random.Random(3)
+        relation = random_relation(rng, 200, 500, 60)
+        tree = build_tree(relation, fanout=8)
+
+        def visit(node):
+            if node.is_leaf:
+                assert node.run.tuple_count <= 8
+            else:
+                assert len(node.children) <= 8
+                for child in node.children:
+                    visit(child)
+
+        visit(tree.root)
+
+    def test_height_logarithmic(self):
+        rng = random.Random(4)
+        relation = random_relation(rng, 300, 2000, 60)
+        tree = build_tree(relation, fanout=8)
+        assert tree.height <= 4  # ceil(log_8 300) + leaf level
+
+    def test_single_tuple(self):
+        relation = TemporalRelation.from_pairs([(3, 9)])
+        tree = build_tree(relation)
+        assert tree.root.is_leaf
+        assert tree.root.bounds == Interval(3, 9)
+
+    def test_invalid_fanout_rejected(self):
+        with pytest.raises(ValueError):
+            RTreeJoin(fanout=1)
+
+    def test_long_tuples_inflate_mbr_overlap(self):
+        """The Section 2 claim: long-lived tuples grow the MBRs and the
+        sibling overlap degree."""
+        points = [(i, i) for i in range(0, 1000, 7)]
+        short_tree = build_tree(TemporalRelation.from_pairs(points))
+        long_tree = build_tree(
+            TemporalRelation.from_pairs(
+                points + [(j, j + 700) for j in range(0, 300, 60)]
+            )
+        )
+        assert (
+            long_tree.mbr_overlap_degree()
+            > short_tree.mbr_overlap_degree()
+        )
+
+
+class TestJoin:
+    def test_paper_example(self, paper_r, paper_s):
+        result = RTreeJoin().join(paper_r, paper_s)
+        assert result.pair_keys() == oracle_pairs(paper_r, paper_s)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_oracle_random(self, seed):
+        rng = random.Random(seed + 31)
+        outer = random_relation(rng, rng.randint(1, 120), 700, 90, "r")
+        inner = random_relation(rng, rng.randint(1, 120), 700, 90, "s")
+        result = RTreeJoin(fanout=4).join(outer, inner)
+        assert result.pair_keys() == oracle_pairs(outer, inner)
+
+    def test_false_hits_from_page_fetches(self):
+        """Fetched pages contain non-matching tuples (page faults in the
+        paper's wording)."""
+        rng = random.Random(9)
+        outer = random_relation(rng, 60, 2000, 10, "r")
+        inner = random_relation(rng, 200, 2000, 10, "s")
+        result = RTreeJoin(fanout=8).join(outer, inner)
+        assert result.counters.false_hits > 0
+
+    def test_details(self, paper_r, paper_s):
+        result = RTreeJoin().join(paper_r, paper_s)
+        assert result.details["tree_height"] >= 1
+        assert result.details["mbr_overlap_degree"] >= 1.0

@@ -1,0 +1,105 @@
+"""Tests for the size separation spatial join (``s3j``)."""
+
+import random
+
+import pytest
+
+from repro.baselines.s3j import SizeSeparationJoin, level_of
+from repro.core.relation import TemporalRelation, TemporalTuple
+from tests.conftest import oracle_pairs, random_relation
+
+
+class TestLevelAssignment:
+    def test_small_aligned_tuple_goes_deep(self):
+        # Width 16: [0, 0] fits a width-1 cell at level 4.
+        assert level_of(TemporalTuple(0, 0), 0, 16, 12) == 4
+
+    def test_boundary_crosser_stays_high(self):
+        """The Section 2 point: small objects crossing high-level
+        boundaries are not stored at a low level."""
+        # [7, 8] crosses the level-1 boundary of width 16 (cells [0,7]
+        # and [8,15]), so it stays at level 0.
+        assert level_of(TemporalTuple(7, 8), 0, 16, 12) == 0
+
+    def test_full_range_tuple_at_level_zero(self):
+        assert level_of(TemporalTuple(0, 15), 0, 16, 12) == 0
+
+    def test_max_level_caps_descent(self):
+        assert level_of(TemporalTuple(0, 0), 0, 1024, 3) == 3
+
+    def test_level_cell_contains_tuple(self):
+        rng = random.Random(1)
+        width = 1024
+        for _ in range(200):
+            start = rng.randint(0, width - 1)
+            end = min(start + rng.randint(0, 200), width - 1)
+            tup = TemporalTuple(start, end)
+            level = level_of(tup, 0, width, 12)
+            cell_width = width >> level
+            assert start // cell_width == end // cell_width
+
+
+class TestJoin:
+    def test_paper_example(self, paper_r, paper_s):
+        result = SizeSeparationJoin().join(paper_r, paper_s)
+        assert result.pair_keys() == oracle_pairs(paper_r, paper_s)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_oracle_random(self, seed):
+        rng = random.Random(seed + 61)
+        outer = random_relation(rng, rng.randint(1, 120), 700, 90, "r")
+        inner = random_relation(rng, rng.randint(1, 120), 700, 90, "s")
+        result = SizeSeparationJoin().join(outer, inner)
+        assert result.pair_keys() == oracle_pairs(outer, inner)
+
+    @pytest.mark.parametrize("max_level", [0, 1, 4, 16])
+    def test_any_level_cap_is_correct(self, max_level, paper_r, paper_s):
+        result = SizeSeparationJoin(max_level=max_level).join(
+            paper_r, paper_s
+        )
+        assert result.pair_keys() == oracle_pairs(paper_r, paper_s)
+
+    def test_level_sizes_reported(self, paper_r, paper_s):
+        result = SizeSeparationJoin().join(paper_r, paper_s)
+        assert sum(result.details["level_sizes"].values()) == len(paper_s)
+
+    def test_invalid_max_level_rejected(self):
+        with pytest.raises(ValueError):
+            SizeSeparationJoin(max_level=-1)
+
+    def test_deep_levels_have_short_windows(self):
+        """Tuples at deep levels are only scanned within narrow windows,
+        so point-heavy data costs far less than level-0-heavy data."""
+        rng = random.Random(5)
+        # Anchor tuples pin the joint span to exactly [0, 4095] so the
+        # level-0 cell boundary falls between 2047 and 2048.
+        anchors = [(0, 0), (4095, 4095)]
+        outer = TemporalRelation.from_pairs(
+            anchors
+            + [
+                (s, min(s + rng.randint(0, 3), 4095))
+                for s in (rng.randint(0, 4000) for _ in range(100))
+            ],
+            name="r",
+        )
+        deep_inner = TemporalRelation.from_pairs(
+            anchors
+            + [
+                (s, min(s + rng.randint(0, 3), 4095))
+                for s in (rng.randint(0, 4000) for _ in range(300))
+            ],
+            name="s",
+        )
+        # Same sizes but every tuple straddles the top-level boundary.
+        shallow_inner = TemporalRelation.from_pairs(
+            anchors + [(2047, 2050 + i % 3) for i in range(300)], name="s"
+        )
+        cheap = SizeSeparationJoin().join(outer, deep_inner)
+        costly = SizeSeparationJoin().join(outer, shallow_inner)
+        cheap_scanned = (
+            cheap.counters.false_hits + cheap.counters.result_tuples
+        )
+        costly_scanned = (
+            costly.counters.false_hits + costly.counters.result_tuples
+        )
+        assert costly_scanned > cheap_scanned

@@ -1,0 +1,144 @@
+"""Tests for the segment tree and its join (``sgt``)."""
+
+import random
+
+import pytest
+
+from repro.baselines.segment_tree import (
+    SegmentTree,
+    SegmentTreeJoin,
+    elementary_segments,
+)
+from repro.core.interval import Interval
+from repro.core.relation import TemporalRelation
+from repro.storage.manager import StorageManager
+from tests.conftest import oracle_pairs, random_relation
+
+
+class TestElementarySegments:
+    def test_paper_example(self):
+        """Section 2: tuples [1,5], [3,9], [8,9] give the leaf segments
+        [1,2], [3,5], [6,7], [8,9]."""
+        relation = TemporalRelation.from_pairs([(1, 5), (3, 9), (8, 9)])
+        segments = elementary_segments(relation.tuples)
+        assert segments == [
+            Interval(1, 2),
+            Interval(3, 5),
+            Interval(6, 7),
+            Interval(8, 9),
+        ]
+
+    def test_segments_are_disjoint_and_cover_range(self):
+        rng = random.Random(1)
+        relation = random_relation(rng, 50, 200, 30)
+        segments = elementary_segments(relation.tuples)
+        for left, right in zip(segments, segments[1:]):
+            assert left.end + 1 == right.start
+        assert segments[0].start == relation.time_range.start
+        assert segments[-1].end == relation.time_range.end
+
+    def test_empty_input(self):
+        assert elementary_segments([]) == []
+
+    def test_single_tuple(self):
+        relation = TemporalRelation.from_pairs([(3, 8)])
+        assert elementary_segments(relation.tuples) == [Interval(3, 8)]
+
+
+class TestCanonicalAssignment:
+    def test_paper_duplication_example(self):
+        """Tuple [3, 9] is stored twice: at [3, 5] and at [6, 9]."""
+        relation = TemporalRelation.from_pairs([(1, 5), (3, 9), (8, 9)])
+        tree = SegmentTree(relation, StorageManager())
+        holders = []
+
+        def visit(node):
+            if node is None:
+                return
+            for tup in node.run.iter_tuples():
+                if (tup.start, tup.end) == (3, 9):
+                    holders.append(node.segment)
+            visit(node.left)
+            visit(node.right)
+
+        visit(tree.root)
+        assert sorted(holders) == [Interval(3, 5), Interval(6, 9)]
+
+    def test_stored_entries_exceed_cardinality_with_long_tuples(self):
+        # The long tuple does not align with the root segment, so its
+        # canonical cover needs several nodes.
+        relation = TemporalRelation.from_pairs(
+            [(10, 90)] + [(i, i) for i in range(1, 100, 7)]
+        )
+        tree = SegmentTree(relation, StorageManager())
+        assert tree.stored_entries() > len(relation)
+
+    def test_stored_segments_covered_by_tuple(self):
+        rng = random.Random(2)
+        relation = random_relation(rng, 80, 300, 60)
+        tree = SegmentTree(relation, StorageManager())
+
+        def visit(node):
+            if node is None:
+                return
+            for tup in node.run.iter_tuples():
+                assert tup.interval.contains(node.segment)
+            visit(node.left)
+            visit(node.right)
+
+        visit(tree.root)
+
+
+class TestJoin:
+    def test_paper_example(self, paper_r, paper_s):
+        result = SegmentTreeJoin().join(paper_r, paper_s)
+        assert result.pair_keys() == oracle_pairs(paper_r, paper_s)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_oracle_random(self, seed):
+        rng = random.Random(seed + 77)
+        outer = random_relation(rng, rng.randint(1, 120), 700, 90, "r")
+        inner = random_relation(rng, rng.randint(1, 120), 700, 90, "s")
+        result = SegmentTreeJoin().join(outer, inner)
+        assert result.pair_keys() == oracle_pairs(outer, inner)
+
+    def test_no_duplicate_pairs(self):
+        """The 'intersection starts before this segment' test removes
+        every duplicate exactly."""
+        rng = random.Random(3)
+        outer = random_relation(rng, 60, 300, 150, "r")
+        inner = random_relation(rng, 60, 300, 150, "s")
+        result = SegmentTreeJoin().join(outer, inner)
+        keys = result.pair_keys()
+        assert len(keys) == len(set(keys))
+
+    def test_duplicate_fetches_counted(self):
+        """Duplicates are skipped from the result but their fetch cost is
+        recorded (the overhead the paper measures)."""
+        outer = TemporalRelation.from_pairs([(1, 9)], name="r")
+        inner = TemporalRelation.from_pairs(
+            [(1, 5), (3, 9), (8, 9)], name="s"
+        )
+        result = SegmentTreeJoin().join(outer, inner)
+        assert result.counters.extras.get("duplicates", 0) > 0
+
+    def test_produces_no_false_hits(self, paper_r, paper_s):
+        """Every fetched non-duplicate is a result tuple."""
+        result = SegmentTreeJoin().join(paper_r, paper_s)
+        assert result.counters.false_hits == 0
+
+    def test_query_outside_tree_range(self):
+        outer = TemporalRelation.from_pairs([(1000, 1001)], name="r")
+        inner = TemporalRelation.from_pairs([(1, 5)], name="s")
+        assert SegmentTreeJoin().join(outer, inner).pairs == []
+
+    def test_point_query_example(self):
+        """The paper's [5, 6] query fetches r2 twice but reports once."""
+        outer = TemporalRelation.from_pairs([(5, 6)], name="r")
+        inner = TemporalRelation.from_pairs(
+            [(1, 5), (3, 9), (8, 9)], name="s"
+        )
+        result = SegmentTreeJoin().join(outer, inner)
+        payloads = sorted(b.payload for _, b in result.pairs)
+        assert payloads == [0, 1]  # [1,5] and [3,9] overlap [5,6]
+        assert result.counters.extras.get("duplicates", 0) >= 1

@@ -1,0 +1,72 @@
+"""Tests for the sort-merge overlap join (``smj``)."""
+
+import random
+
+import pytest
+
+from repro.baselines.nested_loop import NestedLoopJoin
+from repro.baselines.sort_merge import SortMergeJoin
+from repro.workloads import long_lived_mixture, point_relation
+from repro.core.interval import Interval
+from tests.conftest import oracle_pairs, random_relation
+
+
+class TestCorrectness:
+    def test_paper_example(self, paper_r, paper_s):
+        result = SortMergeJoin().join(paper_r, paper_s)
+        assert result.pair_keys() == oracle_pairs(paper_r, paper_s)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_oracle_random(self, seed):
+        rng = random.Random(seed)
+        outer = random_relation(rng, rng.randint(1, 150), 800, 100, "r")
+        inner = random_relation(rng, rng.randint(1, 150), 800, 100, "s")
+        result = SortMergeJoin().join(outer, inner)
+        assert result.pair_keys() == oracle_pairs(outer, inner)
+
+    def test_long_lived_inner_tuples(self):
+        """The backtracking window must still find tuples that start far
+        before the outer tuple."""
+        from repro import TemporalRelation
+
+        outer = TemporalRelation.from_pairs([(500, 501)])
+        inner = TemporalRelation.from_pairs([(0, 1000), (499, 499), (502, 502)])
+        result = SortMergeJoin().join(outer, inner)
+        assert result.cardinality == 1
+
+    def test_point_data(self):
+        outer = point_relation(80, Interval(0, 200), seed=1)
+        inner = point_relation(80, Interval(0, 200), seed=2)
+        result = SortMergeJoin().join(outer, inner)
+        assert result.pair_keys() == oracle_pairs(outer, inner)
+
+
+class TestScanWindowCost:
+    def test_longest_tuple_inflates_false_hits(self):
+        """Section 7: smj is 'highly affected by the longest tuple'."""
+        range_ = Interval(0, 50_000)
+        outer = point_relation(200, range_, seed=3, name="r")
+        short_inner = long_lived_mixture(
+            200, 0.0, range_, short_max_fraction=0.0002, seed=4
+        )
+        long_inner = long_lived_mixture(
+            200, 0.05, range_, long_max_fraction=0.5, seed=4
+        )
+        few_false = SortMergeJoin().join(outer, short_inner)
+        many_false = SortMergeJoin().join(outer, long_inner)
+        assert (
+            many_false.counters.false_hits > few_false.counters.false_hits
+        )
+
+    def test_cheaper_than_nested_loop_on_sparse_data(self):
+        rng = random.Random(9)
+        outer = random_relation(rng, 150, 100_000, 5, "r")
+        inner = random_relation(rng, 150, 100_000, 5, "s")
+        smj = SortMergeJoin().join(outer, inner)
+        nlj = NestedLoopJoin().join(outer, inner)
+        assert smj.counters.cpu_comparisons < nlj.counters.cpu_comparisons
+
+    def test_details_reported(self, paper_r, paper_s):
+        result = SortMergeJoin().join(paper_r, paper_s)
+        assert result.details["max_inner_duration"] == 7
+        assert result.details["inner_blocks"] >= 1

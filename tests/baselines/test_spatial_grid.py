@@ -1,0 +1,90 @@
+"""Tests for the spatially partitioned temporal join (``spj``)."""
+
+import random
+
+import pytest
+
+from repro.baselines.spatial_grid import SpatialGridJoin
+from repro.core.interval import Interval
+from repro.core.relation import TemporalRelation
+from tests.conftest import oracle_pairs, random_relation
+
+
+class TestCorrectness:
+    def test_paper_example(self, paper_r, paper_s):
+        result = SpatialGridJoin(grid_size=4).join(paper_r, paper_s)
+        assert result.pair_keys() == oracle_pairs(paper_r, paper_s)
+
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("grid_size", [1, 3, 16])
+    def test_matches_oracle_random(self, seed, grid_size):
+        rng = random.Random(seed * 10 + grid_size)
+        outer = random_relation(rng, rng.randint(1, 100), 700, 120, "r")
+        inner = random_relation(rng, rng.randint(1, 100), 700, 120, "s")
+        result = SpatialGridJoin(grid_size=grid_size).join(outer, inner)
+        assert result.pair_keys() == oracle_pairs(outer, inner)
+
+    def test_grid_of_one_degenerates_to_nested_loop(self, paper_r, paper_s):
+        result = SpatialGridJoin(grid_size=1).join(paper_r, paper_s)
+        assert result.details["outer_regions"] == 1
+        assert result.details["inner_regions"] == 1
+        assert result.pair_keys() == oracle_pairs(paper_r, paper_s)
+
+    def test_invalid_grid_rejected(self):
+        with pytest.raises(ValueError):
+            SpatialGridJoin(grid_size=0)
+
+
+class TestParameterBehaviour:
+    def test_regions_only_upper_triangle(self):
+        """Interval points satisfy end >= start, so populated regions
+        sit on or above the diagonal."""
+        rng = random.Random(3)
+        outer = random_relation(rng, 5, 1000, 100, "r")
+        inner = random_relation(rng, 200, 1000, 100, "s")
+        join = SpatialGridJoin(grid_size=8)
+        result = join.join(outer, inner)
+        assert result.details["inner_regions"] <= 8 * 9 // 2
+
+    def test_finer_grid_fewer_false_hits(self):
+        rng = random.Random(4)
+        outer = random_relation(rng, 150, 3000, 200, "r")
+        inner = random_relation(rng, 150, 3000, 200, "s")
+        coarse = SpatialGridJoin(grid_size=2).join(outer, inner)
+        fine = SpatialGridJoin(grid_size=32).join(outer, inner)
+        assert fine.counters.false_hits < coarse.counters.false_hits
+
+    def test_finer_grid_more_region_accesses(self):
+        rng = random.Random(4)
+        outer = random_relation(rng, 150, 3000, 200, "r")
+        inner = random_relation(rng, 150, 3000, 200, "s")
+        coarse = SpatialGridJoin(grid_size=2).join(outer, inner)
+        fine = SpatialGridJoin(grid_size=32).join(outer, inner)
+        assert (
+            fine.counters.partition_accesses
+            > coarse.counters.partition_accesses
+        )
+
+    def test_long_lived_tuples_spread_regions(self):
+        """Long-lived tuples land far off the diagonal, populating more
+        region rows and forcing more region pairs to be scanned."""
+        from repro.workloads import long_lived_mixture
+
+        range_ = Interval(1, 2**14)
+        outer = long_lived_mixture(200, 0.0, range_, seed=1, name="r")
+        short = long_lived_mixture(200, 0.0, range_, seed=2, name="s")
+        longs = long_lived_mixture(200, 0.8, range_, seed=2, name="s")
+        join = SpatialGridJoin(grid_size=16)
+        cheap = join.join(outer, short)
+        costly = join.join(outer, longs)
+        assert (
+            costly.details["inner_regions"] > cheap.details["inner_regions"]
+        )
+        assert (
+            costly.counters.partition_accesses
+            >= cheap.counters.partition_accesses
+        )
+
+    def test_empty_inputs(self, paper_s):
+        empty = TemporalRelation([])
+        assert SpatialGridJoin().join(empty, paper_s).pairs == []

@@ -1,0 +1,153 @@
+"""Tests for the B+-tree substrate."""
+
+import random
+
+import pytest
+
+from repro.btree import BPlusTree
+from repro.storage.metrics import CostCounters
+
+
+class TestBasics:
+    def test_empty_tree(self):
+        tree = BPlusTree()
+        assert len(tree) == 0
+        assert tree.search(5) == []
+        assert tree.height == 1
+
+    def test_insert_and_search(self):
+        tree = BPlusTree()
+        tree.insert(5, "five")
+        assert tree.search(5) == ["five"]
+        assert tree.search(6) == []
+
+    def test_duplicates_accumulate_in_order(self):
+        tree = BPlusTree()
+        tree.insert(5, "a")
+        tree.insert(5, "b")
+        assert tree.search(5) == ["a", "b"]
+        assert len(tree) == 2
+
+    def test_order_below_three_rejected(self):
+        with pytest.raises(ValueError):
+            BPlusTree(order=2)
+
+    def test_composite_tuple_keys(self):
+        """The RIT indexes (fork, endpoint) composite keys."""
+        tree = BPlusTree(order=4)
+        tree.insert((2, 10), "a")
+        tree.insert((2, 5), "b")
+        tree.insert((1, 99), "c")
+        assert tree.search((2, 5)) == ["b"]
+        assert [v for _, v in tree.items()] == ["c", "b", "a"]
+
+
+class TestBulkBehaviour:
+    @pytest.mark.parametrize("order", [3, 4, 8, 32])
+    def test_sorted_iteration(self, order):
+        rng = random.Random(order)
+        keys = [rng.randint(0, 10_000) for _ in range(500)]
+        tree = BPlusTree(order=order)
+        for key in keys:
+            tree.insert(key, key)
+        assert [k for k, _ in tree.items()] == sorted(keys)
+
+    @pytest.mark.parametrize("order", [3, 4, 8, 32])
+    def test_invariants_after_many_inserts(self, order):
+        rng = random.Random(order + 100)
+        tree = BPlusTree(order=order)
+        for _ in range(400):
+            tree.insert(rng.randint(0, 999), None)
+            tree.check_invariants()
+
+    def test_height_grows_logarithmically(self):
+        tree = BPlusTree(order=4)
+        for key in range(1000):
+            tree.insert(key, key)
+        # Order-4 tree: height <= log_2(1000) + slack.
+        assert tree.height <= 12
+
+    def test_ascending_and_descending_inserts(self):
+        for keys in (range(200), range(200, 0, -1)):
+            tree = BPlusTree(order=5)
+            for key in keys:
+                tree.insert(key, key)
+            tree.check_invariants()
+            assert [k for k, _ in tree.items()] == sorted(keys)
+
+
+class TestRangeScan:
+    def _populated(self):
+        tree = BPlusTree(order=4)
+        for key in range(0, 100, 2):  # even keys 0..98
+            tree.insert(key, f"v{key}")
+        return tree
+
+    def test_inclusive_range(self):
+        tree = self._populated()
+        keys = [k for k, _ in tree.range_scan(10, 20)]
+        assert keys == [10, 12, 14, 16, 18, 20]
+
+    def test_exclusive_bounds(self):
+        tree = self._populated()
+        keys = [
+            k
+            for k, _ in tree.range_scan(
+                10, 20, include_low=False, include_high=False
+            )
+        ]
+        assert keys == [12, 14, 16, 18]
+
+    def test_range_with_no_matches(self):
+        tree = self._populated()
+        assert list(tree.range_scan(101, 200)) == []
+
+    def test_range_covering_everything(self):
+        tree = self._populated()
+        assert len(list(tree.range_scan(-10, 1000))) == 50
+
+    def test_bounds_between_keys(self):
+        tree = self._populated()
+        keys = [k for k, _ in tree.range_scan(9, 13)]
+        assert keys == [10, 12]
+
+    def test_duplicates_in_range(self):
+        tree = BPlusTree(order=4)
+        for _ in range(3):
+            tree.insert(7, "x")
+        assert len(list(tree.range_scan(7, 7))) == 3
+
+    def test_matches_sorted_filter_oracle(self):
+        rng = random.Random(42)
+        keys = [rng.randint(0, 500) for _ in range(300)]
+        tree = BPlusTree(order=6)
+        for key in keys:
+            tree.insert(key, key)
+        for _ in range(20):
+            low = rng.randint(0, 500)
+            high = rng.randint(low, 500)
+            scanned = [k for k, _ in tree.range_scan(low, high)]
+            expected = sorted(k for k in keys if low <= k <= high)
+            assert scanned == expected
+
+
+class TestCostCharging:
+    def test_search_charges_node_accesses(self):
+        counters = CostCounters()
+        tree = BPlusTree(order=4, counters=counters)
+        for key in range(100):
+            tree.insert(key, key)
+        counters.reset()
+        tree.search(50)
+        assert counters.partition_accesses >= tree.height
+        assert counters.cpu_comparisons > 0
+
+    def test_range_scan_charges_leaf_walk(self):
+        counters = CostCounters()
+        tree = BPlusTree(order=4, counters=counters)
+        for key in range(100):
+            tree.insert(key, key)
+        counters.reset()
+        list(tree.range_scan(0, 99))
+        # Walking all leaves costs at least one access per leaf chain hop.
+        assert counters.partition_accesses > tree.height

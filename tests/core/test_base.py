@@ -1,0 +1,114 @@
+"""Tests for the shared join interface (JoinResult, charging helpers)."""
+
+import pytest
+
+from repro.core.base import JoinResult, OverlapJoinAlgorithm, join_pair_key
+from repro.core.relation import TemporalRelation, TemporalTuple
+from repro.storage.metrics import CostCounters, CostWeights
+
+
+class _Probe(OverlapJoinAlgorithm):
+    """Minimal concrete algorithm for interface tests."""
+
+    name = "probe"
+
+    def _execute(self, outer, inner, counters):
+        pairs = []
+        for a in outer:
+            for b in inner:
+                self._match(a, b, counters, pairs)
+        return JoinResult(
+            algorithm=self.name, pairs=pairs, counters=counters
+        )
+
+
+class TestJoinPairKey:
+    def test_key_shape(self):
+        pair = (TemporalTuple(1, 2, "a"), TemporalTuple(3, 4, "b"))
+        assert join_pair_key(pair) == (1, 2, "a", 3, 4, "b")
+
+    def test_keys_sort_deterministically(self):
+        pairs = [
+            (TemporalTuple(2, 2, 0), TemporalTuple(0, 5, 1)),
+            (TemporalTuple(1, 1, 0), TemporalTuple(0, 5, 1)),
+        ]
+        keys = sorted(join_pair_key(p) for p in pairs)
+        assert keys[0][0] == 1
+
+
+class TestJoinResult:
+    def _result(self):
+        counters = CostCounters()
+        counters.charge_cpu(10)
+        counters.charge_read(2)
+        counters.charge_false_hit(3)
+        counters.charge_result(5)
+        pairs = [
+            (TemporalTuple(0, 1, i), TemporalTuple(0, 1, i))
+            for i in range(5)
+        ]
+        return JoinResult(algorithm="x", pairs=pairs, counters=counters)
+
+    def test_len_and_cardinality(self):
+        result = self._result()
+        assert len(result) == 5
+        assert result.cardinality == 5
+
+    def test_false_hit_ratio(self):
+        assert self._result().false_hit_ratio == pytest.approx(3 / 8)
+
+    def test_modelled_cost(self):
+        result = self._result()
+        weights = CostWeights(cpu=1.0, io=100.0)
+        assert result.modelled_cost(weights) == pytest.approx(210.0)
+
+    def test_pair_keys_sorted(self):
+        keys = self._result().pair_keys()
+        assert keys == sorted(keys)
+
+
+class TestBaseJoinBehaviour:
+    def test_empty_inputs_short_circuit(self):
+        probe = _Probe()
+        empty = TemporalRelation([])
+        full = TemporalRelation.from_pairs([(0, 1)])
+        for outer, inner in ((empty, full), (full, empty), (empty, empty)):
+            result = probe.join(outer, inner)
+            assert result.pairs == []
+            assert result.counters.cpu_comparisons == 0
+
+    def test_result_counter_set_by_wrapper(self):
+        probe = _Probe()
+        relation = TemporalRelation.from_pairs([(0, 5), (3, 9), (20, 21)])
+        result = probe.join(relation, relation)
+        assert result.counters.result_tuples == len(result.pairs)
+
+    def test_match_charges_two_comparisons(self):
+        counters = CostCounters()
+        pairs = []
+        OverlapJoinAlgorithm._match(
+            TemporalTuple(0, 1), TemporalTuple(5, 6), counters, pairs
+        )
+        assert counters.cpu_comparisons == 2
+        assert counters.false_hits == 1
+        assert pairs == []
+
+    def test_match_appends_on_overlap(self):
+        counters = CostCounters()
+        pairs = []
+        OverlapJoinAlgorithm._match(
+            TemporalTuple(0, 5), TemporalTuple(5, 6), counters, pairs
+        )
+        assert len(pairs) == 1
+        assert counters.false_hits == 0
+
+    def test_repr_mentions_device(self):
+        assert "main-memory" in repr(_Probe())
+
+    def test_fresh_counters_per_join(self):
+        probe = _Probe()
+        relation = TemporalRelation.from_pairs([(0, 1)])
+        first = probe.join(relation, relation)
+        second = probe.join(relation, relation)
+        assert first.counters is not second.counters
+        assert second.counters.cpu_comparisons == 2

@@ -1,0 +1,181 @@
+"""Tests for incrementally maintained OIP (future-work extension)."""
+
+import random
+
+import pytest
+
+from repro.core.incremental import IncrementalOIP
+from repro.core.interval import Interval
+from repro.core.oip import OIPConfiguration
+from repro.core.relation import TemporalRelation, TemporalTuple
+
+
+def build_from(pairs, k=4):
+    return IncrementalOIP.from_relation(
+        TemporalRelation.from_pairs(pairs), k
+    )
+
+
+class TestInsert:
+    def test_placement_matches_definition_2(self, paper_s):
+        partitioning = IncrementalOIP.from_relation(paper_s, 4)
+        placed = {
+            tuple(sorted(t.payload for t in tuples)): key
+            for key, tuples in partitioning.iter_partitions()
+        }
+        assert placed[("s4", "s6")] == (1, 3)
+        assert placed[("s1", "s2")] == (0, 0)
+        partitioning.check_invariants()
+
+    def test_insert_returns_indices(self):
+        partitioning = build_from([(0, 11)], k=4)
+        assert partitioning.insert(TemporalTuple(0, 2)) == (0, 0)
+        assert partitioning.insert(TemporalTuple(3, 11)) == (1, 3)
+
+    def test_partition_created_lazily(self):
+        partitioning = build_from([(0, 11)], k=4)
+        count_before = partitioning.partition_count
+        partitioning.insert(TemporalTuple(0, 2))
+        assert partitioning.partition_count == count_before + 1
+
+    def test_size_tracked(self):
+        partitioning = build_from([(0, 11)], k=4)
+        assert len(partitioning) == 1
+        partitioning.insert(TemporalTuple(1, 1))
+        assert len(partitioning) == 2
+
+
+class TestExpansion:
+    """The future-work sketch: grow on both boundaries by whole
+    granules, maintaining an index offset."""
+
+    def test_expand_right(self):
+        partitioning = build_from([(0, 11)], k=4)  # d = 3, range [0, 11]
+        partitioning.insert(TemporalTuple(12, 13))
+        assert partitioning.granule_duration == 3  # d never changes
+        assert partitioning.k == 5
+        assert partitioning.time_range == Interval(0, 14)
+        partitioning.check_invariants()
+
+    def test_expand_left_shifts_indices(self):
+        partitioning = build_from([(0, 11)], k=4)
+        partitioning.insert(TemporalTuple(-1, -1))
+        assert partitioning.k == 5
+        assert partitioning.time_range == Interval(-3, 11)
+        # The pre-existing tuple [0, 11] is now logically at (1, 4).
+        keys = dict(partitioning.iter_partitions())
+        assert (1, 4) in keys
+        partitioning.check_invariants()
+
+    def test_expand_both_sides_at_once(self):
+        partitioning = build_from([(0, 11)], k=4)
+        partitioning.insert(TemporalTuple(-7, 20))
+        assert partitioning.time_range.contains(Interval(-7, 20))
+        partitioning.check_invariants()
+
+    def test_expansion_preserves_clustering_guarantee(self):
+        """Lemma 2 survives arbitrary expansions because d is fixed."""
+        rng = random.Random(3)
+        partitioning = build_from([(0, 11)], k=4)
+        for _ in range(200):
+            start = rng.randint(-500, 500)
+            end = start + rng.randint(0, 100)
+            partitioning.insert(TemporalTuple(start, end))
+        partitioning.check_invariants()
+
+    def test_far_insert_grows_many_granules(self):
+        partitioning = build_from([(0, 11)], k=4)
+        partitioning.insert(TemporalTuple(300, 300))
+        assert partitioning.k == 4 + (300 - 11 + 2) // 3
+        partitioning.check_invariants()
+
+
+class TestDelete:
+    def test_delete_existing(self):
+        partitioning = build_from([(0, 2), (3, 5)], k=2)
+        assert partitioning.delete(TemporalTuple(0, 2, 0))
+        assert len(partitioning) == 1
+
+    def test_delete_drops_empty_partition(self):
+        partitioning = build_from([(0, 2), (3, 5)], k=2)
+        count = partitioning.partition_count
+        partitioning.delete(TemporalTuple(0, 2, 0))
+        assert partitioning.partition_count == count - 1
+
+    def test_delete_missing_returns_false(self):
+        partitioning = build_from([(0, 2)], k=2)
+        assert not partitioning.delete(TemporalTuple(3, 5, "nope"))
+        assert not partitioning.delete(TemporalTuple(0, 2, "wrong payload"))
+
+    def test_delete_one_of_duplicates(self):
+        partitioning = build_from([(0, 2)], k=2)
+        partitioning.insert(TemporalTuple(0, 2, 0))
+        assert partitioning.delete(TemporalTuple(0, 2, 0))
+        assert len(partitioning) == 1
+
+
+class TestQuery:
+    def test_query_matches_filter_oracle(self):
+        rng = random.Random(5)
+        relation = TemporalRelation.from_pairs(
+            [
+                (s, s + rng.randint(0, 60))
+                for s in (rng.randint(0, 400) for _ in range(150))
+            ]
+        )
+        partitioning = IncrementalOIP.from_relation(relation, 8)
+        for _ in range(40):
+            qs = rng.randint(-20, 450)
+            qe = qs + rng.randint(0, 80)
+            query = Interval(qs, qe)
+            found = sorted(t.payload for t in partitioning.query(query))
+            expected = sorted(
+                t.payload
+                for t in relation
+                if t.overlaps_interval(query)
+            )
+            assert found == expected
+
+    def test_query_after_mixed_updates(self):
+        rng = random.Random(6)
+        partitioning = build_from([(0, 40)], k=4)
+        live = [TemporalTuple(0, 40, 0)]
+        payload = 1
+        for _ in range(300):
+            if live and rng.random() < 0.4:
+                victim = live.pop(rng.randrange(len(live)))
+                assert partitioning.delete(victim)
+            else:
+                start = rng.randint(-100, 300)
+                tup = TemporalTuple(start, start + rng.randint(0, 50), payload)
+                payload += 1
+                partitioning.insert(tup)
+                live.append(tup)
+        partitioning.check_invariants()
+        query = Interval(-50, 150)
+        found = sorted(t.payload for t in partitioning.query(query))
+        expected = sorted(
+            t.payload for t in live if t.overlaps_interval(query)
+        )
+        assert found == expected
+
+    def test_query_outside_range(self):
+        partitioning = build_from([(0, 11)], k=4)
+        assert partitioning.query(Interval(100, 200)) == []
+
+    def test_candidates_superset_of_results(self, paper_s):
+        partitioning = IncrementalOIP.from_relation(paper_s, 4)
+        query = Interval(5, 5)
+        candidates = {t.payload for t in partitioning.candidates(query)}
+        results = {t.payload for t in partitioning.query(query)}
+        assert results <= candidates
+        # The paper's example: s6 is the false hit for Q = [2012-5].
+        assert candidates - results == {"s6"}
+
+    def test_config_reflects_expansion(self):
+        partitioning = build_from([(0, 11)], k=4)
+        partitioning.insert(TemporalTuple(-3, -3))
+        config = partitioning.config
+        assert isinstance(config, OIPConfiguration)
+        assert config.o == -3
+        assert config.k == 5

@@ -1,0 +1,162 @@
+"""Unit tests for the discrete interval type (paper Section 3)."""
+
+import pytest
+
+from repro.core.interval import Interval, IntervalError
+
+
+class TestConstruction:
+    def test_valid_interval(self):
+        interval = Interval(3, 7)
+        assert interval.start == 3
+        assert interval.end == 7
+
+    def test_single_point(self):
+        assert Interval(5, 5).duration == 1
+
+    def test_negative_coordinates(self):
+        assert Interval(-10, -2).duration == 9
+
+    def test_end_before_start_rejected(self):
+        with pytest.raises(IntervalError):
+            Interval(7, 3)
+
+    def test_point_constructor(self):
+        assert Interval.point(4) == Interval(4, 4)
+
+    def test_from_duration(self):
+        assert Interval.from_duration(3, 5) == Interval(3, 7)
+
+    def test_from_duration_rejects_non_positive(self):
+        with pytest.raises(IntervalError):
+            Interval.from_duration(3, 0)
+
+    def test_immutable(self):
+        interval = Interval(1, 2)
+        with pytest.raises(AttributeError):
+            interval.start = 9
+
+    def test_coerces_to_int(self):
+        interval = Interval(True, 5)  # bool is an int subtype
+        assert interval.start == 1
+
+
+class TestDuration:
+    """Paper: |T| = (TE - TS) + 1 — both endpoints inclusive."""
+
+    def test_duration_inclusive(self):
+        assert Interval(2, 5).duration == 4
+
+    def test_len_matches_duration(self):
+        assert len(Interval(0, 9)) == 10
+
+    def test_iteration_yields_all_points(self):
+        assert list(Interval(3, 6)) == [3, 4, 5, 6]
+
+
+class TestContainment:
+    def test_contains_point_inside(self):
+        assert Interval(2, 8).contains_point(5)
+
+    def test_contains_point_at_endpoints(self):
+        interval = Interval(2, 8)
+        assert interval.contains_point(2)
+        assert interval.contains_point(8)
+
+    def test_contains_point_outside(self):
+        assert not Interval(2, 8).contains_point(9)
+
+    def test_in_operator(self):
+        assert 4 in Interval(4, 4)
+        assert 5 not in Interval(4, 4)
+
+    def test_contains_interval(self):
+        assert Interval(1, 10).contains(Interval(3, 7))
+        assert Interval(1, 10).contains(Interval(1, 10))
+
+    def test_contains_interval_negative(self):
+        assert not Interval(1, 10).contains(Interval(0, 5))
+        assert not Interval(1, 10).contains(Interval(5, 11))
+
+
+class TestOverlap:
+    def test_overlapping(self):
+        assert Interval(1, 5).overlaps(Interval(5, 9))
+
+    def test_symmetric(self):
+        a, b = Interval(1, 5), Interval(3, 4)
+        assert a.overlaps(b) and b.overlaps(a)
+
+    def test_adjacent_do_not_overlap(self):
+        # Closed intervals: [1,4] and [5,9] share no point.
+        assert not Interval(1, 4).overlaps(Interval(5, 9))
+
+    def test_disjoint(self):
+        assert not Interval(1, 2).overlaps(Interval(10, 12))
+
+    def test_intersection(self):
+        assert Interval(1, 6).intersection(Interval(4, 9)) == Interval(4, 6)
+
+    def test_intersection_of_disjoint_raises(self):
+        with pytest.raises(IntervalError):
+            Interval(1, 2).intersection(Interval(5, 6))
+
+    def test_union_span(self):
+        assert Interval(1, 3).union_span(Interval(7, 9)) == Interval(1, 9)
+
+
+class TestArithmetic:
+    def test_shift_right(self):
+        assert Interval(2, 4).shift(3) == Interval(5, 7)
+
+    def test_shift_left(self):
+        assert Interval(2, 4).shift(-2) == Interval(0, 2)
+
+    def test_shift_preserves_duration(self):
+        assert Interval(2, 4).shift(100).duration == 3
+
+    def test_expand(self):
+        assert Interval(5, 6).expand(2, 3) == Interval(3, 9)
+
+    def test_expand_negative_margins_shrink(self):
+        assert Interval(0, 9).expand(-2, -3) == Interval(2, 6)
+
+    def test_clamp(self):
+        assert Interval(0, 100).clamp(Interval(10, 20)) == Interval(10, 20)
+
+
+class TestOrderingAndHashing:
+    def test_equality(self):
+        assert Interval(1, 2) == Interval(1, 2)
+        assert Interval(1, 2) != Interval(1, 3)
+
+    def test_not_equal_to_other_types(self):
+        assert Interval(1, 2) != (1, 2)
+
+    def test_lexicographic_order(self):
+        assert Interval(1, 5) < Interval(2, 3)
+        assert Interval(1, 3) < Interval(1, 5)
+
+    def test_sortable(self):
+        intervals = [Interval(3, 4), Interval(1, 9), Interval(1, 2)]
+        assert sorted(intervals) == [
+            Interval(1, 2),
+            Interval(1, 9),
+            Interval(3, 4),
+        ]
+
+    def test_hashable(self):
+        assert len({Interval(1, 2), Interval(1, 2), Interval(2, 3)}) == 2
+
+    def test_as_tuple(self):
+        assert Interval(4, 9).as_tuple() == (4, 9)
+
+
+class TestAdjacency:
+    def test_precedes(self):
+        assert Interval(1, 4).precedes(Interval(5, 6))
+        assert not Interval(1, 5).precedes(Interval(5, 6))
+
+    def test_meets(self):
+        assert Interval(1, 4).meets(Interval(5, 6))
+        assert not Interval(1, 4).meets(Interval(6, 7))

@@ -1,0 +1,178 @@
+"""Tests for the lazy partition list and OIPCREATE (Section 4.2/4.3,
+Algorithm 1, Example 5)."""
+
+import random
+
+import pytest
+
+from repro.core.lazy_list import oip_create
+from repro.core.oip import OIPConfiguration
+from repro.core.relation import TemporalRelation, TemporalTuple
+from repro.storage.manager import StorageManager
+
+
+def build_paper_list(paper_s):
+    config = OIPConfiguration.for_relation(paper_s, 4)
+    return oip_create(paper_s, config)
+
+
+class TestExample5:
+    """The worked construction of Example 5 / Figure 4."""
+
+    def test_final_structure(self, paper_s):
+        built = build_paper_list(paper_s)
+        nodes = [
+            (node.i, node.j, [t.payload for t in node.run.iter_tuples()])
+            for node in built.iter_nodes()
+        ]
+        assert nodes == [
+            (1, 3, ["s4", "s6"]),
+            (2, 3, ["s7"]),
+            (0, 1, ["s3"]),
+            (1, 1, ["s5"]),
+            (0, 0, ["s1", "s2"]),
+        ]
+
+    def test_main_list_is_branch_heads(self, paper_s):
+        built = build_paper_list(paper_s)
+        assert [(n.i, n.j) for n in built.iter_main()] == [
+            (1, 3),
+            (0, 1),
+            (0, 0),
+        ]
+
+    def test_five_of_ten_partitions_used(self, paper_s):
+        # Example 2: p_{0,3}, p_{0,2}, p_{1,2}, p_{2,2}, p_{3,3} are empty.
+        built = build_paper_list(paper_s)
+        assert built.partition_count == 5
+        empty = {(0, 3), (0, 2), (1, 2), (2, 2), (3, 3)}
+        assert empty.isdisjoint(set(built.index_pairs()))
+
+    def test_every_tuple_stored_once(self, paper_s):
+        built = build_paper_list(paper_s)
+        assert built.tuple_count == len(paper_s)
+        payloads = [
+            t.payload
+            for node in built.iter_nodes()
+            for t in node.run.iter_tuples()
+        ]
+        assert sorted(payloads) == sorted(t.payload for t in paper_s)
+
+
+class TestStructuralInvariants:
+    def _random_list(self, seed, cardinality=200, k=13):
+        rng = random.Random(seed)
+        tuples = []
+        for index in range(cardinality):
+            start = rng.randint(0, 400)
+            end = min(start + rng.randint(1, 120) - 1, 499)
+            tuples.append(TemporalTuple(start, end, index))
+        relation = TemporalRelation(tuples)
+        config = OIPConfiguration.for_relation(relation, k)
+        return relation, config, oip_create(relation, config)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_main_list_j_strictly_decreasing(self, seed):
+        _, _, built = self._random_list(seed)
+        js = [node.j for node in built.iter_main()]
+        assert js == sorted(js, reverse=True)
+        assert len(set(js)) == len(js)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_branch_list_i_strictly_increasing_same_j(self, seed):
+        _, _, built = self._random_list(seed)
+        for head in built.iter_main():
+            node = head
+            previous_i = -1
+            while node is not None:
+                assert node.j == head.j
+                assert node.i > previous_i
+                previous_i = node.i
+                node = node.right
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_tuples_in_correct_partition(self, seed):
+        relation, config, built = self._random_list(seed)
+        for node in built.iter_nodes():
+            for tup in node.run.iter_tuples():
+                assert config.assign(tup) == (node.i, node.j)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_no_duplicate_partitions(self, seed):
+        _, _, built = self._random_list(seed)
+        pairs = built.index_pairs()
+        assert len(pairs) == len(set(pairs))
+
+    def test_empty_relation_gives_empty_list(self):
+        relation = TemporalRelation([])
+        config = OIPConfiguration(k=4, d=3, o=0)
+        built = oip_create(relation, config)
+        assert built.head is None
+        assert built.partition_count == 0
+
+    def test_single_tuple(self):
+        relation = TemporalRelation.from_pairs([(3, 7)])
+        config = OIPConfiguration.for_relation(relation, 5)
+        built = oip_create(relation, config)
+        assert built.partition_count == 1
+
+
+class TestRelevantNavigation:
+    """iter_relevant implements the Lemma 1 walk of Figure 3(a)."""
+
+    def test_paper_query(self, paper_s):
+        built = build_paper_list(paper_s)
+        # Query Q = [2012-5, 2012-5] -> s = e = 1 (Example 3).
+        relevant = [(n.i, n.j) for n in built.iter_relevant(1, 1)]
+        assert relevant == [(1, 3), (0, 1), (1, 1)]
+
+    def test_relevant_matches_filter(self, paper_s):
+        built = build_paper_list(paper_s)
+        for s in range(4):
+            for e in range(s, 4):
+                walked = set(
+                    (n.i, n.j) for n in built.iter_relevant(s, e)
+                )
+                expected = {
+                    (i, j)
+                    for (i, j) in built.index_pairs()
+                    if j >= s and i <= e
+                }
+                assert walked == expected
+
+    def test_relevant_with_no_match(self, paper_s):
+        built = build_paper_list(paper_s)
+        # e = -1: no partition can have i <= -1.
+        assert list(built.iter_relevant(0, -1)) == []
+
+
+class TestStorageLayout:
+    """Algorithm 1's sort makes partition storage contiguous."""
+
+    def test_blocks_allocated_in_sorted_order(self, paper_s):
+        storage = StorageManager()
+        config = OIPConfiguration.for_relation(paper_s, 4)
+        built = oip_create(paper_s, config, storage)
+        # Each partition occupies consecutive block ids.
+        for node in built.iter_nodes():
+            ids = node.run.block_ids
+            assert ids == list(range(ids[0], ids[0] + len(ids)))
+        # Allocation follows the (j ASC, i DESC) sort, which is exactly
+        # reverse grid order — a full scan in that order is sequential.
+        grid_ids = [
+            block_id
+            for node in built.iter_nodes()
+            for block_id in node.run.block_ids
+        ]
+        assert list(reversed(grid_ids)) == list(range(len(grid_ids)))
+
+    def test_build_charges_writes(self, paper_s):
+        storage = StorageManager()
+        config = OIPConfiguration.for_relation(paper_s, 4)
+        oip_create(paper_s, config, storage)
+        assert storage.counters.block_writes >= 5  # one per partition
+
+    def test_default_storage_created_when_missing(self, paper_s):
+        config = OIPConfiguration.for_relation(paper_s, 4)
+        built = oip_create(paper_s, config)
+        assert built.storage is not None

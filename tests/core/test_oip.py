@@ -1,0 +1,261 @@
+"""Tests for OIP configurations and partition math (Section 4.1):
+Definitions 1-2, Lemma 1, Lemma 2, Proposition 1, Lemma 3."""
+
+import pytest
+
+from repro.core.interval import Interval
+from repro.core.oip import (
+    OIPConfiguration,
+    possible_partition_count,
+    tightening_factor,
+    used_partition_bound,
+)
+from repro.core.relation import TemporalTuple
+
+
+class TestConfiguration:
+    """Definition 1: (k, d, o) with d = ceil(|U| / k), o = US."""
+
+    def test_paper_example_2(self, paper_s):
+        config = OIPConfiguration.for_relation(paper_s, 4)
+        assert config == OIPConfiguration(k=4, d=3, o=1)
+
+    def test_paper_figure_1_outer(self, paper_r):
+        # Time range [2012-5, 2012-11]: d = ceil(7/4) = 2.
+        config = OIPConfiguration.for_relation(paper_r, 4)
+        assert config == OIPConfiguration(k=4, d=2, o=5)
+
+    def test_granule_duration_rounds_up(self):
+        config = OIPConfiguration.for_time_range(Interval(0, 9), 3)
+        assert config.d == 4
+
+    def test_exact_division(self):
+        config = OIPConfiguration.for_time_range(Interval(0, 11), 4)
+        assert config.d == 3
+
+    def test_k_of_one(self):
+        config = OIPConfiguration.for_time_range(Interval(0, 9), 1)
+        assert config.d == 10
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ValueError):
+            OIPConfiguration.for_time_range(Interval(0, 9), 0)
+        with pytest.raises(ValueError):
+            OIPConfiguration(k=0, d=1, o=0)
+
+    def test_invalid_d_rejected(self):
+        with pytest.raises(ValueError):
+            OIPConfiguration(k=1, d=0, o=0)
+
+    def test_partitioned_time_range_may_exceed_relation_range(self):
+        # |U| = 10, k = 3 -> d = 4 -> partitioned range covers 12 points.
+        config = OIPConfiguration.for_time_range(Interval(0, 9), 3)
+        assert config.time_range == Interval(0, 11)
+
+
+class TestAssignment:
+    """Definition 2: i = floor((TS-o)/d), j = floor((TE-o)/d)."""
+
+    def test_paper_tuple_s1(self, paper_s):
+        config = OIPConfiguration.for_relation(paper_s, 4)
+        assert config.assign(TemporalTuple(1, 1)) == (0, 0)
+
+    def test_paper_tuple_s6(self, paper_s):
+        config = OIPConfiguration.for_relation(paper_s, 4)
+        assert config.assign(TemporalTuple(6, 10)) == (1, 3)
+
+    def test_all_paper_assignments(self, paper_s):
+        config = OIPConfiguration.for_relation(paper_s, 4)
+        expected = {
+            "s1": (0, 0),
+            "s2": (0, 0),
+            "s3": (0, 1),
+            "s4": (1, 3),
+            "s5": (1, 1),
+            "s6": (1, 3),
+            "s7": (2, 3),
+        }
+        for tup in paper_s:
+            assert config.assign(tup) == expected[tup.payload]
+
+    def test_assignment_covers_tuple(self):
+        config = OIPConfiguration(k=5, d=4, o=10)
+        for start, end in [(10, 10), (13, 14), (11, 29), (26, 29)]:
+            tup = TemporalTuple(start, end)
+            i, j = config.assign(tup)
+            partition = config.partition_interval(i, j)
+            assert partition.contains(tup.interval)
+
+    def test_assignment_is_smallest_covering_partition(self):
+        config = OIPConfiguration(k=6, d=3, o=0)
+        for start, end in [(0, 2), (2, 4), (5, 12), (0, 17)]:
+            tup = TemporalTuple(start, end)
+            i, j = config.assign(tup)
+            # Any strictly smaller partition (larger i or smaller j)
+            # must fail to cover the tuple.
+            if i + 1 <= j:
+                assert not config.partition_interval(i + 1, j).contains(
+                    tup.interval
+                )
+            if i <= j - 1:
+                assert not config.partition_interval(i, j - 1).contains(
+                    tup.interval
+                )
+
+    def test_partition_interval_formula(self):
+        config = OIPConfiguration(k=4, d=3, o=1)
+        assert config.partition_interval(0, 1) == Interval(1, 6)
+        assert config.partition_interval(2, 3) == Interval(7, 12)
+
+    def test_partition_interval_rejects_bad_indices(self):
+        config = OIPConfiguration(k=4, d=3, o=1)
+        with pytest.raises(ValueError):
+            config.partition_interval(2, 1)
+        with pytest.raises(ValueError):
+            config.partition_interval(-1, 1)
+
+    def test_covers(self):
+        config = OIPConfiguration(k=4, d=3, o=1)
+        assert config.covers(TemporalTuple(1, 12))
+        assert not config.covers(TemporalTuple(0, 3))
+        assert not config.covers(TemporalTuple(10, 13))
+
+
+class TestRelevantPartitions:
+    """Lemma 1: relevant partitions satisfy i <= e and j >= s."""
+
+    def test_paper_example_3(self, paper_s):
+        config = OIPConfiguration.for_relation(paper_s, 4)
+        s, e = config.query_indices(Interval(5, 5))
+        assert (s, e) == (1, 1)
+        relevant = {
+            (i, j)
+            for i in range(4)
+            for j in range(i, 4)
+            if config.is_relevant(i, j, s, e)
+        }
+        assert relevant == {(0, 3), (0, 2), (0, 1), (1, 3), (1, 2), (1, 1)}
+
+    def test_lemma_1_soundness(self):
+        """Every partition holding a tuple that overlaps Q is relevant."""
+        config = OIPConfiguration(k=5, d=4, o=0)
+        query = Interval(6, 9)
+        s, e = config.query_indices(query)
+        for start in range(0, 20):
+            for end in range(start, 20):
+                tup = TemporalTuple(start, end)
+                if tup.overlaps_interval(query):
+                    i, j = config.assign(tup)
+                    assert config.is_relevant(i, j, s, e)
+
+    def test_irrelevant_partitions_hold_no_overlapping_tuple(self):
+        """Converse sanity: tuples in non-relevant partitions miss Q."""
+        config = OIPConfiguration(k=5, d=4, o=0)
+        query = Interval(6, 9)
+        s, e = config.query_indices(query)
+        for start in range(0, 20):
+            for end in range(start, 20):
+                tup = TemporalTuple(start, end)
+                i, j = config.assign(tup)
+                if not config.is_relevant(i, j, s, e):
+                    assert not tup.overlaps_interval(query)
+
+
+class TestClusteringGuarantee:
+    """Lemma 2: |p.T| - |r.T| < 2d, independent of the tuple duration."""
+
+    def test_exhaustive_small_configuration(self):
+        config = OIPConfiguration(k=6, d=3, o=0)
+        span = config.time_range
+        for start in range(span.start, span.end + 1):
+            for end in range(start, span.end + 1):
+                slack = config.clustering_slack(TemporalTuple(start, end))
+                assert 0 <= slack < 2 * config.d
+
+    def test_slack_bound_is_tight(self):
+        """The worst case 2d - 2 is achieved (proof of Lemma 2)."""
+        config = OIPConfiguration(k=4, d=5, o=0)
+        # Smallest tuple in p_{0,1}: [d-1, d] -> duration 2, partition 10.
+        worst = TemporalTuple(config.d - 1, config.d)
+        assert config.clustering_slack(worst) == 2 * config.d - 2
+
+    def test_paper_illustration(self):
+        """2000-day range, k = 200 -> d = 10: the slack for an 80-day and
+        a 282-day tuple is below 20 days (Section 4.1)."""
+        config = OIPConfiguration.for_time_range(Interval(1, 2000), 200)
+        assert config.d == 10
+        eighty = TemporalTuple(11, 90)
+        long_lived = TemporalTuple(9, 290)
+        assert config.clustering_slack(eighty) < 20
+        assert config.clustering_slack(long_lived) < 20
+
+
+class TestPartitionCounts:
+    """Proposition 1 and Lemma 3."""
+
+    def test_proposition_1(self):
+        assert possible_partition_count(1) == 1
+        assert possible_partition_count(4) == 10
+        assert possible_partition_count(200) == 20_100
+
+    def test_proposition_1_matches_enumeration(self):
+        for k in range(1, 12):
+            enumerated = sum(1 for i in range(k) for _ in range(i, k))
+            assert possible_partition_count(k) == enumerated
+
+    def test_paper_example_4(self):
+        """lambda = 0.2, k = 200 -> at most 7,380 used partitions."""
+        assert used_partition_bound(200, 0.2, 10**9) == 7_380
+
+    def test_lemma_3_capped_by_cardinality(self):
+        assert used_partition_bound(200, 0.2, 100) == 100
+
+    def test_lemma_3_short_tuples(self):
+        # lambda ~ 0: tuples span at most 1 granule, the longest used
+        # partition spans at most 2 -> bound = k + (k - 1)... the closed
+        # form gives k*(0+1) - 0 = k for g = 0.
+        assert used_partition_bound(10, 0.0, 10**6) == 10
+
+    def test_lemma_3_bounds_actual_usage(self):
+        """The bound dominates the real partition count for random data."""
+        import random
+
+        from repro.core.lazy_list import oip_create
+        from repro.core.relation import TemporalRelation, TemporalTuple
+
+        rng = random.Random(3)
+        tuples = []
+        for index in range(300):
+            start = rng.randint(0, 900)
+            end = min(start + rng.randint(1, 100) - 1, 999)
+            tuples.append(TemporalTuple(start, end, index))
+        relation = TemporalRelation(tuples)
+        config = OIPConfiguration.for_relation(relation, 20)
+        built = oip_create(relation, config)
+        bound = used_partition_bound(
+            20, relation.duration_fraction, relation.cardinality
+        )
+        assert built.partition_count <= bound
+
+    def test_tightening_factor_example_4(self):
+        """Example 4 computes tau = 7380/20100 ~ 0.37 (the text's
+        1890/5050 uses the same ratio at k = 100)."""
+        tau = tightening_factor(200, 0.2, 10**9)
+        assert tau == pytest.approx(7380 / 20100)
+
+    def test_tightening_factor_bounds(self):
+        for k in (1, 5, 50):
+            for lam in (0.0, 0.1, 1.0):
+                tau = tightening_factor(k, lam, 10**9)
+                assert 0.0 < tau <= 1.0
+
+    def test_tightening_factor_empty_relation(self):
+        assert 0.0 < tightening_factor(10, 0.5, 0) <= 1.0
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            possible_partition_count(-1)
+        with pytest.raises(ValueError):
+            used_partition_bound(0, 0.5, 10)
+        with pytest.raises(ValueError):
+            used_partition_bound(5, 0.5, -1)

@@ -1,0 +1,135 @@
+"""Unit tests for temporal relations and their paper statistics."""
+
+import pytest
+
+from repro.core.interval import Interval, IntervalError
+from repro.core.relation import (
+    EmptyRelationError,
+    TemporalRelation,
+    TemporalTuple,
+)
+
+
+class TestTemporalTuple:
+    def test_construction(self):
+        tup = TemporalTuple(2, 6, {"name": "ann"})
+        assert tup.start == 2
+        assert tup.end == 6
+        assert tup.payload == {"name": "ann"}
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(IntervalError):
+            TemporalTuple(5, 4)
+
+    def test_interval_property(self):
+        assert TemporalTuple(2, 6).interval == Interval(2, 6)
+
+    def test_duration(self):
+        assert TemporalTuple(2, 6).duration == 5
+
+    def test_overlaps_tuple(self):
+        assert TemporalTuple(1, 5).overlaps(TemporalTuple(5, 9))
+        assert not TemporalTuple(1, 4).overlaps(TemporalTuple(5, 9))
+
+    def test_overlaps_interval(self):
+        assert TemporalTuple(1, 5).overlaps_interval(Interval(0, 1))
+        assert not TemporalTuple(1, 5).overlaps_interval(Interval(6, 8))
+
+    def test_equality_includes_payload(self):
+        assert TemporalTuple(1, 2, "a") == TemporalTuple(1, 2, "a")
+        assert TemporalTuple(1, 2, "a") != TemporalTuple(1, 2, "b")
+
+    def test_hashable(self):
+        pair = {TemporalTuple(1, 2, "a"), TemporalTuple(1, 2, "a")}
+        assert len(pair) == 1
+
+
+class TestRelationConstruction:
+    def test_from_pairs_assigns_positional_payload(self):
+        relation = TemporalRelation.from_pairs([(1, 2), (3, 4)])
+        assert [tup.payload for tup in relation] == [0, 1]
+
+    def test_from_records(self):
+        relation = TemporalRelation.from_records([(1, 2, "x")])
+        assert relation[0].payload == "x"
+
+    def test_len_and_iteration(self):
+        relation = TemporalRelation.from_pairs([(1, 1), (2, 2), (3, 3)])
+        assert len(relation) == 3
+        assert [tup.start for tup in relation] == [1, 2, 3]
+
+    def test_indexing(self):
+        relation = TemporalRelation.from_pairs([(1, 1), (2, 5)])
+        assert relation[1].end == 5
+
+
+class TestPaperStatistics:
+    """Section 3: time range U, longest duration l, lambda = l / |U|."""
+
+    def test_time_range_spans_min_start_to_max_end(self):
+        relation = TemporalRelation.from_pairs([(5, 9), (2, 3), (7, 12)])
+        assert relation.time_range == Interval(2, 12)
+
+    def test_time_range_duration(self):
+        relation = TemporalRelation.from_pairs([(1, 12)])
+        assert relation.time_range_duration == 12
+
+    def test_max_duration(self):
+        relation = TemporalRelation.from_pairs([(1, 2), (4, 9), (5, 5)])
+        assert relation.max_duration == 6
+
+    def test_duration_fraction(self):
+        relation = TemporalRelation.from_pairs([(0, 4), (0, 9)])
+        assert relation.duration_fraction == 1.0
+
+    def test_duration_fraction_partial(self):
+        relation = TemporalRelation.from_pairs([(0, 1), (8, 9)])
+        assert relation.duration_fraction == pytest.approx(0.2)
+
+    def test_paper_example_lambda(self, paper_s):
+        # |U| = 12, longest tuple s4 = [5, 11] -> l = 7.
+        assert paper_s.time_range_duration == 12
+        assert paper_s.max_duration == 7
+
+    def test_empty_relation_statistics_raise(self):
+        empty = TemporalRelation([])
+        assert empty.is_empty
+        with pytest.raises(EmptyRelationError):
+            _ = empty.time_range
+        with pytest.raises(EmptyRelationError):
+            _ = empty.max_duration
+
+
+class TestDerivedRelations:
+    def test_filter(self):
+        relation = TemporalRelation.from_pairs([(1, 1), (2, 9), (3, 3)])
+        short = relation.filter(lambda tup: tup.duration == 1)
+        assert len(short) == 2
+
+    def test_filter_does_not_mutate_source(self):
+        relation = TemporalRelation.from_pairs([(1, 1), (2, 9)])
+        relation.filter(lambda tup: False)
+        assert len(relation) == 2
+
+    def test_head(self):
+        relation = TemporalRelation.from_pairs([(1, 1), (2, 2), (3, 3)])
+        assert [t.start for t in relation.head(2)] == [1, 2]
+
+    def test_sorted_by(self):
+        relation = TemporalRelation.from_pairs([(5, 9), (1, 2)])
+        ordered = relation.sorted_by(lambda tup: tup.start)
+        assert [t.start for t in ordered] == [1, 5]
+
+    def test_sample_every(self):
+        relation = TemporalRelation.from_pairs([(i, i) for i in range(10)])
+        assert len(relation.sample_every(3)) == 4
+
+    def test_sample_every_rejects_bad_step(self):
+        relation = TemporalRelation.from_pairs([(1, 1)])
+        with pytest.raises(ValueError):
+            relation.sample_every(0)
+
+    def test_repr_mentions_name_and_cardinality(self):
+        relation = TemporalRelation.from_pairs([(1, 2)], name="emp")
+        assert "emp" in repr(relation)
+        assert "n=1" in repr(relation)

@@ -1,0 +1,147 @@
+"""Tests for the distribution-aware tightening statistics
+(future-work extension)."""
+
+import pytest
+
+from repro.core.granules import cost_model_for, derive_k
+from repro.core.interval import Interval
+from repro.core.lazy_list import oip_create
+from repro.core.oip import OIPConfiguration, used_partition_bound
+from repro.core.relation import TemporalRelation
+from repro.core.statistics import (
+    DurationHistogram,
+    HistogramCostModel,
+    histogram_cost_model,
+)
+from repro.workloads import long_lived_mixture, uniform_relation
+
+
+def skewed_relation(cardinality=2_000, seed=0):
+    """Mostly short tuples with a few very long outliers — the regime
+    where Lemma 3's max-duration bound is far too pessimistic."""
+    return long_lived_mixture(
+        cardinality,
+        long_fraction=0.01,
+        time_range=Interval(1, 2**18),
+        long_max_fraction=0.5,
+        seed=seed,
+    )
+
+
+class TestDurationHistogram:
+    def test_cardinality_preserved(self):
+        relation = uniform_relation(500, seed=1)
+        histogram = DurationHistogram.from_relation(relation)
+        assert histogram.cardinality == 500
+
+    def test_bounds_strictly_increasing(self):
+        histogram = DurationHistogram.from_relation(
+            uniform_relation(200, max_duration_fraction=0.5, seed=2)
+        )
+        assert list(histogram.bounds) == sorted(set(histogram.bounds))
+
+    def test_exact_buckets_for_short_durations(self):
+        relation = TemporalRelation.from_pairs(
+            [(0, 0), (0, 0), (0, 1), (0, 2), (0, 99)]
+        )
+        histogram = DurationHistogram.from_relation(relation)
+        assert histogram.counts[0] == 2  # duration 1
+        assert histogram.counts[1] == 1  # duration 2
+        assert histogram.counts[2] == 1  # duration 3
+
+    def test_empty_relation(self):
+        histogram = DurationHistogram.from_relation(TemporalRelation([]))
+        assert histogram.cardinality == 0
+        assert histogram.expected_used_partitions(10, 1) == 1
+
+    def test_span_counts_capped_at_k(self):
+        relation = TemporalRelation.from_pairs([(0, 999)])
+        histogram = DurationHistogram.from_relation(relation)
+        spans = histogram.span_counts(k=4, granule_duration=250)
+        assert max(spans) <= 4
+
+    def test_expected_used_partitions_bounded(self):
+        relation = uniform_relation(300, seed=3)
+        histogram = DurationHistogram.from_relation(relation)
+        for k in (1, 8, 64):
+            expected = histogram.expected_used_partitions(
+                k, max(1, relation.time_range_duration // k)
+            )
+            assert 1 <= expected <= relation.cardinality
+
+
+class TestEstimateQuality:
+    def test_tighter_than_lemma_3_on_skewed_data(self):
+        """The headline: on skew, the histogram estimate is far below
+        the max-duration bound."""
+        relation = skewed_relation()
+        histogram = DurationHistogram.from_relation(relation)
+        k = 64
+        d = max(1, -(-relation.time_range_duration // k))
+        lemma3 = used_partition_bound(
+            k, relation.duration_fraction, relation.cardinality
+        )
+        estimate = histogram.expected_used_partitions(k, d)
+        assert estimate < lemma3 / 2
+
+    def test_estimate_tracks_reality(self):
+        """The expected-used-partitions estimate is within a small
+        factor of the materialised partition count."""
+        for seed in (0, 1, 2):
+            relation = skewed_relation(seed=seed)
+            histogram = DurationHistogram.from_relation(relation)
+            k = 48
+            config = OIPConfiguration.for_relation(relation, k)
+            actual = oip_create(relation, config).partition_count
+            estimate = histogram.expected_used_partitions(k, config.d)
+            assert actual / 3 <= estimate <= actual * 3
+
+    def test_uniform_data_estimates_similar_to_lemma3(self):
+        """On non-skewed data the two bounds agree in magnitude."""
+        relation = uniform_relation(
+            2_000, Interval(1, 2**18), 0.01, seed=4
+        )
+        histogram = DurationHistogram.from_relation(relation)
+        k = 64
+        d = max(1, -(-relation.time_range_duration // k))
+        lemma3 = used_partition_bound(
+            k, relation.duration_fraction, relation.cardinality
+        )
+        estimate = histogram.expected_used_partitions(k, d)
+        assert estimate <= lemma3
+        assert estimate >= lemma3 / 10
+
+
+class TestHistogramCostModel:
+    def test_derives_valid_k(self):
+        outer = skewed_relation(400, seed=5)
+        inner = skewed_relation(2_000, seed=6)
+        model = histogram_cost_model(outer, inner)
+        derivation = derive_k(model)
+        assert derivation.converged
+        assert derivation.k >= 1
+
+    def test_skew_aware_k_at_least_lemma3_k(self):
+        """Tighter tau estimates afford more granules (the Section 6.2
+        'empty partitions let us increase k' argument, now driven by
+        the distribution instead of the maximum)."""
+        outer = skewed_relation(400, seed=7)
+        inner = skewed_relation(2_000, seed=8)
+        lemma3_k = derive_k(cost_model_for(outer, inner)).k
+        histogram_k = derive_k(histogram_cost_model(outer, inner)).k
+        assert histogram_k >= lemma3_k
+
+    def test_tightening_in_unit_interval(self):
+        model = histogram_cost_model(
+            skewed_relation(300, seed=9), skewed_relation(300, seed=10)
+        )
+        for k in (1, 10, 100):
+            assert 0.0 < model.tightening(k) <= 1.0
+
+    def test_cardinalities_from_histograms(self):
+        outer = uniform_relation(111, seed=11)
+        inner = uniform_relation(222, seed=12)
+        model = histogram_cost_model(outer, inner)
+        assert isinstance(model, HistogramCostModel)
+        assert model.outer_cardinality == 111
+        assert model.inner_cardinality == 222

@@ -1,0 +1,117 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestJoinCommand:
+    def test_default_join(self, capsys):
+        assert main(["join", "--cardinality", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "result pairs" in out
+        assert "false_hits" in out
+
+    def test_named_algorithm(self, capsys):
+        assert main(["join", "--cardinality", "80", "--algorithm", "smj"]) == 0
+        assert "smj:" in capsys.readouterr().out
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["join", "--algorithm", "nope", "--cardinality", "10"])
+
+    @pytest.mark.parametrize(
+        "workload", ["uniform", "mixture", "points", "clustered"]
+    )
+    def test_every_synthetic_workload(self, workload, capsys):
+        assert (
+            main(["join", "--workload", workload, "--cardinality", "60"])
+            == 0
+        )
+        assert "result pairs" in capsys.readouterr().out
+
+    def test_dataset_workload(self, capsys):
+        assert (
+            main(
+                [
+                    "join",
+                    "--workload",
+                    "incumbent",
+                    "--cardinality",
+                    "120",
+                ]
+            )
+            == 0
+        )
+        assert "result pairs" in capsys.readouterr().out
+
+    def test_deterministic_by_seed(self, capsys):
+        main(["join", "--cardinality", "90", "--seed", "3"])
+        first = capsys.readouterr().out
+        main(["join", "--cardinality", "90", "--seed", "3"])
+        second = capsys.readouterr().out
+        # Counter lines must match exactly (runtime line differs).
+        assert first.splitlines()[1:] == second.splitlines()[1:]
+
+
+class TestCompareCommand:
+    def test_compare_runs_and_agrees(self, capsys):
+        assert (
+            main(
+                [
+                    "compare",
+                    "--cardinality",
+                    "120",
+                    "--algorithms",
+                    "oip,smj,nlj",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "WARNING" not in out
+        for name in ("oip", "smj", "nlj"):
+            assert name in out
+
+    def test_unknown_algorithm_in_list(self):
+        with pytest.raises(SystemExit):
+            main(["compare", "--algorithms", "oip,bogus"])
+
+
+class TestDeriveKCommand:
+    def test_example_8(self, capsys):
+        assert (
+            main(
+                [
+                    "derive-k",
+                    "--outer",
+                    "10000000",
+                    "--inner",
+                    "100000000",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "converged: True" in out
+        # The Example 8 fixed point (within implementation rounding).
+        assert "k = 16," in out
+
+
+class TestDatasetsCommand:
+    def test_prints_all_standins(self, capsys):
+        assert main(["datasets", "--cardinality", "300"]) == 0
+        out = capsys.readouterr().out
+        for name in ("incumbent", "feed", "webkit"):
+            assert name in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_parser_builds(self):
+        parser = build_parser()
+        args = parser.parse_args(["join", "--cardinality", "5"])
+        assert args.cardinality == 5

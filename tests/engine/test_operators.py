@@ -1,0 +1,130 @@
+"""Tests for the query operators."""
+
+from repro import TemporalRelation
+from repro.core.interval import Interval
+from repro.engine.operators import (
+    OverlapJoinOperator,
+    ScanOperator,
+)
+from repro.engine.predicates import overlaps_at_least
+
+
+def employees():
+    return TemporalRelation.from_records(
+        [
+            (1, 12, "ann"),
+            (3, 5, "bob"),
+            (9, 20, "cho"),
+        ],
+        name="employees",
+    )
+
+
+def projects():
+    return TemporalRelation.from_records(
+        [
+            (2, 8, "apollo"),
+            (10, 11, "gemini"),
+            (30, 40, "mercury"),
+        ],
+        name="projects",
+    )
+
+
+class TestScanAndSelect:
+    def test_scan_returns_relation(self):
+        scan = ScanOperator(employees())
+        assert len(scan.execute()) == 3
+
+    def test_select_filters(self):
+        scan = ScanOperator(employees()).select(
+            lambda tup: tup.duration >= 10
+        )
+        assert sorted(t.payload for t in scan.execute()) == ["ann", "cho"]
+
+    def test_chained_selects(self):
+        scan = (
+            ScanOperator(employees())
+            .select(lambda tup: tup.duration >= 10)
+            .select(lambda tup: tup.start == 1)
+        )
+        assert [t.payload for t in scan.execute()] == ["ann"]
+
+    def test_time_slice(self):
+        scan = ScanOperator(employees()).time_slice(Interval(4, 4))
+        assert sorted(t.payload for t in scan.execute()) == ["ann", "bob"]
+
+
+class TestOverlapJoinOperator:
+    def test_plain_join(self):
+        join = OverlapJoinOperator(
+            ScanOperator(employees()), ScanOperator(projects())
+        )
+        rows = join.execute()
+        pairs = sorted((a.payload, b.payload) for a, b, _ in rows)
+        assert pairs == [
+            ("ann", "apollo"),
+            ("ann", "gemini"),
+            ("bob", "apollo"),
+            ("cho", "gemini"),
+        ]
+
+    def test_rows_carry_overlap_interval(self):
+        join = OverlapJoinOperator(
+            ScanOperator(employees()), ScanOperator(projects())
+        )
+        for employee, project, shared in join.execute():
+            assert shared.start == max(employee.start, project.start)
+            assert shared.end == min(employee.end, project.end)
+
+    def test_paper_refinement_example(self):
+        """Section 1: employees employed during at least 5 months while a
+        project is ongoing — refine AFTER computing the overlap."""
+        join = OverlapJoinOperator(
+            ScanOperator(employees()), ScanOperator(projects())
+        ).refine(overlaps_at_least(5))
+        rows = join.execute()
+        assert [(a.payload, b.payload) for a, b, _ in rows] == [
+            ("ann", "apollo")
+        ]
+
+    def test_multiple_refinements_conjoin(self):
+        join = (
+            OverlapJoinOperator(
+                ScanOperator(employees()), ScanOperator(projects())
+            )
+            .refine(overlaps_at_least(1))
+            .refine(lambda a, b: b.payload != "gemini")
+        )
+        pairs = [(a.payload, b.payload) for a, b, _ in join.execute()]
+        assert ("ann", "gemini") not in pairs
+
+    def test_last_result_exposes_join_statistics(self):
+        join = OverlapJoinOperator(
+            ScanOperator(employees()), ScanOperator(projects())
+        )
+        join.execute()
+        assert join.last_result is not None
+        assert join.last_result.algorithm == "oip"
+
+    def test_custom_algorithm_injected(self):
+        from repro.baselines.sort_merge import SortMergeJoin
+
+        join = OverlapJoinOperator(
+            ScanOperator(employees()),
+            ScanOperator(projects()),
+            algorithm=SortMergeJoin(),
+        )
+        rows = join.execute()
+        assert join.last_result.algorithm == "smj"
+        assert len(rows) == 4
+
+    def test_join_over_filtered_inputs(self):
+        join = OverlapJoinOperator(
+            ScanOperator(employees()).select(
+                lambda tup: tup.payload == "cho"
+            ),
+            ScanOperator(projects()),
+        )
+        pairs = [(a.payload, b.payload) for a, b, _ in join.execute()]
+        assert pairs == [("cho", "gemini")]

@@ -1,0 +1,77 @@
+"""Tests for the statistics-driven join planner."""
+
+import pytest
+
+from repro.core.interval import Interval
+from repro.engine.planner import JoinPlanner
+from repro.workloads import long_lived_mixture, point_relation
+from tests.conftest import oracle_pairs
+
+
+class TestPlanSelection:
+    def test_point_data_picks_sort_merge(self):
+        planner = JoinPlanner()
+        outer = point_relation(100, seed=1)
+        inner = point_relation(100, seed=2)
+        plan = planner.plan(outer, inner)
+        assert plan.algorithm.name == "smj"
+        assert "point data" in plan.reason
+
+    def test_long_lived_data_picks_oip(self):
+        planner = JoinPlanner()
+        range_ = Interval(1, 2**16)
+        outer = long_lived_mixture(100, 0.5, range_, seed=1)
+        inner = long_lived_mixture(100, 0.5, range_, seed=2)
+        plan = planner.plan(outer, inner)
+        assert plan.algorithm.name == "oip"
+        assert "long-lived" in plan.reason
+
+    def test_one_long_lived_side_is_enough(self):
+        """The paper: smj 'deteriorates as soon as the dataset contains
+        a few long-lived tuples'."""
+        planner = JoinPlanner()
+        range_ = Interval(1, 2**16)
+        outer = point_relation(100, range_, seed=1)
+        inner = long_lived_mixture(100, 0.2, range_, seed=2)
+        assert planner.plan(outer, inner).algorithm.name == "oip"
+
+    def test_plan_records_statistics(self):
+        planner = JoinPlanner()
+        outer = point_relation(50, seed=3)
+        inner = point_relation(50, seed=4)
+        plan = planner.plan(outer, inner)
+        assert plan.outer_duration_fraction > 0.0
+        assert plan.inner_duration_fraction > 0.0
+
+    def test_threshold_configurable(self):
+        range_ = Interval(1, 1000)
+        outer = long_lived_mixture(100, 0.0, range_, seed=5)
+        inner = long_lived_mixture(100, 0.0, range_, seed=6)
+        strict = JoinPlanner(point_threshold=1e-9)
+        lax = JoinPlanner(point_threshold=1.0)
+        assert strict.plan(outer, inner).algorithm.name == "oip"
+        assert lax.plan(outer, inner).algorithm.name == "smj"
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            JoinPlanner(point_threshold=0.0)
+
+
+class TestExecution:
+    def test_planned_join_is_correct(self, paper_r, paper_s):
+        result = JoinPlanner().join(paper_r, paper_s)
+        assert result.pair_keys() == oracle_pairs(paper_r, paper_s)
+
+    def test_plan_execute_separately(self):
+        planner = JoinPlanner()
+        outer = point_relation(60, seed=7)
+        inner = point_relation(60, seed=8)
+        plan = planner.plan(outer, inner)
+        result = plan.execute(outer, inner)
+        assert result.pair_keys() == oracle_pairs(outer, inner)
+
+    def test_empty_relations(self, paper_s):
+        from repro import TemporalRelation
+
+        result = JoinPlanner().join(TemporalRelation([]), paper_s)
+        assert result.pairs == []

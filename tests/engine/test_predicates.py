@@ -1,0 +1,123 @@
+"""Tests for temporal predicates and Allen's relations."""
+
+import pytest
+
+from repro.core.interval import Interval
+from repro.core.relation import TemporalTuple
+from repro.engine.predicates import (
+    after,
+    allen_relation,
+    before,
+    contains,
+    during,
+    equals,
+    finished_by,
+    finishes,
+    meets,
+    met_by,
+    overlap_duration,
+    overlap_interval,
+    overlaps,
+    overlaps_at_least,
+    started_by,
+    starts,
+)
+
+
+def t(start, end):
+    return TemporalTuple(start, end)
+
+
+class TestOverlapPredicates:
+    def test_overlaps(self):
+        assert overlaps(t(1, 5), t(5, 9))
+        assert not overlaps(t(1, 4), t(5, 9))
+
+    def test_overlap_interval(self):
+        assert overlap_interval(t(1, 6), t(4, 9)) == Interval(4, 6)
+        assert overlap_interval(t(1, 2), t(5, 6)) is None
+
+    def test_overlap_duration(self):
+        assert overlap_duration(t(1, 6), t(4, 9)) == 3
+        assert overlap_duration(t(1, 2), t(5, 6)) == 0
+        assert overlap_duration(t(3, 3), t(3, 3)) == 1
+
+    def test_overlaps_at_least(self):
+        """The paper's 'employed during at least 5 months' refinement."""
+        five = overlaps_at_least(5)
+        employee = t(1, 12)
+        long_project = t(3, 8)  # 6 shared months
+        short_project = t(10, 12)  # 3 shared months
+        assert five(employee, long_project)
+        assert not five(employee, short_project)
+
+    def test_overlaps_at_least_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            overlaps_at_least(0)
+
+
+class TestAllenRelations:
+    def test_before_after(self):
+        assert before(t(1, 3), t(5, 9))
+        assert after(t(5, 9), t(1, 3))
+        assert not before(t(1, 4), t(5, 9))  # meets, not before
+
+    def test_meets_met_by(self):
+        assert meets(t(1, 4), t(5, 9))
+        assert met_by(t(5, 9), t(1, 4))
+
+    def test_starts_started_by(self):
+        assert starts(t(1, 3), t(1, 9))
+        assert started_by(t(1, 9), t(1, 3))
+        assert not starts(t(1, 9), t(1, 9))  # equals
+
+    def test_finishes_finished_by(self):
+        assert finishes(t(5, 9), t(1, 9))
+        assert finished_by(t(1, 9), t(5, 9))
+
+    def test_during_contains(self):
+        assert during(t(3, 5), t(1, 9))
+        assert contains(t(1, 9), t(3, 5))
+        assert not during(t(1, 5), t(1, 9))  # starts
+
+    def test_equals(self):
+        assert equals(t(2, 7), t(2, 7))
+        assert not equals(t(2, 7), t(2, 8))
+
+    @pytest.mark.parametrize(
+        "left,right,name",
+        [
+            ((1, 2), (5, 6), "before"),
+            ((5, 6), (1, 2), "after"),
+            ((1, 4), (5, 6), "meets"),
+            ((5, 6), (1, 4), "met_by"),
+            ((1, 5), (3, 9), "overlaps"),
+            ((3, 9), (1, 5), "overlapped_by"),
+            ((1, 3), (1, 9), "starts"),
+            ((1, 9), (1, 3), "started_by"),
+            ((5, 9), (1, 9), "finishes"),
+            ((1, 9), (5, 9), "finished_by"),
+            ((3, 5), (1, 9), "during"),
+            ((1, 9), (3, 5), "contains"),
+            ((2, 7), (2, 7), "equals"),
+        ],
+    )
+    def test_allen_relation_names(self, left, right, name):
+        assert allen_relation(t(*left), t(*right)) == name
+
+    def test_exactly_one_relation_holds(self):
+        """The thirteen relations partition all interval pairs."""
+        for ls in range(5):
+            for le in range(ls, 5):
+                for rs in range(5):
+                    for re in range(rs, 5):
+                        name = allen_relation(t(ls, le), t(rs, re))
+                        assert isinstance(name, str)
+                        # Overlap predicates agree with the relation name.
+                        disjoint = name in (
+                            "before",
+                            "after",
+                            "meets",
+                            "met_by",
+                        )
+                        assert overlaps(t(ls, le), t(rs, re)) != disjoint

@@ -1,0 +1,81 @@
+"""Stateful property test: IncrementalOIP against a plain-list model.
+
+Hypothesis drives random sequences of inserts, deletes and overlap
+queries; after every step the partitioning must agree with a trivial
+model (a Python list) and keep all OIP invariants (Definition 2
+placement, Lemma 2 clustering, no empty partitions)."""
+
+import hypothesis.strategies as st
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.core.incremental import IncrementalOIP
+from repro.core.interval import Interval
+from repro.core.oip import OIPConfiguration
+from repro.core.relation import TemporalTuple
+
+intervals = st.tuples(
+    st.integers(min_value=-200, max_value=400),
+    st.integers(min_value=1, max_value=120),
+).map(lambda pair: (pair[0], pair[0] + pair[1] - 1))
+
+
+class IncrementalOIPMachine(RuleBasedStateMachine):
+    def __init__(self) -> None:
+        super().__init__()
+        self.partitioning = IncrementalOIP(
+            OIPConfiguration(k=4, d=8, o=0)
+        )
+        self.model = []
+        self.next_payload = 0
+
+    @rule(interval=intervals)
+    def insert(self, interval):
+        tup = TemporalTuple(interval[0], interval[1], self.next_payload)
+        self.next_payload += 1
+        self.partitioning.insert(tup)
+        self.model.append(tup)
+
+    @rule(data=st.data())
+    @precondition(lambda self: self.model)
+    def delete_existing(self, data):
+        index = data.draw(st.integers(0, len(self.model) - 1))
+        tup = self.model.pop(index)
+        assert self.partitioning.delete(tup)
+
+    @rule(interval=intervals)
+    def delete_missing(self, interval):
+        ghost = TemporalTuple(interval[0], interval[1], "ghost")
+        assert not self.partitioning.delete(ghost)
+
+    @rule(interval=intervals)
+    def query(self, interval):
+        window = Interval(interval[0], interval[1])
+        found = sorted(
+            tup.payload for tup in self.partitioning.query(window)
+        )
+        expected = sorted(
+            tup.payload
+            for tup in self.model
+            if tup.overlaps_interval(window)
+        )
+        assert found == expected
+
+    @invariant()
+    def size_matches_model(self):
+        assert len(self.partitioning) == len(self.model)
+
+    @invariant()
+    def structural_invariants_hold(self):
+        self.partitioning.check_invariants()
+
+
+IncrementalOIPMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)
+TestIncrementalOIPStateful = IncrementalOIPMachine.TestCase

@@ -1,0 +1,100 @@
+"""Property-based tests: every join algorithm computes exactly the
+nested-loop oracle's pair set, on arbitrary generated relations."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.baselines import ALGORITHMS
+from repro.core.relation import TemporalRelation, TemporalTuple
+
+# Interval strategy: starts in a window, a mix of short and long
+# durations so boundary-crossers and long-lived tuples both appear.
+intervals = st.tuples(
+    st.integers(min_value=-50, max_value=300),
+    st.integers(min_value=1, max_value=200),
+).map(lambda pair: (pair[0], pair[0] + pair[1] - 1))
+
+relations = st.lists(intervals, min_size=0, max_size=40).map(
+    TemporalRelation.from_pairs
+)
+
+
+def oracle(outer, inner):
+    keys = []
+    for a in outer:
+        for b in inner:
+            if a.overlaps(b):
+                keys.append((a.start, a.end, a.payload, b.start, b.end, b.payload))
+    return sorted(keys)
+
+
+@pytest.mark.parametrize("name", sorted(ALGORITHMS))
+@given(outer=relations, inner=relations)
+@settings(max_examples=40, deadline=None)
+def test_algorithm_equals_oracle(name, outer, inner):
+    result = ALGORITHMS[name]().join(outer, inner)
+    assert result.pair_keys() == oracle(outer, inner)
+
+
+@given(outer=relations, inner=relations)
+@settings(max_examples=30, deadline=None)
+def test_all_algorithms_agree_pairwise(outer, inner):
+    """Cross-check without the oracle: all eight produce one answer."""
+    answers = {
+        name: tuple(cls().join(outer, inner).pair_keys())
+        for name, cls in ALGORITHMS.items()
+    }
+    assert len(set(answers.values())) == 1, answers.keys()
+
+
+@given(relation=relations)
+@settings(max_examples=25, deadline=None)
+def test_self_join_contains_diagonal(relation):
+    """r JOIN r must pair every tuple with itself."""
+    from repro.core.join import OIPJoin
+
+    result = OIPJoin().join(relation, relation)
+    produced = set(result.pair_keys())
+    for tup in relation:
+        key = (tup.start, tup.end, tup.payload) * 2
+        assert key in produced
+
+
+@given(outer=relations, inner=relations)
+@settings(max_examples=25, deadline=None)
+def test_join_is_symmetric(outer, inner):
+    """Swapping the inputs mirrors the result set."""
+    from repro.core.join import OIPJoin
+
+    forward = OIPJoin().join(outer, inner)
+    backward = OIPJoin().join(inner, outer)
+    mirrored = sorted(
+        (b.start, b.end, b.payload, a.start, a.end, a.payload)
+        for a, b in backward.pairs
+    )
+    assert forward.pair_keys() == mirrored
+
+
+@given(
+    outer=relations,
+    inner=relations,
+    k=st.integers(min_value=1, max_value=64),
+)
+@settings(max_examples=40, deadline=None)
+def test_oip_join_correct_for_any_k(outer, inner, k):
+    """The granule count affects cost, never correctness."""
+    from repro.core.join import OIPJoin
+
+    result = OIPJoin(k=k).join(outer, inner)
+    assert result.pair_keys() == oracle(outer, inner)
+
+
+@given(outer=relations, inner=relations)
+@settings(max_examples=25, deadline=None)
+def test_result_count_never_exceeds_cross_product(outer, inner):
+    from repro.core.join import OIPJoin
+
+    result = OIPJoin().join(outer, inner)
+    assert len(result.pairs) <= len(outer) * len(inner)
+    assert result.counters.result_tuples == len(result.pairs)

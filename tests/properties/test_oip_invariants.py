@@ -1,0 +1,144 @@
+"""Property-based tests of the OIP invariants: Definition 2 assignment,
+Lemma 1 relevance, Lemma 2 clustering, Lemma 3/Proposition 1 counting,
+and the lazy-partition-list structure."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.interval import Interval
+from repro.core.lazy_list import oip_create
+from repro.core.oip import (
+    OIPConfiguration,
+    possible_partition_count,
+    used_partition_bound,
+)
+from repro.core.relation import TemporalRelation, TemporalTuple
+
+configs = st.builds(
+    OIPConfiguration,
+    k=st.integers(min_value=1, max_value=24),
+    d=st.integers(min_value=1, max_value=12),
+    o=st.integers(min_value=-100, max_value=100),
+)
+
+
+@st.composite
+def config_and_tuple(draw):
+    config = draw(configs)
+    span = config.time_range
+    start = draw(st.integers(span.start, span.end))
+    end = draw(st.integers(start, span.end))
+    return config, TemporalTuple(start, end)
+
+
+@st.composite
+def config_and_relation(draw):
+    config = draw(configs)
+    span = config.time_range
+    pairs = []
+    for _ in range(draw(st.integers(0, 30))):
+        start = draw(st.integers(span.start, span.end))
+        end = draw(st.integers(start, span.end))
+        pairs.append((start, end))
+    return config, TemporalRelation.from_pairs(pairs)
+
+
+@given(config_and_tuple())
+@settings(max_examples=200, deadline=None)
+def test_assignment_covers_and_is_minimal(data):
+    """Definition 2: the partition interval covers the tuple and no
+    smaller covering partition exists."""
+    config, tup = data
+    i, j = config.assign(tup)
+    assert 0 <= i <= j < config.k
+    partition = config.partition_interval(i, j)
+    assert partition.contains(tup.interval)
+    if i + 1 <= j:
+        assert not config.partition_interval(i + 1, j).contains(tup.interval)
+    if i <= j - 1:
+        assert not config.partition_interval(i, j - 1).contains(tup.interval)
+
+
+@given(config_and_tuple())
+@settings(max_examples=200, deadline=None)
+def test_lemma_2_clustering_guarantee(data):
+    """|p.T| - |r.T| < 2d for every tuple in range."""
+    config, tup = data
+    assert 0 <= config.clustering_slack(tup) < 2 * config.d
+
+
+@given(config_and_tuple(), st.data())
+@settings(max_examples=200, deadline=None)
+def test_lemma_1_relevance_soundness(data, extra):
+    """A tuple overlapping Q always lives in a relevant partition."""
+    config, tup = data
+    span = config.time_range
+    qs = extra.draw(st.integers(span.start - 5, span.end + 5))
+    qe = extra.draw(st.integers(qs, span.end + 5))
+    query = Interval(qs, qe)
+    if tup.overlaps_interval(query):
+        i, j = config.assign(tup)
+        s, e = config.query_indices(query)
+        assert config.is_relevant(i, j, s, e)
+
+
+@given(config_and_relation())
+@settings(max_examples=100, deadline=None)
+def test_lazy_list_structure(data):
+    """Main list j strictly decreasing, branch lists i strictly
+    increasing, every tuple reachable exactly once in its partition."""
+    config, relation = data
+    built = oip_create(relation, config)
+
+    js = [node.j for node in built.iter_main()]
+    assert js == sorted(set(js), reverse=True)
+
+    seen_pairs = set()
+    total = 0
+    for head in built.iter_main():
+        node = head
+        previous_i = -1
+        while node is not None:
+            assert node.j == head.j
+            assert node.i > previous_i
+            previous_i = node.i
+            assert (node.i, node.j) not in seen_pairs
+            seen_pairs.add((node.i, node.j))
+            for tup in node.run.iter_tuples():
+                assert config.assign(tup) == (node.i, node.j)
+                total += 1
+            node = node.right
+    assert total == len(relation)
+
+
+@given(config_and_relation())
+@settings(max_examples=100, deadline=None)
+def test_lemma_3_partition_bound(data):
+    """Materialised partitions never exceed the Lemma 3 bound or
+    Proposition 1's total."""
+    config, relation = data
+    built = oip_create(relation, config)
+    assert built.partition_count <= possible_partition_count(config.k)
+    if not relation.is_empty:
+        lam = relation.max_duration / (config.k * config.d)
+        bound = used_partition_bound(
+            config.k, min(lam, 1.0), relation.cardinality
+        )
+        assert built.partition_count <= bound
+
+
+@given(config_and_relation(), st.data())
+@settings(max_examples=100, deadline=None)
+def test_relevant_walk_returns_every_overlap_candidate(data, extra):
+    """iter_relevant finds every partition that holds a tuple
+    overlapping the query — the navigational form of Lemma 1."""
+    config, relation = data
+    built = oip_create(relation, config)
+    span = config.time_range
+    qs = extra.draw(st.integers(span.start, span.end))
+    qe = extra.draw(st.integers(qs, span.end))
+    s, e = config.query_indices(Interval(qs, qe))
+    walked = {(node.i, node.j) for node in built.iter_relevant(s, e)}
+    for tup in relation:
+        if tup.overlaps_interval(Interval(qs, qe)):
+            assert config.assign(tup) in walked

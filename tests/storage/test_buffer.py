@@ -1,0 +1,149 @@
+"""Tests for the buffer pool and replacement policies."""
+
+import pytest
+
+from repro.storage.buffer import (
+    BufferPool,
+    ClockPolicy,
+    FIFOPolicy,
+    LRUPolicy,
+    UnboundedBufferPool,
+)
+from repro.storage.metrics import CostCounters
+
+
+class TestBufferPoolBasics:
+    def test_first_read_is_a_miss(self):
+        pool = BufferPool(4)
+        counters = CostCounters()
+        pool.read(1, counters)
+        assert counters.block_reads == 1
+        assert counters.buffer_hits == 0
+
+    def test_repeated_read_is_a_hit(self):
+        pool = BufferPool(4)
+        counters = CostCounters()
+        pool.read(1, counters)
+        pool.read(1, counters)
+        assert counters.block_reads == 1
+        assert counters.buffer_hits == 1
+
+    def test_hits_plus_misses_equal_requests(self):
+        pool = BufferPool(3)
+        counters = CostCounters()
+        requests = [1, 2, 3, 1, 4, 2, 2, 5, 1]
+        for block_id in requests:
+            pool.read(block_id, counters)
+        assert counters.block_reads + counters.buffer_hits == len(requests)
+
+    def test_capacity_never_exceeded(self):
+        pool = BufferPool(3)
+        counters = CostCounters()
+        for block_id in range(50):
+            pool.read(block_id, counters)
+            assert pool.resident_count <= 3
+
+    def test_sequential_detection(self):
+        pool = BufferPool(10)
+        counters = CostCounters()
+        for block_id in (5, 6, 7):
+            pool.read(block_id, counters)
+        pool.read(20, counters)
+        assert counters.sequential_reads == 2  # 6 and 7 follow 5 and 6
+        assert counters.random_reads == 2  # 5 (first) and 20 (jump)
+
+    def test_read_run(self):
+        pool = BufferPool(10)
+        counters = CostCounters()
+        pool.read_run([1, 2, 3], counters)
+        assert counters.block_reads == 3
+
+    def test_clear_empties_pool(self):
+        pool = BufferPool(4)
+        counters = CostCounters()
+        pool.read(1, counters)
+        pool.clear()
+        assert 1 not in pool
+        pool.read(1, counters)
+        assert counters.block_reads == 2
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            BufferPool(0)
+
+
+class TestLRUEviction:
+    def test_least_recent_evicted(self):
+        pool = BufferPool(2, policy=LRUPolicy())
+        counters = CostCounters()
+        pool.read(1, counters)
+        pool.read(2, counters)
+        pool.read(1, counters)  # refresh 1
+        pool.read(3, counters)  # evicts 2
+        assert 1 in pool
+        assert 2 not in pool
+        assert 3 in pool
+
+    def test_access_refreshes_residency(self):
+        pool = BufferPool(2, policy=LRUPolicy())
+        counters = CostCounters()
+        pool.read(1, counters)
+        pool.read(2, counters)
+        pool.read(3, counters)  # evicts 1 (least recent)
+        assert 1 not in pool
+        assert 2 in pool
+
+
+class TestFIFOEviction:
+    def test_first_in_evicted_despite_access(self):
+        pool = BufferPool(2, policy=FIFOPolicy())
+        counters = CostCounters()
+        pool.read(1, counters)
+        pool.read(2, counters)
+        pool.read(1, counters)  # access does NOT refresh under FIFO
+        pool.read(3, counters)  # evicts 1
+        assert 1 not in pool
+        assert 2 in pool
+
+
+class TestClockEviction:
+    def test_second_chance(self):
+        pool = BufferPool(2, policy=ClockPolicy())
+        counters = CostCounters()
+        pool.read(1, counters)
+        pool.read(2, counters)
+        pool.read(1, counters)  # sets reference bit of 1
+        pool.read(3, counters)  # clock skips 1 (bit set), evicts 2
+        assert 1 in pool
+        assert 2 not in pool
+
+    def test_all_referenced_falls_back_to_round_robin(self):
+        pool = BufferPool(2, policy=ClockPolicy())
+        counters = CostCounters()
+        pool.read(1, counters)
+        pool.read(2, counters)
+        pool.read(1, counters)
+        pool.read(2, counters)
+        pool.read(3, counters)  # both referenced: clears bits, evicts 1
+        assert pool.resident_count == 2
+        assert 3 in pool
+
+
+class TestUnboundedPool:
+    def test_never_evicts(self):
+        pool = UnboundedBufferPool()
+        counters = CostCounters()
+        for block_id in range(1000):
+            pool.read(block_id, counters)
+        assert pool.resident_count == 1000
+        pool.read(0, counters)
+        assert counters.buffer_hits == 1
+
+    def test_models_warm_cache(self):
+        """Second full scan is free (the 64-GB server of Figure 11(c))."""
+        pool = UnboundedBufferPool()
+        counters = CostCounters()
+        pool.read_run(range(100), counters)
+        first_scan = counters.block_reads
+        pool.read_run(range(100), counters)
+        assert counters.block_reads == first_scan

@@ -1,0 +1,47 @@
+"""Tests for storage device profiles."""
+
+import pytest
+
+from repro.storage.device import TUPLE_SIZE_BYTES, DeviceProfile
+
+
+class TestProfiles:
+    def test_paper_tuple_size(self):
+        assert TUPLE_SIZE_BYTES == 35
+
+    def test_main_memory_block_holds_14_tuples(self):
+        """Paper setup: 512-byte blocks, 35-byte tuples -> b = 14."""
+        assert DeviceProfile.main_memory().tuples_per_block == 14
+
+    def test_disk_block_holds_117_tuples(self):
+        assert DeviceProfile.disk().tuples_per_block == 4096 // 35
+
+    def test_disk_has_seek_penalty(self):
+        assert DeviceProfile.disk().seek_factor > 1.0
+        assert DeviceProfile.main_memory().seek_factor == 1.0
+
+    def test_block_smaller_than_tuple_rejected(self):
+        with pytest.raises(ValueError):
+            DeviceProfile(name="bad", block_size_bytes=10)
+
+    def test_seek_factor_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            DeviceProfile(
+                name="bad", block_size_bytes=512, seek_factor=0.5
+            )
+
+
+class TestBlockMath:
+    def test_blocks_for_tuples(self):
+        device = DeviceProfile.main_memory()
+        assert device.blocks_for_tuples(0) == 0
+        assert device.blocks_for_tuples(1) == 1
+        assert device.blocks_for_tuples(14) == 1
+        assert device.blocks_for_tuples(15) == 2
+        assert device.blocks_for_tuples(140) == 10
+
+    def test_io_time_applies_seek_penalty(self):
+        device = DeviceProfile.disk(seek_factor=10.0)
+        sequential_only = device.io_time(100, 0)
+        random_only = device.io_time(0, 100)
+        assert random_only == pytest.approx(sequential_only * 10.0)

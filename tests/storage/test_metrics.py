@@ -1,0 +1,128 @@
+"""Tests for cost counters and cost weights."""
+
+import pytest
+
+from repro.storage.metrics import CostCounters, CostWeights
+
+
+class TestCostWeights:
+    def test_paper_main_memory_values(self):
+        weights = CostWeights.main_memory()
+        assert weights.cpu == 0.5
+        assert weights.io == 10.0
+
+    def test_disk_ratio(self):
+        weights = CostWeights.disk()
+        assert weights.io / weights.cpu == pytest.approx(200.0)
+
+    def test_from_ratio(self):
+        weights = CostWeights.from_ratio(0.01)
+        assert weights.ratio == pytest.approx(0.01)
+
+    def test_ratio_with_zero_io(self):
+        assert CostWeights(cpu=1.0, io=0.0).ratio == float("inf")
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            CostWeights(cpu=-0.1, io=1.0)
+        with pytest.raises(ValueError):
+            CostWeights.from_ratio(-1.0)
+
+    def test_zero_costs_allowed(self):
+        """Section 6.2 explicitly allows c_io >= 0 and c_cpu >= 0."""
+        CostWeights(cpu=0.0, io=0.0)
+
+
+class TestCostCounters:
+    def test_initial_state_zero(self):
+        counters = CostCounters()
+        assert counters.cpu_comparisons == 0
+        assert counters.total_ios == 0
+        assert counters.false_hit_ratio() == 0.0
+
+    def test_charging(self):
+        counters = CostCounters()
+        counters.charge_cpu(3)
+        counters.charge_read(2)
+        counters.charge_write()
+        counters.charge_false_hit()
+        counters.charge_partition_access(4)
+        counters.charge_result(5)
+        assert counters.cpu_comparisons == 3
+        assert counters.block_reads == 2
+        assert counters.block_writes == 1
+        assert counters.total_ios == 3
+        assert counters.false_hits == 1
+        assert counters.partition_accesses == 4
+        assert counters.result_tuples == 5
+
+    def test_sequential_random_split(self):
+        counters = CostCounters()
+        counters.charge_read(sequential=True)
+        counters.charge_read(sequential=False)
+        counters.charge_read(sequential=False)
+        assert counters.sequential_reads == 1
+        assert counters.random_reads == 2
+        assert counters.block_reads == 3
+
+    def test_false_hit_ratio(self):
+        counters = CostCounters()
+        counters.charge_result(3)
+        counters.charge_false_hit(1)
+        assert counters.false_hit_ratio() == pytest.approx(0.25)
+        assert counters.fetched_tuples == 4
+
+    def test_modelled_cost(self):
+        counters = CostCounters()
+        counters.charge_cpu(10)
+        counters.charge_read(2)
+        weights = CostWeights(cpu=1.0, io=5.0)
+        assert counters.modelled_cost(weights) == pytest.approx(20.0)
+
+    def test_extras(self):
+        counters = CostCounters()
+        counters.charge_extra("migrations", 2)
+        counters.charge_extra("migrations")
+        assert counters.extras["migrations"] == 3
+        assert counters.snapshot()["migrations"] == 3
+
+    def test_merged_with(self):
+        a = CostCounters()
+        a.charge_cpu(1)
+        a.charge_extra("duplicates", 2)
+        b = CostCounters()
+        b.charge_cpu(4)
+        b.charge_read()
+        b.charge_extra("duplicates", 1)
+        b.charge_extra("migrations", 7)
+        merged = a.merged_with(b)
+        assert merged.cpu_comparisons == 5
+        assert merged.block_reads == 1
+        assert merged.extras == {"duplicates": 3, "migrations": 7}
+        # Sources unchanged.
+        assert a.cpu_comparisons == 1
+
+    def test_reset(self):
+        counters = CostCounters()
+        counters.charge_cpu(5)
+        counters.charge_extra("x", 1)
+        counters.reset()
+        assert counters.cpu_comparisons == 0
+        assert counters.extras == {}
+
+    def test_buffer_hits_not_ios(self):
+        counters = CostCounters()
+        counters.charge_buffer_hit(3)
+        assert counters.total_ios == 0
+        assert counters.buffer_hits == 3
+
+    def test_snapshot_keys(self):
+        snap = CostCounters().snapshot()
+        for key in (
+            "cpu_comparisons",
+            "block_reads",
+            "false_hits",
+            "partition_accesses",
+            "result_tuples",
+        ):
+            assert key in snap

@@ -1,0 +1,128 @@
+"""Tests for the real-world dataset stand-ins (Table 2 / Figure 9)."""
+
+import pytest
+
+from repro.workloads.realworld import (
+    DATASET_GENERATORS,
+    PAPER_DATASET_PROPERTIES,
+    feed_standin,
+    incumbent_standin,
+    webkit_standin,
+)
+from repro.workloads.stats import (
+    dataset_properties,
+    duration_histogram,
+    temporal_distribution,
+)
+
+
+class TestTableTwoFidelity:
+    """Stand-ins must match the published dataset shape."""
+
+    def test_incumbent_time_range(self):
+        props = dataset_properties(incumbent_standin(seed=0))
+        paper = PAPER_DATASET_PROPERTIES["incumbent"]
+        assert props.time_range == pytest.approx(paper.time_range, rel=0.02)
+
+    def test_incumbent_duration_profile(self):
+        props = dataset_properties(incumbent_standin(seed=0))
+        paper = PAPER_DATASET_PROPERTIES["incumbent"]
+        assert props.min_duration == paper.min_duration
+        assert props.max_duration == paper.max_duration
+        assert props.avg_duration == pytest.approx(
+            paper.avg_duration, rel=0.15
+        )
+
+    def test_feed_duration_profile(self):
+        props = dataset_properties(feed_standin(seed=0))
+        paper = PAPER_DATASET_PROPERTIES["feed"]
+        assert props.time_range == paper.time_range
+        assert props.avg_duration == pytest.approx(
+            paper.avg_duration, rel=0.15
+        )
+        assert props.max_duration > 0.8 * 8_589
+
+    def test_webkit_scale(self):
+        props = dataset_properties(webkit_standin(seed=0))
+        paper = PAPER_DATASET_PROPERTIES["webkit"]
+        assert props.time_range == pytest.approx(paper.time_range, rel=0.01)
+        # Average duration within a factor of two of 2^34.
+        assert (
+            paper.avg_duration / 2
+            < props.avg_duration
+            < paper.avg_duration * 2
+        )
+
+    def test_long_lived_share_in_paper_band(self):
+        """Section 7: 0.03%-20% of tuples exceed 8% of the time range."""
+        for name, generator in DATASET_GENERATORS.items():
+            relation = generator(seed=0)
+            span = relation.time_range_duration
+            share = sum(
+                1 for t in relation if t.duration > 0.08 * span
+            ) / len(relation)
+            assert 0.0003 <= share <= 0.20, name
+
+    def test_cardinality_configurable(self):
+        assert len(incumbent_standin(cardinality=500, seed=1)) == 500
+        assert len(feed_standin(cardinality=500, seed=1)) == 500
+        assert len(webkit_standin(cardinality=500, seed=1)) == 500
+
+    def test_deterministic(self):
+        a = incumbent_standin(cardinality=300, seed=5)
+        b = incumbent_standin(cardinality=300, seed=5)
+        assert [(t.start, t.end) for t in a] == [
+            (t.start, t.end) for t in b
+        ]
+
+
+class TestDistributionShapes:
+    def test_duration_histograms_are_heavy_headed(self):
+        """Figure 9 right column: the shortest-duration bin dominates."""
+        for generator in (incumbent_standin, feed_standin):
+            histogram = duration_histogram(generator(seed=0), bins=20)
+            assert histogram[0] == max(histogram)
+            assert histogram[0] > 50.0
+
+    def test_temporal_distribution_is_skewed(self):
+        """Figure 9 left column: density varies over time (no dataset is
+        temporally uniform)."""
+        for generator in DATASET_GENERATORS.values():
+            values = temporal_distribution(generator(seed=0), 40)
+            assert max(values) > 1.8 * (sum(values) / len(values))
+
+
+class TestStatsHelpers:
+    def test_dataset_properties_row_format(self):
+        props = dataset_properties(incumbent_standin(cardinality=100, seed=2))
+        row = props.as_row()
+        assert row[0] == "incumbent"
+        assert len(row) == 7
+
+    def test_duration_histogram_sums_to_100(self):
+        histogram = duration_histogram(feed_standin(cardinality=500, seed=3))
+        assert sum(histogram) == pytest.approx(100.0)
+
+    def test_histogram_of_empty_relation(self):
+        from repro.core.relation import TemporalRelation
+
+        assert duration_histogram(TemporalRelation([]), 5) == [0.0] * 5
+
+    def test_temporal_distribution_bounds(self):
+        values = temporal_distribution(
+            incumbent_standin(cardinality=500, seed=4), 30
+        )
+        assert len(values) == 30
+        assert all(0.0 <= value <= 100.0 for value in values)
+
+    def test_properties_of_empty_relation_rejected(self):
+        from repro.core.relation import TemporalRelation
+
+        with pytest.raises(ValueError):
+            dataset_properties(TemporalRelation([]))
+
+    def test_invalid_bins_rejected(self):
+        with pytest.raises(ValueError):
+            duration_histogram(incumbent_standin(cardinality=10), 0)
+        with pytest.raises(ValueError):
+            temporal_distribution(incumbent_standin(cardinality=10), 0)

@@ -1,0 +1,117 @@
+"""Tests for the synthetic workload generators."""
+
+import pytest
+
+from repro.core.interval import Interval
+from repro.workloads.synthetic import (
+    PAPER_TIME_RANGE,
+    clustered_relation,
+    long_lived_mixture,
+    point_relation,
+    scaling_pair,
+    uniform_relation,
+)
+
+
+class TestUniformRelation:
+    def test_cardinality(self):
+        assert len(uniform_relation(100, seed=1)) == 100
+
+    def test_deterministic_per_seed(self):
+        a = uniform_relation(50, seed=7)
+        b = uniform_relation(50, seed=7)
+        assert [(t.start, t.end) for t in a] == [(t.start, t.end) for t in b]
+
+    def test_different_seeds_differ(self):
+        a = uniform_relation(50, seed=1)
+        b = uniform_relation(50, seed=2)
+        assert [(t.start, t.end) for t in a] != [
+            (t.start, t.end) for t in b
+        ]
+
+    def test_durations_bounded(self):
+        range_ = Interval(0, 9_999)
+        relation = uniform_relation(
+            200, range_, max_duration_fraction=0.01, seed=3
+        )
+        assert all(t.duration <= 100 for t in relation)
+
+    def test_tuples_inside_time_range(self):
+        range_ = Interval(100, 200)
+        relation = uniform_relation(100, range_, 0.5, seed=4)
+        assert all(
+            100 <= t.start and t.end <= 200 for t in relation
+        )
+
+    def test_paper_time_range(self):
+        assert PAPER_TIME_RANGE == Interval(1, 2**24)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            uniform_relation(-1)
+        with pytest.raises(ValueError):
+            uniform_relation(10, max_duration_fraction=0.0)
+        with pytest.raises(ValueError):
+            uniform_relation(10, max_duration_fraction=1.5)
+
+
+class TestLongLivedMixture:
+    def test_share_of_long_tuples(self):
+        range_ = Interval(0, 99_999)
+        relation = long_lived_mixture(1_000, 0.3, range_, seed=5)
+        short_bound = int(0.0001 * range_.duration) + 1
+        long_count = sum(1 for t in relation if t.duration > short_bound)
+        assert long_count == pytest.approx(300, abs=40)
+
+    def test_zero_share_all_short(self):
+        range_ = Interval(0, 99_999)
+        relation = long_lived_mixture(500, 0.0, range_, seed=6)
+        assert all(t.duration <= 10 for t in relation)
+
+    def test_full_share_averages_half_max(self):
+        """Uniform durations up to 8% average 4% (the Figure 8 setup)."""
+        range_ = Interval(0, 99_999)
+        relation = long_lived_mixture(2_000, 1.0, range_, seed=7)
+        mean = sum(t.duration for t in relation) / len(relation)
+        assert mean / range_.duration == pytest.approx(0.04, abs=0.005)
+
+    def test_invalid_share(self):
+        with pytest.raises(ValueError):
+            long_lived_mixture(10, 1.5)
+
+
+class TestPointRelation:
+    def test_all_durations_one(self):
+        relation = point_relation(300, seed=8)
+        assert all(t.duration == 1 for t in relation)
+
+
+class TestClusteredRelation:
+    def test_density_is_skewed(self):
+        """Most tuples fall near a few centres, unlike uniform data."""
+        range_ = Interval(0, 99_999)
+        relation = clustered_relation(
+            1_000, range_, cluster_count=3, seed=9
+        )
+        bins = [0] * 20
+        for tup in relation:
+            bins[min(19, tup.start * 20 // 100_000)] += 1
+        top_three = sum(sorted(bins, reverse=True)[:3])
+        assert top_three > 0.5 * len(relation)
+
+    def test_invalid_cluster_count(self):
+        with pytest.raises(ValueError):
+            clustered_relation(10, cluster_count=0)
+
+
+class TestScalingPair:
+    def test_outer_is_percentage_of_inner(self):
+        outer, inner = scaling_pair(10_000, outer_percent=1.0, seed=10)
+        assert len(inner) == 10_000
+        assert len(outer) == 100
+
+    def test_independent_seeds(self):
+        outer, inner = scaling_pair(100, outer_percent=100.0, seed=11)
+        assert [(t.start, t.end) for t in outer] != [
+            (t.start, t.end) for t in inner
+        ]
