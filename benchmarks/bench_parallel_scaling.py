@@ -1,0 +1,214 @@
+"""Parallel OIPJOIN scaling: partition-pair scheduling at 1/2/4/8 workers.
+
+Runs the long-lived mixture workload (the regime where the OIPJOIN's
+probe phase dominates) through the sequential Algorithm 2 loop and
+through the :mod:`repro.engine.parallel` scheduler on both backends,
+reporting wall-clock speedup over the sequential baseline.  Every
+parallel run is verified to return the *identical* pair list and cost
+counters as the sequential join — scaling must never change semantics.
+
+Besides the pytest-benchmark entry point this module is a standalone
+script (used by CI as a scheduling-regression smoke check):
+
+    PYTHONPATH=src python benchmarks/bench_parallel_scaling.py --smoke
+    PYTHONPATH=src python benchmarks/bench_parallel_scaling.py \\
+        --cardinality 2000 --repeats 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+if __package__:  # imported by pytest as part of the benchmarks package
+    from .common import emit, heading, scaled, table
+else:  # executed as a plain script: python benchmarks/bench_parallel_scaling.py
+    _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    if _SRC not in sys.path:
+        sys.path.insert(0, _SRC)
+
+    def emit(line: str = "") -> None:
+        print(line)
+
+    def heading(title: str) -> None:
+        emit()
+        emit("=" * 72)
+        emit(title)
+        emit("=" * 72)
+
+    def table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> None:
+        columns = [
+            [str(header)] + [str(row[i]) for row in rows]
+            for i, header in enumerate(headers)
+        ]
+        widths = [max(len(cell) for cell in column) for column in columns]
+        emit(" | ".join(h.rjust(w) for h, w in zip(headers, widths)))
+        emit("-+-".join("-" * w for w in widths))
+        for row in rows:
+            emit(
+                " | ".join(
+                    str(cell).rjust(w) for cell, w in zip(row, widths)
+                )
+            )
+
+    def scaled(cardinality: int) -> int:
+        scale = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+        return max(1, int(cardinality * scale))
+
+from repro.core.interval import Interval
+from repro.core.join import OIPJoin
+from repro.workloads import long_lived_mixture
+
+N = 1_500
+SMOKE_N = 250
+TIME_RANGE = Interval(1, 2**20)
+LONG_SHARE = 0.5
+WORKER_COUNTS = (1, 2, 4, 8)
+SMOKE_WORKER_COUNTS = (1, 2)
+BACKENDS = ("thread", "process")
+
+
+def _relations(cardinality: int):
+    outer = long_lived_mixture(
+        cardinality, LONG_SHARE, TIME_RANGE, seed=1, name="r"
+    )
+    inner = long_lived_mixture(
+        cardinality, LONG_SHARE, TIME_RANGE, seed=2, name="s"
+    )
+    return outer, inner
+
+
+def _best_time(join: OIPJoin, outer, inner, repeats: int):
+    """Minimum wall-clock over *repeats* runs, plus the last result."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = join.join(outer, inner)
+        best = min(best, time.perf_counter() - started)
+    return result, best
+
+
+def run_scaling_sweep(
+    cardinality: int,
+    worker_counts: Sequence[int] = WORKER_COUNTS,
+    backends: Sequence[str] = BACKENDS,
+    repeats: int = 3,
+) -> Dict:
+    """Measure sequential vs parallel OIPJOIN and verify equivalence.
+
+    Returns ``{"rows": table rows, "mismatches": [...], "speedups":
+    {(backend, workers): float}}``.
+    """
+    outer, inner = _relations(cardinality)
+    sequential, seq_time = _best_time(OIPJoin(), outer, inner, repeats)
+
+    rows: List[List[object]] = [
+        [
+            "sequential",
+            "-",
+            f"{seq_time * 1e3:.1f}",
+            "1.00x",
+            f"{sequential.cardinality:,}",
+            "ref",
+        ]
+    ]
+    mismatches: List[str] = []
+    speedups: Dict[Tuple[str, int], float] = {}
+    for backend in backends:
+        for workers in worker_counts:
+            join = OIPJoin(parallelism=workers, parallel_backend=backend)
+            result, par_time = _best_time(join, outer, inner, repeats)
+            identical = (
+                result.pairs == sequential.pairs
+                and result.counters.snapshot()
+                == sequential.counters.snapshot()
+            )
+            if not identical:
+                mismatches.append(f"{backend} x{workers}")
+            speedup = seq_time / par_time if par_time > 0 else float("inf")
+            speedups[(backend, workers)] = speedup
+            rows.append(
+                [
+                    backend,
+                    workers,
+                    f"{par_time * 1e3:.1f}",
+                    f"{speedup:.2f}x",
+                    f"{result.cardinality:,}",
+                    "ok" if identical else "MISMATCH",
+                ]
+            )
+    return {"rows": rows, "mismatches": mismatches, "speedups": speedups}
+
+
+def _report(cardinality: int, sweep: Dict) -> None:
+    heading(
+        "Parallel OIPJOIN scaling — long-lived mixture "
+        f"(n = {cardinality:,} per relation, {LONG_SHARE:.0%} long-lived)"
+    )
+    table(
+        ["backend", "workers", "time ms", "speedup", "results", "verify"],
+        sweep["rows"],
+    )
+    emit(
+        f"(cores available: {os.cpu_count()}; speedups are wall-clock "
+        "vs the sequential Algorithm 2 loop; all runs return identical "
+        "pairs and counters)"
+    )
+
+
+def test_parallel_scaling(benchmark):
+    sweep = benchmark.pedantic(
+        lambda: run_scaling_sweep(scaled(N)), rounds=1, iterations=1
+    )
+    _report(scaled(N), sweep)
+    assert not sweep["mismatches"], sweep["mismatches"]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Parallel OIPJOIN scaling benchmark"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny input, 1-2 workers, single repeat (CI regression check)",
+    )
+    parser.add_argument("--cardinality", type=int, default=None)
+    parser.add_argument(
+        "--workers",
+        default=None,
+        help="comma-separated worker counts (default: 1,2,4,8)",
+    )
+    parser.add_argument("--repeats", type=int, default=None)
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        cardinality = args.cardinality or SMOKE_N
+        worker_counts: Sequence[int] = SMOKE_WORKER_COUNTS
+        repeats = args.repeats or 1
+    else:
+        cardinality = args.cardinality or scaled(N)
+        worker_counts = WORKER_COUNTS
+        repeats = args.repeats or 3
+    if args.workers:
+        worker_counts = tuple(
+            int(part) for part in args.workers.split(",") if part.strip()
+        )
+
+    sweep = run_scaling_sweep(
+        cardinality, worker_counts=worker_counts, repeats=repeats
+    )
+    _report(cardinality, sweep)
+    if sweep["mismatches"]:
+        emit(f"FAILED: result mismatches in {sweep['mismatches']}")
+        return 1
+    emit("ok: all parallel runs bit-identical to the sequential join")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

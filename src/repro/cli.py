@@ -101,6 +101,45 @@ def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0)
 
 
+def _add_parallel_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help=(
+            "probe-phase workers for the oip algorithm (partition-pair "
+            "scheduling; results are identical to the sequential join)"
+        ),
+    )
+    parser.add_argument(
+        "--parallel-backend",
+        default="thread",
+        choices=("thread", "process"),
+        help="worker-pool backend used with --workers",
+    )
+
+
+def _make_algorithm(name: str, args: argparse.Namespace):
+    """Instantiate algorithm *name*, honouring ``--workers`` for the
+    OIPJOIN (the only algorithm with a parallel probe phase)."""
+    workers = getattr(args, "workers", None)
+    if workers is not None:
+        if workers < 1:
+            raise SystemExit(f"--workers must be >= 1, got {workers}")
+        if name != "oip":
+            raise SystemExit(
+                f"--workers is only supported by the oip algorithm, "
+                f"not {name!r}"
+            )
+        from .core.join import OIPJoin
+
+        return OIPJoin(
+            parallelism=workers,
+            parallel_backend=args.parallel_backend,
+        )
+    return ALGORITHMS[name]()
+
+
 def _run_single(args: argparse.Namespace) -> int:
     if args.algorithm not in ALGORITHMS:
         raise SystemExit(
@@ -109,7 +148,7 @@ def _run_single(args: argparse.Namespace) -> int:
         )
     outer = _make_relation(args, args.seed, "outer")
     inner = _make_relation(args, args.seed + 1, "inner")
-    join = ALGORITHMS[args.algorithm]()
+    join = _make_algorithm(args.algorithm, args)
     started = time.perf_counter()
     result = join.join(outer, inner)
     elapsed = time.perf_counter() - started
@@ -140,7 +179,9 @@ def _run_compare(args: argparse.Namespace) -> int:
     )
     reference: Optional[List] = None
     for name in names:
-        join = ALGORITHMS[name]()
+        join = (
+            _make_algorithm(name, args) if name == "oip" else ALGORITHMS[name]()
+        )
         started = time.perf_counter()
         result = join.join(outer, inner)
         elapsed = time.perf_counter() - started
@@ -217,6 +258,7 @@ def build_parser() -> argparse.ArgumentParser:
     join_parser.add_argument(
         "--algorithm", default="oip", help="short algorithm name"
     )
+    _add_parallel_arguments(join_parser)
     join_parser.set_defaults(handler=_run_single)
 
     compare_parser = commands.add_parser(
@@ -228,6 +270,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="oip,lqt,rit,sgt,smj",
         help="comma-separated short names",
     )
+    _add_parallel_arguments(compare_parser)
     compare_parser.set_defaults(handler=_run_compare)
 
     derive_parser = commands.add_parser(

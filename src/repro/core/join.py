@@ -58,6 +58,21 @@ class OIPJoin(OverlapJoinAlgorithm):
         (:mod:`repro.core.statistics`) instead of Lemma 3's
         maximum-duration bound — the paper's future-work refinement for
         skewed data.
+    parallelism:
+        Number of workers for the probe phase.  ``None`` (default) runs
+        the classic sequential Algorithm 2 loop; any value ``>= 1``
+        routes the probe through the partition-pair scheduler of
+        :mod:`repro.engine.parallel`, which produces a result set and
+        cost counters bit-identical to the sequential loop (see that
+        module's determinism notes).  Ignored — with a fallback recorded
+        in the result details — when a buffer pool is attached, because
+        pool hits depend on the global read interleaving.
+    parallel_backend:
+        ``"thread"`` (default) or ``"process"``; see
+        :mod:`repro.engine.parallel` for the tradeoffs.
+    parallel_chunk_size:
+        Probe tasks per scheduled chunk; defaults to a few chunks per
+        worker.
     """
 
     name = "oip"
@@ -72,6 +87,9 @@ class OIPJoin(OverlapJoinAlgorithm):
         use_histogram_statistics: bool = False,
         k_outer: Optional[int] = None,
         k_inner: Optional[int] = None,
+        parallelism: Optional[int] = None,
+        parallel_backend: str = "thread",
+        parallel_chunk_size: Optional[int] = None,
     ) -> None:
         super().__init__(device=device, buffer_pool=buffer_pool)
         if k is not None and k < 1:
@@ -86,12 +104,28 @@ class OIPJoin(OverlapJoinAlgorithm):
                     f"per-side granule counts must be >= 1, got "
                     f"({k_outer}, {k_inner})"
                 )
+        if parallelism is not None and parallelism < 1:
+            raise ValueError(
+                f"parallelism must be >= 1 when given, got {parallelism}"
+            )
+        if parallel_backend not in ("thread", "process"):
+            raise ValueError(
+                f"unknown parallel backend {parallel_backend!r}; "
+                "choose 'thread' or 'process'"
+            )
+        if parallel_chunk_size is not None and parallel_chunk_size < 1:
+            raise ValueError(
+                f"parallel chunk size must be >= 1, got {parallel_chunk_size}"
+            )
         self.fixed_k = k
         self.fixed_k_outer = k_outer
         self.fixed_k_inner = k_inner
         self.weights = weights
         self.use_exact_root = use_exact_root
         self.use_histogram_statistics = use_histogram_statistics
+        self.parallelism = parallelism
+        self.parallel_backend = parallel_backend
+        self.parallel_chunk_size = parallel_chunk_size
 
     # ------------------------------------------------------------------
 
@@ -151,6 +185,70 @@ class OIPJoin(OverlapJoinAlgorithm):
         inner_list = oip_create(inner, config_s, storage)
 
         pairs: List = []
+        parallel_details: dict = {}
+        if self.parallelism is not None and self.buffer_pool is None:
+            # Partition-pair scheduling over a worker pool; bit-identical
+            # to the sequential loop below (see repro.engine.parallel).
+            from ..engine.parallel import build_probe_schedule, execute_schedule
+
+            schedule = build_probe_schedule(
+                outer_list, inner_list, k_inner, counters
+            )
+            execute_schedule(
+                schedule,
+                counters,
+                pairs,
+                workers=self.parallelism,
+                backend=self.parallel_backend,
+                chunk_size=self.parallel_chunk_size,
+            )
+            parallel_details = {
+                "parallelism": self.parallelism,
+                "parallel_backend": self.parallel_backend,
+                "probe_tasks": schedule.task_count,
+                "partition_pairs": schedule.pair_count,
+            }
+        else:
+            if self.parallelism is not None:
+                # Buffer-pool hit accounting depends on the global read
+                # order, which parallel execution would break.
+                parallel_details = {"parallel_fallback": "buffer_pool"}
+            self._probe_sequential(
+                outer_list, inner_list, k_inner, storage, counters, pairs
+            )
+
+        details = {
+            "k": k_inner if k_inner == k_outer else (k_outer, k_inner),
+            "granule_duration_outer": config_r.d,
+            "granule_duration_inner": config_s.d,
+            "outer_partitions": outer_list.partition_count,
+            "inner_partitions": inner_list.partition_count,
+            "self_adjusting": derivation is not None,
+        }
+        details.update(parallel_details)
+        if derivation is not None:
+            details["k_derivation_steps"] = derivation.steps
+            details["k_oscillated"] = derivation.oscillated
+        return JoinResult(
+            algorithm=self.name,
+            pairs=pairs,
+            counters=counters,
+            details=details,
+        )
+
+    def _probe_sequential(
+        self,
+        outer_list,
+        inner_list,
+        k_inner: int,
+        storage: StorageManager,
+        counters: CostCounters,
+        pairs: List,
+    ) -> None:
+        """The classic sequential Algorithm 2 probe loop: for every outer
+        partition, issue an overlap query with the partition interval and
+        walk the inner lazy list per Lemma 1."""
+        config_r, config_s = outer_list.config, inner_list.config
         d_r, o_r = config_r.d, config_r.o
         d_s, o_s = config_s.d, config_s.o
         inner_range_start = o_s
@@ -184,21 +282,3 @@ class OIPJoin(OverlapJoinAlgorithm):
                             )
                     branch = branch.right
                 node = node.down
-
-        details = {
-            "k": k_inner if k_inner == k_outer else (k_outer, k_inner),
-            "granule_duration_outer": d_r,
-            "granule_duration_inner": d_s,
-            "outer_partitions": outer_list.partition_count,
-            "inner_partitions": inner_list.partition_count,
-            "self_adjusting": derivation is not None,
-        }
-        if derivation is not None:
-            details["k_derivation_steps"] = derivation.steps
-            details["k_oscillated"] = derivation.oscillated
-        return JoinResult(
-            algorithm=self.name,
-            pairs=pairs,
-            counters=counters,
-            details=details,
-        )

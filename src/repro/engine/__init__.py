@@ -9,6 +9,12 @@ from .operators import (
     SelectOperator,
     TimeSliceOperator,
 )
+from .parallel import (
+    ProbeSchedule,
+    ProbeTask,
+    build_probe_schedule,
+    execute_schedule,
+)
 from .planner import JoinPlan, JoinPlanner
 from .predicates import (
     after,
@@ -37,6 +43,10 @@ __all__ = [
     "JoinedRow",
     "JoinPlan",
     "JoinPlanner",
+    "ProbeSchedule",
+    "ProbeTask",
+    "build_probe_schedule",
+    "execute_schedule",
     "overlaps",
     "overlap_interval",
     "overlap_duration",

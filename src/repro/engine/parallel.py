@@ -1,0 +1,424 @@
+"""Parallel OIPJOIN execution — partition-pair scheduling over a worker
+pool.
+
+The OIPJOIN probe phase (Algorithm 2) is embarrassingly parallel: every
+outer partition issues an independent overlap query against a *read-only*
+inner lazy partition list, and Lemma 1 tells us exactly which inner
+partitions each query can touch (``j >= s`` and ``i <= e``).  This module
+exploits that structure in three steps:
+
+1. **Enumerate** — :func:`build_probe_schedule` walks the outer list once
+   in the exact order of the sequential join and, for every outer
+   partition, replays the Lemma-1 navigation of the inner list to collect
+   the relevant ``(outer-partition, inner-partition)`` pairs up front.
+   The walk's bookkeeping (the ``j >= s`` / ``i <= e`` index tests, the
+   Algorithm-2 range-overlap guard and one partition access per relevant
+   inner partition) is charged to the driver's counters during
+   enumeration — these are exactly the charges the sequential loop makes
+   while navigating, so nothing is double- or under-counted.
+
+2. **Schedule** — :func:`execute_schedule` splits the probe tasks into
+   contiguous chunks and runs them on a :mod:`concurrent.futures` pool.
+   Two backends are supported:
+
+   * ``"thread"`` — a :class:`~concurrent.futures.ThreadPoolExecutor`.
+     Workers share the in-memory partition tables directly; no data is
+     copied.  Under the CPython GIL the pure-Python match kernel executes
+     one thread at a time, so threads mostly help when a future
+     accelerator releases the GIL — but the backend is cheap to spin up
+     and is therefore the default.
+   * ``"process"`` — a :class:`~concurrent.futures.ProcessPoolExecutor`.
+     The read-only inner partition table is pickled **once per worker
+     process** (via the pool initializer), and tasks are shipped in
+     chunks so the per-task pickling of outer partition tuples is
+     amortised; workers send back only compact match-index lists and a
+     counter snapshot, never tuple objects.  This backend achieves real
+     CPU parallelism and is the right choice for large joins on
+     multi-core machines.
+
+3. **Merge** — chunk results are folded back **in submission order**
+   (never completion order).  Pairs are reconstructed from the *driver's*
+   tuple objects using the match indices, so the result list is
+   element-for-element identical to the sequential join — same pairs,
+   same order, same object identities — regardless of backend, worker
+   count or scheduling jitter.
+
+Determinism guarantees
+----------------------
+
+The parallel join is a pure reordering of the sequential join's work, and
+its output is **bit-identical** to the sequential path:
+
+* *Result set* — workers return ``(inner-index, outer-index)`` match
+  positions; the driver rebuilds ``(outer, inner)`` pairs in the
+  sequential nesting order (outer partition → relevant inner partition →
+  inner tuple → outer tuple).
+* *CostCounters* — every sequential charge is accounted exactly once:
+  enumeration charges the navigation CPU tests and partition accesses;
+  workers charge block reads, the two endpoint comparisons per candidate
+  pair, and false hits.  The ``sequential_reads`` / ``random_reads``
+  split depends on the storage manager's last-read-block chain, which is
+  order-dependent global state — so the schedule precomputes, for every
+  chunk, the block id the *sequential* join would have read last before
+  the chunk's first task, and each worker resumes the chain from there.
+  Summing the per-worker counters therefore reproduces the sequential
+  totals field by field, keeping AFR/APA accounting exact.
+
+The one configuration the parallel path does not support is a shared
+:class:`~repro.storage.buffer.BufferPool`: pool hits depend on the global
+interleaving of reads, which parallel execution intentionally destroys.
+:class:`~repro.core.join.OIPJoin` falls back to the sequential probe loop
+when a buffer pool is attached (and records the fallback in the result
+details).
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from dataclasses import dataclass
+from typing import List, NamedTuple, Optional, Sequence, Tuple
+
+from ..core.base import JoinPair
+from ..core.lazy_list import LazyPartitionList
+from ..storage.metrics import CostCounters
+
+__all__ = [
+    "BACKENDS",
+    "InnerPartition",
+    "ProbeTask",
+    "ProbeSchedule",
+    "build_probe_schedule",
+    "execute_schedule",
+]
+
+#: Supported worker-pool backends.
+BACKENDS = ("thread", "process")
+
+
+class InnerPartition(NamedTuple):
+    """One inner partition, flattened for shipping to workers."""
+
+    tuples: tuple
+    block_ids: Tuple[int, ...]
+
+
+class ProbeTask(NamedTuple):
+    """One outer partition's probe work.
+
+    ``relevant`` holds indices into the schedule's inner-partition table,
+    in the exact Lemma-1 traversal order of the sequential join;
+    ``last_read_in`` is the block id the sequential join would have read
+    immediately before this task (``None`` at the very start), used to
+    resume the sequential/random read chain deterministically.
+    """
+
+    index: int
+    outer_tuples: tuple
+    outer_block_ids: Tuple[int, ...]
+    relevant: Tuple[int, ...]
+    last_read_in: Optional[int]
+
+
+@dataclass
+class ProbeSchedule:
+    """The enumerated partition-pair work of one OIPJOIN probe phase."""
+
+    tasks: List[ProbeTask]
+    inner_table: List[InnerPartition]
+    pair_count: int
+
+    @property
+    def task_count(self) -> int:
+        return len(self.tasks)
+
+
+def build_probe_schedule(
+    outer_list: LazyPartitionList,
+    inner_list: LazyPartitionList,
+    k_inner: int,
+    counters: CostCounters,
+) -> ProbeSchedule:
+    """Enumerate the relevant partition pairs of ``outer JOIN inner``.
+
+    Replays the navigation of the sequential Algorithm 2 loop — including
+    its exact CPU and partition-access charges — and records, per outer
+    partition, the relevant inner partitions plus the incoming position of
+    the block-read chain.  Block reads themselves and the per-candidate
+    endpoint comparisons are *not* charged here; the workers charge them.
+    """
+    config_r, config_s = outer_list.config, inner_list.config
+    d_r, o_r = config_r.d, config_r.o
+    d_s, o_s = config_s.d, config_s.o
+    inner_range_start = o_s
+    inner_range_stop = o_s + k_inner * d_s  # exclusive
+
+    # Flatten the inner list once; nodes keep their traversal identity
+    # through an id() map (PartitionNode is unhashable-by-value on
+    # purpose — identity is exactly what we want here).
+    inner_table: List[InnerPartition] = []
+    inner_index = {}
+    for node in inner_list.iter_nodes():
+        inner_index[id(node)] = len(inner_table)
+        inner_table.append(
+            InnerPartition(
+                tuples=tuple(node.run.iter_tuples()),
+                block_ids=tuple(node.run.block_ids),
+            )
+        )
+
+    tasks: List[ProbeTask] = []
+    pair_count = 0
+    last_read: Optional[int] = None
+    for task_index, outer_node in enumerate(outer_list.iter_nodes()):
+        outer_block_ids = tuple(outer_node.run.block_ids)
+        relevant: List[int] = []
+
+        query_start = o_r + outer_node.i * d_r
+        query_end = o_r + (outer_node.j + 1) * d_r - 1
+        counters.charge_cpu(2)  # range-overlap guard of Algorithm 2
+        if not (
+            query_end < inner_range_start or query_start >= inner_range_stop
+        ):
+            s = (query_start - o_s) // d_s
+            e = (query_end - o_s) // d_s
+            # Lemma 1 navigation, with the sequential join's charges: one
+            # index comparison per main-list (j >= s) and branch-list
+            # (i <= e) test, one partition access per relevant partition.
+            node = inner_list.head
+            while node is not None:
+                counters.charge_cpu()  # j >= s test
+                if node.j < s:
+                    break
+                branch = node
+                while branch is not None:
+                    counters.charge_cpu()  # i <= e test
+                    if branch.i > e:
+                        break
+                    counters.charge_partition_access()
+                    relevant.append(inner_index[id(branch)])
+                    branch = branch.right
+                node = node.down
+
+        tasks.append(
+            ProbeTask(
+                index=task_index,
+                outer_tuples=tuple(outer_node.run.iter_tuples()),
+                outer_block_ids=outer_block_ids,
+                relevant=tuple(relevant),
+                last_read_in=last_read,
+            )
+        )
+        pair_count += len(relevant)
+
+        # Advance the deterministic read chain: the sequential join reads
+        # the outer run first, then every relevant inner run in order.
+        for block_id in outer_block_ids:
+            last_read = block_id
+        for rel in relevant:
+            for block_id in inner_table[rel].block_ids:
+                last_read = block_id
+
+    return ProbeSchedule(
+        tasks=tasks, inner_table=inner_table, pair_count=pair_count
+    )
+
+
+# ----------------------------------------------------------------------
+# Worker-side kernel.  Module-level (picklable) and dependent only on its
+# arguments / the per-process table installed by the pool initializer, so
+# both backends run the identical code path.
+# ----------------------------------------------------------------------
+
+_PROCESS_INNER_TABLE: Optional[List[InnerPartition]] = None
+
+
+def _init_process_worker(inner_table: List[InnerPartition]) -> None:
+    """Pool initializer: install the read-only inner partition table once
+    per worker process (amortises pickling across all chunks)."""
+    global _PROCESS_INNER_TABLE
+    _PROCESS_INNER_TABLE = inner_table
+
+
+def _charge_run_reads(
+    counters: CostCounters,
+    block_ids: Sequence[int],
+    last_read: Optional[int],
+) -> Optional[int]:
+    """Charge the block reads of one run, continuing the sequential/random
+    chain from *last_read* exactly as the storage manager would."""
+    for block_id in block_ids:
+        counters.charge_read(
+            sequential=last_read is not None and block_id == last_read + 1
+        )
+        last_read = block_id
+    return last_read
+
+
+def _run_probe_chunk(
+    tasks: Sequence[ProbeTask],
+    inner_table: Optional[List[InnerPartition]] = None,
+):
+    """Probe a contiguous chunk of outer partitions.
+
+    Returns ``(counters, matches)`` where ``matches[t][r]`` is the list of
+    hits of task ``t``'s ``r``-th relevant inner partition, each hit
+    encoded as the single integer ``inner_pos * n_outer + outer_pos`` —
+    ascending encoded order is exactly the sequential join's inner-major
+    emission order, and flat ints keep the process backend's result
+    pickling small.  Only indices cross the process boundary; the driver
+    rebuilds pairs from its own tuple objects.
+    """
+    if inner_table is None:
+        inner_table = _PROCESS_INNER_TABLE
+        assert inner_table is not None, "process worker not initialised"
+    counters = CostCounters()
+    # Tasks within a chunk are contiguous, so the read chain of the first
+    # task seeds the whole chunk.
+    last_read = tasks[0].last_read_in
+    matches: List[List[List[int]]] = []
+    for task in tasks:
+        last_read = _charge_run_reads(
+            counters, task.outer_block_ids, last_read
+        )
+        outer_tuples = task.outer_tuples
+        n_outer = len(outer_tuples)
+        outer_starts = [tup.start for tup in outer_tuples]
+        outer_ends = [tup.end for tup in outer_tuples]
+        outer_range = range(n_outer)
+        task_matches: List[List[int]] = []
+        for rel in task.relevant:
+            inner_tuples, inner_block_ids = inner_table[rel]
+            last_read = _charge_run_reads(
+                counters, inner_block_ids, last_read
+            )
+            # Bulk-charge the two endpoint comparisons per candidate pair
+            # (what the sequential loop charges one _match at a time).
+            counters.charge_cpu(2 * len(inner_tuples) * n_outer)
+            hits: List[int] = []
+            hits_append = hits.append
+            base = 0
+            for inner_tuple in inner_tuples:
+                inner_start = inner_tuple.start
+                inner_end = inner_tuple.end
+                for outer_pos in outer_range:
+                    if (
+                        outer_starts[outer_pos] <= inner_end
+                        and inner_start <= outer_ends[outer_pos]
+                    ):
+                        hits_append(base + outer_pos)
+                base += n_outer
+            counters.charge_false_hit(
+                len(inner_tuples) * n_outer - len(hits)
+            )
+            task_matches.append(hits)
+        matches.append(task_matches)
+    return counters, matches
+
+
+def _run_probe_chunk_process(tasks: Sequence[ProbeTask]):
+    """Process-backend entry point: reads the initializer-installed table."""
+    return _run_probe_chunk(tasks, None)
+
+
+# ----------------------------------------------------------------------
+# Driver-side scheduling and deterministic merge.
+# ----------------------------------------------------------------------
+
+
+def _chunk_tasks(
+    tasks: Sequence[ProbeTask], workers: int, chunk_size: Optional[int]
+) -> List[Sequence[ProbeTask]]:
+    """Split tasks into contiguous chunks (contiguity keeps the read
+    chain self-consistent inside each chunk)."""
+    if chunk_size is None:
+        # A few chunks per worker balances load without shipping one
+        # task at a time; process workers amortise pickling per chunk.
+        chunk_size = max(1, -(-len(tasks) // (workers * 4)))
+    if chunk_size < 1:
+        raise ValueError(f"chunk size must be >= 1, got {chunk_size}")
+    return [
+        tasks[start : start + chunk_size]
+        for start in range(0, len(tasks), chunk_size)
+    ]
+
+
+def execute_schedule(
+    schedule: ProbeSchedule,
+    counters: CostCounters,
+    pairs: List[JoinPair],
+    workers: int = 1,
+    backend: str = "thread",
+    chunk_size: Optional[int] = None,
+) -> None:
+    """Run *schedule* on a worker pool, merging results deterministically.
+
+    Worker counters are summed into *counters* and reconstructed pairs
+    appended to *pairs* in chunk-submission order, so the outcome is
+    independent of completion order and identical to the sequential join.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; choose from {BACKENDS}"
+        )
+    if not schedule.tasks:
+        return
+
+    chunks = _chunk_tasks(schedule.tasks, workers, chunk_size)
+    if workers == 1 or len(chunks) == 1:
+        # Inline fast path: same kernel, no pool.
+        outcomes = [_run_probe_chunk(chunk, schedule.inner_table) for chunk in chunks]
+    elif backend == "thread":
+        with concurrent.futures.ThreadPoolExecutor(
+            max_workers=workers
+        ) as pool:
+            futures = [
+                pool.submit(_run_probe_chunk, chunk, schedule.inner_table)
+                for chunk in chunks
+            ]
+            outcomes = [future.result() for future in futures]
+    else:  # process backend
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_process_worker,
+            initargs=(schedule.inner_table,),
+        ) as pool:
+            futures = [
+                pool.submit(_run_probe_chunk_process, chunk)
+                for chunk in chunks
+            ]
+            outcomes = [future.result() for future in futures]
+
+    inner_table = schedule.inner_table
+    for chunk, (chunk_counters, chunk_matches) in zip(chunks, outcomes):
+        _merge_into(counters, chunk_counters)
+        for task, task_matches in zip(chunk, chunk_matches):
+            outer_tuples = task.outer_tuples
+            n_outer = len(outer_tuples)
+            for rel, hits in zip(task.relevant, task_matches):
+                inner_tuples = inner_table[rel].tuples
+                pairs.extend(
+                    (
+                        outer_tuples[encoded % n_outer],
+                        inner_tuples[encoded // n_outer],
+                    )
+                    for encoded in hits
+                )
+
+
+def _merge_into(target: CostCounters, delta: CostCounters) -> None:
+    """Add every field of *delta* onto *target* in place (callers hold a
+    reference to *target*, so :meth:`CostCounters.merged_with`'s fresh
+    object is not usable here)."""
+    target.cpu_comparisons += delta.cpu_comparisons
+    target.block_reads += delta.block_reads
+    target.block_writes += delta.block_writes
+    target.sequential_reads += delta.sequential_reads
+    target.random_reads += delta.random_reads
+    target.buffer_hits += delta.buffer_hits
+    target.false_hits += delta.false_hits
+    target.partition_accesses += delta.partition_accesses
+    target.result_tuples += delta.result_tuples
+    for key, value in delta.extras.items():
+        target.extras[key] = target.extras.get(key, 0) + value

@@ -10,14 +10,27 @@ The paper's summary (end of Section 7) is effectively an optimizer rule:
 :class:`JoinPlanner` encodes that rule: it inspects the duration profile
 of both inputs and picks the sort-merge join only when *both* relations
 are (almost) point data; otherwise it picks the self-adjusting OIPJOIN.
+
+On top of algorithm choice the planner decides the *degree of
+parallelism*.  It estimates the number of candidate comparisons the
+probe phase will perform — ``n_r * n_s`` scaled by the overlap coverage
+``min(1, lambda_r + lambda_s)`` implied by the duration statistics — and
+emits an OIPJOIN with ``parallelism`` set (the partition-pair scheduler
+of :mod:`repro.engine.parallel`) once that estimate crosses
+``parallel_threshold``.  Small joins stay sequential: spinning up a
+worker pool costs more than it saves below the threshold.
+
 The chosen algorithm and the reasoning are exposed on the returned
-:class:`JoinPlan` so applications can log plan decisions.
+:class:`JoinPlan` so applications can log plan decisions.  Reasoning
+strings are built lazily on first access of :attr:`JoinPlan.reason` —
+planning happens on every join, and most callers never log the reason,
+so the plan object only pays for the format work when someone asks.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+import os
+from typing import Callable, Optional, Union
 
 from ..core.base import JoinResult, OverlapJoinAlgorithm
 from ..core.join import OIPJoin
@@ -29,29 +42,80 @@ from ..storage.device import DeviceProfile
 __all__ = ["JoinPlan", "JoinPlanner"]
 
 
-@dataclass
 class JoinPlan:
-    """A chosen join algorithm plus the statistics that justified it."""
+    """A chosen join algorithm plus the statistics that justified it.
 
-    algorithm: OverlapJoinAlgorithm
-    reason: str
-    outer_duration_fraction: float
-    inner_duration_fraction: float
+    ``reason`` may be passed as a string or as a zero-argument callable;
+    callables are invoked — and the result cached — on first attribute
+    access, so discarding an unlogged plan never pays for string
+    formatting.  ``repr()`` of a plan is intentionally cheap and does not
+    materialise the reason.
+    """
+
+    __slots__ = (
+        "algorithm",
+        "outer_duration_fraction",
+        "inner_duration_fraction",
+        "estimated_candidates",
+        "_reason",
+    )
+
+    def __init__(
+        self,
+        algorithm: OverlapJoinAlgorithm,
+        reason: Union[str, Callable[[], str]],
+        outer_duration_fraction: float,
+        inner_duration_fraction: float,
+        estimated_candidates: float = 0.0,
+    ) -> None:
+        self.algorithm = algorithm
+        self.outer_duration_fraction = outer_duration_fraction
+        self.inner_duration_fraction = inner_duration_fraction
+        self.estimated_candidates = estimated_candidates
+        self._reason = reason
+
+    @property
+    def reason(self) -> str:
+        """The human-readable planning rationale (built lazily, cached)."""
+        if callable(self._reason):
+            self._reason = self._reason()
+        return self._reason
+
+    @property
+    def parallelism(self) -> Optional[int]:
+        """Worker count of the planned join, ``None`` when sequential."""
+        return getattr(self.algorithm, "parallelism", None)
 
     def execute(
         self, outer: TemporalRelation, inner: TemporalRelation
     ) -> JoinResult:
         return self.algorithm.join(outer, inner)
 
+    def __repr__(self) -> str:
+        return (
+            f"JoinPlan(algorithm={self.algorithm.name!r}, "
+            f"lambda_r={self.outer_duration_fraction:.2e}, "
+            f"lambda_s={self.inner_duration_fraction:.2e}, "
+            f"parallelism={self.parallelism!r})"
+        )
+
 
 class JoinPlanner:
-    """Pick an overlap-join algorithm from relation statistics.
+    """Pick an overlap-join algorithm (and its parallelism) from relation
+    statistics.
 
     ``point_threshold`` is the duration fraction (``lambda``) below which
     a relation counts as "point data"; the paper's experiments show the
     sort-merge join losing its edge as soon as maximum durations reach a
     fraction of a percent of the time range, so the default is
     conservative.
+
+    ``parallel_threshold`` is the estimated candidate-comparison count
+    above which the planner emits a parallel OIPJOIN; ``workers`` caps
+    the worker count (default: ``os.cpu_count()``) and
+    ``parallel_backend`` picks the pool flavour (see
+    :mod:`repro.engine.parallel`).  Pass ``parallel_threshold=None`` to
+    disable parallel planning entirely.
     """
 
     def __init__(
@@ -59,14 +123,53 @@ class JoinPlanner:
         device: Optional[DeviceProfile] = None,
         buffer_pool: Optional[BufferPool] = None,
         point_threshold: float = 1e-5,
+        parallel_threshold: Optional[float] = 2_000_000.0,
+        workers: Optional[int] = None,
+        parallel_backend: str = "thread",
     ) -> None:
         if point_threshold <= 0:
             raise ValueError(
                 f"point threshold must be positive, got {point_threshold}"
             )
+        if parallel_threshold is not None and parallel_threshold <= 0:
+            raise ValueError(
+                f"parallel threshold must be positive, got {parallel_threshold}"
+            )
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
         self.device = device
         self.buffer_pool = buffer_pool
         self.point_threshold = point_threshold
+        self.parallel_threshold = parallel_threshold
+        self.workers = workers
+        self.parallel_backend = parallel_backend
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def estimate_candidates(
+        outer: TemporalRelation, inner: TemporalRelation
+    ) -> float:
+        """Estimated probe-phase candidate comparisons.
+
+        Two random intervals with durations ``d_r`` and ``d_s`` in a
+        shared range ``U`` overlap with probability roughly
+        ``(d_r + d_s) / |U|``; using the maximum-duration fractions as a
+        (pessimistic) stand-in gives the coverage factor
+        ``min(1, lambda_r + lambda_s)`` on the nested-loop upper bound
+        ``n_r * n_s``.
+        """
+        if outer.is_empty or inner.is_empty:
+            return 0.0
+        coverage = min(
+            1.0, outer.duration_fraction + inner.duration_fraction
+        )
+        return outer.cardinality * inner.cardinality * coverage
+
+    def _resolve_workers(self) -> int:
+        if self.workers is not None:
+            return self.workers
+        return os.cpu_count() or 1
 
     def plan(
         self, outer: TemporalRelation, inner: TemporalRelation
@@ -78,6 +181,7 @@ class JoinPlanner:
         inner_lambda = (
             inner.duration_fraction if not inner.is_empty else 0.0
         )
+        estimated = self.estimate_candidates(outer, inner)
         if (
             outer_lambda <= self.point_threshold
             and inner_lambda <= self.point_threshold
@@ -85,26 +189,54 @@ class JoinPlanner:
             algorithm: OverlapJoinAlgorithm = SortMergeJoin(
                 device=self.device, buffer_pool=self.buffer_pool
             )
-            reason = (
-                "both inputs are (near-)point data "
-                f"(lambda_r={outer_lambda:.2e}, lambda_s={inner_lambda:.2e} "
-                f"<= {self.point_threshold:.0e}): sort-merge join wins on "
-                "short tuples"
-            )
+
+            def reason() -> str:
+                return (
+                    "both inputs are (near-)point data "
+                    f"(lambda_r={outer_lambda:.2e}, "
+                    f"lambda_s={inner_lambda:.2e} "
+                    f"<= {self.point_threshold:.0e}): sort-merge join "
+                    "wins on short tuples"
+                )
+
         else:
+            workers = self._resolve_workers()
+            parallelism: Optional[int] = None
+            if (
+                self.parallel_threshold is not None
+                and workers > 1
+                and estimated >= self.parallel_threshold
+            ):
+                parallelism = workers
             algorithm = OIPJoin(
-                device=self.device, buffer_pool=self.buffer_pool
+                device=self.device,
+                buffer_pool=self.buffer_pool,
+                parallelism=parallelism,
+                parallel_backend=self.parallel_backend,
             )
-            reason = (
-                "long-lived tuples present "
-                f"(lambda_r={outer_lambda:.2e}, lambda_s={inner_lambda:.2e}): "
-                "OIPJOIN is robust to long-lived tuples"
-            )
+
+            def reason() -> str:
+                base = (
+                    "long-lived tuples present "
+                    f"(lambda_r={outer_lambda:.2e}, "
+                    f"lambda_s={inner_lambda:.2e}): "
+                    "OIPJOIN is robust to long-lived tuples"
+                )
+                if parallelism is not None:
+                    base += (
+                        f"; ~{estimated:.2e} estimated candidate "
+                        f"comparisons >= {self.parallel_threshold:.0e}: "
+                        f"scheduling partition pairs on {parallelism} "
+                        f"{self.parallel_backend} workers"
+                    )
+                return base
+
         return JoinPlan(
             algorithm=algorithm,
             reason=reason,
             outer_duration_fraction=outer_lambda,
             inner_duration_fraction=inner_lambda,
+            estimated_candidates=estimated,
         )
 
     def join(

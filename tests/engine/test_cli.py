@@ -45,6 +45,43 @@ class TestJoinCommand:
         )
         assert "result pairs" in capsys.readouterr().out
 
+    def test_workers_flag_runs_parallel_oip(self, capsys):
+        assert (
+            main(
+                [
+                    "join",
+                    "--workload",
+                    "mixture",
+                    "--cardinality",
+                    "150",
+                    "--workers",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "parallelism: 2" in out
+        assert "probe_tasks" in out
+
+    def test_workers_zero_rejected(self):
+        with pytest.raises(SystemExit, match="--workers must be >= 1"):
+            main(["join", "--cardinality", "50", "--workers", "0"])
+
+    def test_workers_rejected_for_other_algorithms(self):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "join",
+                    "--cardinality",
+                    "50",
+                    "--algorithm",
+                    "smj",
+                    "--workers",
+                    "2",
+                ]
+            )
+
     def test_deterministic_by_seed(self, capsys):
         main(["join", "--cardinality", "90", "--seed", "3"])
         first = capsys.readouterr().out

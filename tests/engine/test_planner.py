@@ -57,6 +57,131 @@ class TestPlanSelection:
             JoinPlanner(point_threshold=0.0)
 
 
+class TestLazyReasoning:
+    def test_reason_not_built_until_accessed(self):
+        """Plans are created on every join and usually discarded without
+        logging; the reasoning string must not be formatted eagerly."""
+        from repro.core.join import OIPJoin
+        from repro.engine.planner import JoinPlan
+
+        calls = []
+
+        def factory():
+            calls.append(1)
+            return "because"
+
+        plan = JoinPlan(
+            algorithm=OIPJoin(),
+            reason=factory,
+            outer_duration_fraction=0.1,
+            inner_duration_fraction=0.2,
+        )
+        assert calls == []
+        assert plan.reason == "because"
+        assert calls == [1]
+        assert plan.reason == "because"  # cached, not rebuilt
+        assert calls == [1]
+
+    def test_repr_is_cheap(self):
+        """repr() must not materialise the reason string."""
+        from repro.core.join import OIPJoin
+        from repro.engine.planner import JoinPlan
+
+        calls = []
+
+        def factory():
+            calls.append(1)
+            return "expensive"
+
+        plan = JoinPlan(
+            algorithm=OIPJoin(),
+            reason=factory,
+            outer_duration_fraction=0.25,
+            inner_duration_fraction=0.5,
+        )
+        text = repr(plan)
+        assert calls == []
+        assert "oip" in text
+        assert "2.50e-01" in text and "5.00e-01" in text
+
+    def test_plain_string_reason_still_works(self):
+        from repro.core.join import OIPJoin
+        from repro.engine.planner import JoinPlan
+
+        plan = JoinPlan(
+            algorithm=OIPJoin(),
+            reason="fixed",
+            outer_duration_fraction=0.0,
+            inner_duration_fraction=0.0,
+        )
+        assert plan.reason == "fixed"
+
+    def test_planned_reasons_unchanged(self):
+        """The lazily built strings match the former eager wording."""
+        planner = JoinPlanner()
+        range_ = Interval(1, 2**16)
+        outer = long_lived_mixture(100, 0.5, range_, seed=1)
+        inner = long_lived_mixture(100, 0.5, range_, seed=2)
+        assert "long-lived" in planner.plan(outer, inner).reason
+        points = point_relation(100, seed=1), point_relation(100, seed=2)
+        assert "point data" in planner.plan(*points).reason
+
+
+class TestParallelPlanning:
+    def _mixture_pair(self, n):
+        range_ = Interval(1, 2**16)
+        return (
+            long_lived_mixture(n, 0.5, range_, seed=9),
+            long_lived_mixture(n, 0.5, range_, seed=10),
+        )
+
+    def test_small_join_stays_sequential(self):
+        planner = JoinPlanner(workers=4)
+        plan = planner.plan(*self._mixture_pair(50))
+        assert plan.algorithm.name == "oip"
+        assert plan.parallelism is None
+
+    def test_large_join_goes_parallel(self):
+        outer, inner = self._mixture_pair(400)
+        planner = JoinPlanner(parallel_threshold=1_000, workers=4)
+        plan = planner.plan(outer, inner)
+        assert plan.algorithm.name == "oip"
+        assert plan.parallelism == 4
+        assert plan.estimated_candidates >= 1_000
+        assert "partition pairs" in plan.reason
+
+    def test_parallel_plan_executes_identically(self):
+        outer, inner = self._mixture_pair(200)
+        from repro.core.join import OIPJoin
+
+        sequential = OIPJoin().join(outer, inner)
+        plan = JoinPlanner(parallel_threshold=1.0, workers=2).plan(
+            outer, inner
+        )
+        assert plan.parallelism == 2
+        result = plan.execute(outer, inner)
+        assert result.pairs == sequential.pairs
+        assert (
+            result.counters.snapshot() == sequential.counters.snapshot()
+        )
+
+    def test_parallel_planning_disabled(self):
+        outer, inner = self._mixture_pair(200)
+        planner = JoinPlanner(parallel_threshold=None, workers=8)
+        assert planner.plan(outer, inner).parallelism is None
+
+    def test_single_worker_never_parallel(self):
+        outer, inner = self._mixture_pair(200)
+        planner = JoinPlanner(parallel_threshold=1.0, workers=1)
+        assert planner.plan(outer, inner).parallelism is None
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            JoinPlanner(parallel_threshold=0.0)
+        with pytest.raises(ValueError):
+            JoinPlanner(workers=0)
+
+
 class TestExecution:
     def test_planned_join_is_correct(self, paper_r, paper_s):
         result = JoinPlanner().join(paper_r, paper_s)
