@@ -60,6 +60,7 @@ else:  # executed as a plain script: python benchmarks/bench_parallel_scaling.py
 
 from repro.core.interval import Interval
 from repro.core.join import OIPJoin
+from repro.storage.faults import FaultPolicy, fault_profile
 from repro.workloads import long_lived_mixture
 
 N = 1_500
@@ -97,14 +98,22 @@ def run_scaling_sweep(
     worker_counts: Sequence[int] = WORKER_COUNTS,
     backends: Sequence[str] = BACKENDS,
     repeats: int = 3,
+    fault_policy: Optional[FaultPolicy] = None,
 ) -> Dict:
     """Measure sequential vs parallel OIPJOIN and verify equivalence.
+
+    With *fault_policy* the whole sweep runs under that seeded fault
+    schedule (the chaos smoke mode): the sequential reference and every
+    parallel run observe the identical faults, so the bit-identical
+    verification still applies — now covering the retry machinery too.
 
     Returns ``{"rows": table rows, "mismatches": [...], "speedups":
     {(backend, workers): float}}``.
     """
     outer, inner = _relations(cardinality)
-    sequential, seq_time = _best_time(OIPJoin(), outer, inner, repeats)
+    sequential, seq_time = _best_time(
+        OIPJoin(fault_policy=fault_policy), outer, inner, repeats
+    )
 
     rows: List[List[object]] = [
         [
@@ -120,7 +129,11 @@ def run_scaling_sweep(
     speedups: Dict[Tuple[str, int], float] = {}
     for backend in backends:
         for workers in worker_counts:
-            join = OIPJoin(parallelism=workers, parallel_backend=backend)
+            join = OIPJoin(
+                parallelism=workers,
+                parallel_backend=backend,
+                fault_policy=fault_policy,
+            )
             result, par_time = _best_time(join, outer, inner, repeats)
             identical = (
                 result.pairs == sequential.pairs
@@ -184,6 +197,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="comma-separated worker counts (default: 1,2,4,8)",
     )
     parser.add_argument("--repeats", type=int, default=None)
+    parser.add_argument(
+        "--faults",
+        default=None,
+        metavar="PROFILE",
+        help=(
+            "run the sweep under a seeded fault profile (e.g. 'chaos'); "
+            "verification then also covers the retry machinery"
+        ),
+    )
+    parser.add_argument("--fault-seed", type=int, default=0)
     args = parser.parse_args(argv)
 
     if args.smoke:
@@ -199,10 +222,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             int(part) for part in args.workers.split(",") if part.strip()
         )
 
+    policy = (
+        fault_profile(args.faults, seed=args.fault_seed)
+        if args.faults
+        else None
+    )
     sweep = run_scaling_sweep(
-        cardinality, worker_counts=worker_counts, repeats=repeats
+        cardinality,
+        worker_counts=worker_counts,
+        repeats=repeats,
+        fault_policy=policy,
     )
     _report(cardinality, sweep)
+    if policy is not None:
+        emit(
+            f"(fault profile: {args.faults!r}, seed {args.fault_seed}; "
+            "every run observed the identical injected fault schedule)"
+        )
     if sweep["mismatches"]:
         emit(f"FAILED: result mismatches in {sweep['mismatches']}")
         return 1

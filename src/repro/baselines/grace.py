@@ -25,7 +25,6 @@ from typing import List, Optional
 
 from ..core.base import JoinResult, OverlapJoinAlgorithm
 from ..core.relation import TemporalRelation, TemporalTuple
-from ..storage.manager import StorageManager
 from ..storage.metrics import CostCounters
 
 __all__ = ["GracePartitionJoin"]
@@ -62,11 +61,7 @@ class GracePartitionJoin(OverlapJoinAlgorithm):
         inner: TemporalRelation,
         counters: CostCounters,
     ) -> JoinResult:
-        storage = StorageManager(
-            device=self.device,
-            counters=counters,
-            buffer_pool=self.buffer_pool,
-        )
+        storage = self._storage(counters)
         range_start = min(outer.time_range.start, inner.time_range.start)
         range_end = max(outer.time_range.end, inner.time_range.end)
         m = self._partition_count(inner)
@@ -96,7 +91,7 @@ class GracePartitionJoin(OverlapJoinAlgorithm):
             outer_run = storage.store_tuples(outer_here)
             inner_run = storage.store_tuples(inner_here)
             for outer_block in outer_run:
-                storage.read_block(outer_block.block_id)
+                storage.read_block(outer_block.block_id, block=outer_block)
                 for inner_tuple in storage.read_run(inner_run):
                     for outer_tuple in outer_block:
                         # Deduplication: emit only in the partition that

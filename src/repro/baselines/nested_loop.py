@@ -12,7 +12,6 @@ from typing import List
 
 from ..core.base import JoinResult, OverlapJoinAlgorithm
 from ..core.relation import TemporalRelation
-from ..storage.manager import StorageManager
 from ..storage.metrics import CostCounters
 
 __all__ = ["NestedLoopJoin"]
@@ -29,17 +28,13 @@ class NestedLoopJoin(OverlapJoinAlgorithm):
         inner: TemporalRelation,
         counters: CostCounters,
     ) -> JoinResult:
-        storage = StorageManager(
-            device=self.device,
-            counters=counters,
-            buffer_pool=self.buffer_pool,
-        )
+        storage = self._storage(counters)
         outer_run = storage.store_tuples(outer)
         inner_run = storage.store_tuples(inner)
 
         pairs: List = []
         for outer_block in outer_run:
-            storage.read_block(outer_block.block_id)
+            storage.read_block(outer_block.block_id, block=outer_block)
             for inner_tuple in storage.read_run(inner_run):
                 for outer_tuple in outer_block:
                     self._match(outer_tuple, inner_tuple, counters, pairs)

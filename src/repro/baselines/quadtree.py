@@ -242,11 +242,7 @@ class QuadtreeJoin(OverlapJoinAlgorithm):
         inner: TemporalRelation,
         counters: CostCounters,
     ) -> JoinResult:
-        storage = StorageManager(
-            device=self.device,
-            counters=counters,
-            buffer_pool=self.buffer_pool,
-        )
+        storage = self._storage(counters)
         outer_tree = self._build_tree(outer, storage)
         inner_tree = self._build_tree(inner, storage)
 

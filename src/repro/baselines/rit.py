@@ -180,11 +180,7 @@ class RITJoin(OverlapJoinAlgorithm):
         inner: TemporalRelation,
         counters: CostCounters,
     ) -> JoinResult:
-        storage = StorageManager(
-            device=self.device,
-            counters=counters,
-            buffer_pool=self.buffer_pool,
-        )
+        storage = self._storage(counters)
         tree = RelationalIntervalTree(
             inner, storage, btree_order=self.btree_order
         )
@@ -192,7 +188,7 @@ class RITJoin(OverlapJoinAlgorithm):
 
         pairs: List = []
         for outer_block in outer_run:
-            storage.read_block(outer_block.block_id)
+            storage.read_block(outer_block.block_id, block=outer_block)
             for outer_tuple in outer_block:
                 for block_id, inner_tuple in tree.overlap_query(
                     outer_tuple.start, outer_tuple.end

@@ -157,17 +157,13 @@ class RTreeJoin(OverlapJoinAlgorithm):
         inner: TemporalRelation,
         counters: CostCounters,
     ) -> JoinResult:
-        storage = StorageManager(
-            device=self.device,
-            counters=counters,
-            buffer_pool=self.buffer_pool,
-        )
+        storage = self._storage(counters)
         tree = IntervalRTree(inner, storage, fanout=self.fanout)
         outer_run = storage.store_tuples(outer)
 
         pairs: List = []
         for outer_block in outer_run:
-            storage.read_block(outer_block.block_id)
+            storage.read_block(outer_block.block_id, block=outer_block)
             for outer_tuple in outer_block:
                 for inner_tuple in tree.overlap_query(
                     outer_tuple.interval, counters

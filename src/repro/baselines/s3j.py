@@ -24,7 +24,6 @@ from typing import Dict, List
 
 from ..core.base import JoinResult, OverlapJoinAlgorithm
 from ..core.relation import TemporalRelation, TemporalTuple
-from ..storage.manager import StorageManager
 from ..storage.metrics import CostCounters
 
 __all__ = ["SizeSeparationJoin", "level_of"]
@@ -66,11 +65,7 @@ class SizeSeparationJoin(OverlapJoinAlgorithm):
         inner: TemporalRelation,
         counters: CostCounters,
     ) -> JoinResult:
-        storage = StorageManager(
-            device=self.device,
-            counters=counters,
-            buffer_pool=self.buffer_pool,
-        )
+        storage = self._storage(counters)
         span = outer.time_range.union_span(inner.time_range)
         origin = span.start
         width = 1
@@ -91,7 +86,7 @@ class SizeSeparationJoin(OverlapJoinAlgorithm):
 
         pairs: List = []
         for outer_block in outer_run:
-            storage.read_block(outer_block.block_id)
+            storage.read_block(outer_block.block_id, block=outer_block)
             for outer_tuple in outer_block:
                 for level, (starts, tuples) in level_files.items():
                     cell_width = max(1, width >> level)

@@ -139,11 +139,7 @@ class SegmentTreeJoin(OverlapJoinAlgorithm):
         inner: TemporalRelation,
         counters: CostCounters,
     ) -> JoinResult:
-        storage = StorageManager(
-            device=self.device,
-            counters=counters,
-            buffer_pool=self.buffer_pool,
-        )
+        storage = self._storage(counters)
         tree = SegmentTree(inner, storage)
         outer_run = storage.store_tuples(outer)
 
@@ -173,7 +169,7 @@ class SegmentTreeJoin(OverlapJoinAlgorithm):
             probe(node.right, outer_tuple)
 
         for outer_block in outer_run:
-            storage.read_block(outer_block.block_id)
+            storage.read_block(outer_block.block_id, block=outer_block)
             for outer_tuple in outer_block:
                 probe(tree.root, outer_tuple)
 

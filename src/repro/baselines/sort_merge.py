@@ -26,7 +26,6 @@ from typing import List
 
 from ..core.base import JoinResult, OverlapJoinAlgorithm
 from ..core.relation import TemporalRelation
-from ..storage.manager import StorageManager
 from ..storage.metrics import CostCounters
 
 __all__ = ["SortMergeJoin"]
@@ -43,11 +42,7 @@ class SortMergeJoin(OverlapJoinAlgorithm):
         inner: TemporalRelation,
         counters: CostCounters,
     ) -> JoinResult:
-        storage = StorageManager(
-            device=self.device,
-            counters=counters,
-            buffer_pool=self.buffer_pool,
-        )
+        storage = self._storage(counters)
         outer_sorted = sorted(outer, key=lambda t: (t.start, t.end))
         inner_sorted = sorted(inner, key=lambda t: (t.start, t.end))
         outer_run = storage.store_tuples(outer_sorted)
@@ -60,7 +55,7 @@ class SortMergeJoin(OverlapJoinAlgorithm):
 
         pairs: List = []
         for outer_block in outer_run:
-            storage.read_block(outer_block.block_id)
+            storage.read_block(outer_block.block_id, block=outer_block)
             for outer_tuple in outer_block:
                 # Backtracking bound: inner tuples with
                 # start <= outer.end can only overlap when their start is
@@ -75,7 +70,7 @@ class SortMergeJoin(OverlapJoinAlgorithm):
                     counters.charge_cpu()  # stop test on block boundary
                     if block_first_start[block_index] > outer_tuple.end:
                         break
-                    storage.read_block(block.block_id)
+                    storage.read_block(block.block_id, block=block)
                     stop = False
                     for inner_tuple in block:
                         counters.charge_cpu()  # stop test (start > end?)

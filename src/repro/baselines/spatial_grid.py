@@ -23,7 +23,6 @@ from typing import Dict, List, Tuple
 from ..core.base import JoinResult, OverlapJoinAlgorithm
 from ..core.relation import TemporalRelation, TemporalTuple
 from ..storage.block import BlockRun
-from ..storage.manager import StorageManager
 from ..storage.metrics import CostCounters
 
 __all__ = ["SpatialGridJoin"]
@@ -46,11 +45,7 @@ class SpatialGridJoin(OverlapJoinAlgorithm):
         inner: TemporalRelation,
         counters: CostCounters,
     ) -> JoinResult:
-        storage = StorageManager(
-            device=self.device,
-            counters=counters,
-            buffer_pool=self.buffer_pool,
-        )
+        storage = self._storage(counters)
         span = outer.time_range.union_span(inner.time_range)
         origin = span.start
         cell = max(1, -(-span.duration // self.grid_size))

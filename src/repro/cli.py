@@ -23,6 +23,7 @@ from .baselines import ALGORITHMS
 from .core.granules import JoinCostModel, derive_k
 from .core.interval import Interval
 from .core.relation import TemporalRelation
+from .storage.faults import FAULT_PROFILES, StorageFaultError, fault_profile
 from .storage.metrics import CostWeights
 from .workloads import (
     DATASET_GENERATORS,
@@ -119,11 +120,54 @@ def _add_parallel_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _make_algorithm(name: str, args: argparse.Namespace):
+def _add_resilience_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--fault-profile",
+        default="none",
+        choices=("none",) + tuple(sorted(FAULT_PROFILES)),
+        help=(
+            "inject seeded storage faults (chaos testing); results are "
+            "identical to a fault-free run as long as retries succeed"
+        ),
+    )
+    parser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="seed of the deterministic fault schedule",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=3,
+        help="block-read retries before a read is abandoned",
+    )
+
+
+def _resilience_kwargs(args: argparse.Namespace) -> dict:
+    """Fault-injection keyword arguments shared by every algorithm."""
+    kwargs: dict = {}
+    profile = getattr(args, "fault_profile", "none")
+    policy = fault_profile(profile, seed=getattr(args, "fault_seed", 0))
+    if policy is not None:
+        kwargs["fault_policy"] = policy
+    max_retries = getattr(args, "max_retries", None)
+    if max_retries is not None:
+        if max_retries < 0:
+            raise SystemExit(f"--max-retries must be >= 0, got {max_retries}")
+        kwargs["max_read_retries"] = max_retries
+    return kwargs
+
+
+def _make_algorithm(
+    name: str, args: argparse.Namespace, ignore_workers: bool = False
+):
     """Instantiate algorithm *name*, honouring ``--workers`` for the
-    OIPJOIN (the only algorithm with a parallel probe phase)."""
+    OIPJOIN (the only algorithm with a parallel probe phase) and the
+    ``--fault-profile`` resilience flags for every algorithm."""
+    kwargs = _resilience_kwargs(args)
     workers = getattr(args, "workers", None)
-    if workers is not None:
+    if workers is not None and not ignore_workers:
         if workers < 1:
             raise SystemExit(f"--workers must be >= 1, got {workers}")
         if name != "oip":
@@ -136,8 +180,9 @@ def _make_algorithm(name: str, args: argparse.Namespace):
         return OIPJoin(
             parallelism=workers,
             parallel_backend=args.parallel_backend,
+            **kwargs,
         )
-    return ALGORITHMS[name]()
+    return ALGORITHMS[name](**kwargs)
 
 
 def _run_single(args: argparse.Namespace) -> int:
@@ -150,7 +195,10 @@ def _run_single(args: argparse.Namespace) -> int:
     inner = _make_relation(args, args.seed + 1, "inner")
     join = _make_algorithm(args.algorithm, args)
     started = time.perf_counter()
-    result = join.join(outer, inner)
+    try:
+        result = join.join(outer, inner)
+    except StorageFaultError as error:
+        raise SystemExit(f"join failed after retries: {error}")
     elapsed = time.perf_counter() - started
     print(
         f"{args.algorithm}: {result.cardinality:,} result pairs in "
@@ -158,6 +206,9 @@ def _run_single(args: argparse.Namespace) -> int:
     )
     for key, value in sorted(result.counters.snapshot().items()):
         print(f"  {key:>20}: {value:,}")
+    if result.resilience.faults_observed or args.fault_profile != "none":
+        for key, value in sorted(result.resilience.snapshot().items()):
+            print(f"  {key:>20}: {value:,}")
     for key, value in sorted(result.details.items()):
         print(f"  {key:>20}: {value}")
     return 0
@@ -179,11 +230,13 @@ def _run_compare(args: argparse.Namespace) -> int:
     )
     reference: Optional[List] = None
     for name in names:
-        join = (
-            _make_algorithm(name, args) if name == "oip" else ALGORITHMS[name]()
-        )
+        join = _make_algorithm(name, args, ignore_workers=(name != "oip"))
         started = time.perf_counter()
-        result = join.join(outer, inner)
+        try:
+            result = join.join(outer, inner)
+        except StorageFaultError as error:
+            print(f"{name:>10} FAILED: {error}")
+            continue
         elapsed = time.perf_counter() - started
         keys = result.pair_keys()
         if reference is None:
@@ -259,6 +312,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--algorithm", default="oip", help="short algorithm name"
     )
     _add_parallel_arguments(join_parser)
+    _add_resilience_arguments(join_parser)
     join_parser.set_defaults(handler=_run_single)
 
     compare_parser = commands.add_parser(
@@ -271,6 +325,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated short names",
     )
     _add_parallel_arguments(compare_parser)
+    _add_resilience_arguments(compare_parser)
     compare_parser.set_defaults(handler=_run_compare)
 
     derive_parser = commands.add_parser(

@@ -25,7 +25,9 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from ..storage.buffer import BufferPool
 from ..storage.device import DeviceProfile
-from ..storage.metrics import CostCounters, CostWeights
+from ..storage.faults import FaultInjector, FaultPolicy
+from ..storage.manager import StorageManager
+from ..storage.metrics import CostCounters, CostWeights, ResilienceCounters
 from .relation import TemporalRelation, TemporalTuple
 
 __all__ = ["JoinResult", "OverlapJoinAlgorithm", "join_pair_key"]
@@ -62,6 +64,8 @@ class JoinResult:
     pairs: List[JoinPair]
     counters: CostCounters
     details: Dict[str, Any] = field(default_factory=dict)
+    #: Fault-handling events of the run (all zero on a healthy device).
+    resilience: ResilienceCounters = field(default_factory=ResilienceCounters)
 
     def __len__(self) -> int:
         return len(self.pairs)
@@ -100,9 +104,20 @@ class OverlapJoinAlgorithm(ABC):
         self,
         device: Optional[DeviceProfile] = None,
         buffer_pool: Optional[BufferPool] = None,
+        fault_policy: Optional[FaultPolicy] = None,
+        max_read_retries: int = 3,
+        verify_checksums: bool = True,
     ) -> None:
+        if max_read_retries < 0:
+            raise ValueError(
+                f"max_read_retries must be >= 0, got {max_read_retries}"
+            )
         self.device = device if device is not None else DeviceProfile.main_memory()
         self.buffer_pool = buffer_pool
+        self.fault_policy = fault_policy
+        self.max_read_retries = max_read_retries
+        self.verify_checksums = verify_checksums
+        self._resilience = ResilienceCounters()
 
     def join(
         self,
@@ -111,13 +126,39 @@ class OverlapJoinAlgorithm(ABC):
     ) -> JoinResult:
         """Compute the overlap join of *outer* and *inner*."""
         counters = CostCounters()
+        resilience = ResilienceCounters()
+        self._resilience = resilience
         if outer.is_empty or inner.is_empty:
             return JoinResult(
-                algorithm=self.name, pairs=[], counters=counters
+                algorithm=self.name,
+                pairs=[],
+                counters=counters,
+                resilience=resilience,
             )
         result = self._execute(outer, inner, counters)
         result.counters.result_tuples = len(result.pairs)
+        result.resilience = resilience
         return result
+
+    def _storage(self, counters: CostCounters) -> StorageManager:
+        """The storage manager of one run, wired with this algorithm's
+        device, buffer pool and resilience configuration.  All algorithms
+        build their storage through this helper so fault injection and
+        checksum verification apply uniformly."""
+        injector = (
+            FaultInjector(self.fault_policy)
+            if self.fault_policy is not None
+            else None
+        )
+        return StorageManager(
+            device=self.device,
+            counters=counters,
+            buffer_pool=self.buffer_pool,
+            fault_injector=injector,
+            resilience=self._resilience,
+            max_retries=self.max_read_retries,
+            verify_checksums=self.verify_checksums,
+        )
 
     @abstractmethod
     def _execute(

@@ -22,6 +22,7 @@ from typing import List, Optional
 
 from ..storage.buffer import BufferPool
 from ..storage.device import DeviceProfile
+from ..storage.faults import FaultPolicy
 from ..storage.manager import StorageManager
 from ..storage.metrics import CostCounters, CostWeights
 from .base import JoinResult, OverlapJoinAlgorithm
@@ -73,6 +74,21 @@ class OIPJoin(OverlapJoinAlgorithm):
     parallel_chunk_size:
         Probe tasks per scheduled chunk; defaults to a few chunks per
         worker.
+    fault_policy, max_read_retries, verify_checksums:
+        Resilience configuration; see :class:`OverlapJoinAlgorithm`.  The
+        fault schedule is deterministic per ``(block, attempt)``, so the
+        sequential loop and both parallel backends observe the identical
+        faults and produce the identical match set and retry counters.
+    parallel_chunk_timeout:
+        Seconds to wait for one scheduled chunk before re-submitting it
+        (``None``: wait forever).
+    parallel_chunk_retries:
+        Pooled re-submissions of a failed chunk before it is completed on
+        the in-process sequential path.
+    parallel_fault_plan:
+        Executor-level chaos hook
+        (:class:`~repro.engine.parallel.WorkerFaultPlan`) used by the
+        resilience tests; leave ``None`` in production.
     """
 
     name = "oip"
@@ -90,8 +106,20 @@ class OIPJoin(OverlapJoinAlgorithm):
         parallelism: Optional[int] = None,
         parallel_backend: str = "thread",
         parallel_chunk_size: Optional[int] = None,
+        fault_policy: Optional[FaultPolicy] = None,
+        max_read_retries: int = 3,
+        verify_checksums: bool = True,
+        parallel_chunk_timeout: Optional[float] = None,
+        parallel_chunk_retries: int = 2,
+        parallel_fault_plan=None,
     ) -> None:
-        super().__init__(device=device, buffer_pool=buffer_pool)
+        super().__init__(
+            device=device,
+            buffer_pool=buffer_pool,
+            fault_policy=fault_policy,
+            max_read_retries=max_read_retries,
+            verify_checksums=verify_checksums,
+        )
         if k is not None and k < 1:
             raise ValueError(f"k must be >= 1 when pinned, got {k}")
         if (k_outer is None) != (k_inner is None):
@@ -117,6 +145,16 @@ class OIPJoin(OverlapJoinAlgorithm):
             raise ValueError(
                 f"parallel chunk size must be >= 1, got {parallel_chunk_size}"
             )
+        if parallel_chunk_timeout is not None and parallel_chunk_timeout <= 0:
+            raise ValueError(
+                "parallel chunk timeout must be positive, got "
+                f"{parallel_chunk_timeout}"
+            )
+        if parallel_chunk_retries < 0:
+            raise ValueError(
+                "parallel chunk retries must be >= 0, got "
+                f"{parallel_chunk_retries}"
+            )
         self.fixed_k = k
         self.fixed_k_outer = k_outer
         self.fixed_k_inner = k_inner
@@ -126,6 +164,9 @@ class OIPJoin(OverlapJoinAlgorithm):
         self.parallelism = parallelism
         self.parallel_backend = parallel_backend
         self.parallel_chunk_size = parallel_chunk_size
+        self.parallel_chunk_timeout = parallel_chunk_timeout
+        self.parallel_chunk_retries = parallel_chunk_retries
+        self.parallel_fault_plan = parallel_fault_plan
 
     # ------------------------------------------------------------------
 
@@ -176,11 +217,7 @@ class OIPJoin(OverlapJoinAlgorithm):
 
         config_r = OIPConfiguration.for_relation(outer, k_outer)
         config_s = OIPConfiguration.for_relation(inner, k_inner)
-        storage = StorageManager(
-            device=self.device,
-            counters=counters,
-            buffer_pool=self.buffer_pool,
-        )
+        storage = self._storage(counters)
         outer_list = oip_create(outer, config_r, storage)
         inner_list = oip_create(inner, config_s, storage)
 
@@ -194,20 +231,31 @@ class OIPJoin(OverlapJoinAlgorithm):
             schedule = build_probe_schedule(
                 outer_list, inner_list, k_inner, counters
             )
-            execute_schedule(
+            report = execute_schedule(
                 schedule,
                 counters,
                 pairs,
                 workers=self.parallelism,
                 backend=self.parallel_backend,
                 chunk_size=self.parallel_chunk_size,
+                resilience=self._resilience,
+                fault_policy=self.fault_policy,
+                max_read_retries=self.max_read_retries,
+                timeout=self.parallel_chunk_timeout,
+                max_chunk_retries=self.parallel_chunk_retries,
+                worker_faults=self.parallel_fault_plan,
             )
             parallel_details = {
                 "parallelism": self.parallelism,
-                "parallel_backend": self.parallel_backend,
+                "parallel_backend": report.backend,
                 "probe_tasks": schedule.task_count,
                 "partition_pairs": schedule.pair_count,
+                "probe_chunks": report.chunks,
             }
+            if report.degraded:
+                parallel_details["degraded_chunks"] = report.downgraded_chunks
+            if report.chunk_retries:
+                parallel_details["chunk_retries"] = report.chunk_retries
         else:
             if self.parallelism is not None:
                 # Buffer-pool hit accounting depends on the global read
@@ -255,7 +303,12 @@ class OIPJoin(OverlapJoinAlgorithm):
         inner_range_stop = o_s + k_inner * d_s  # exclusive
 
         for outer_node in outer_list.iter_nodes():
-            outer_tuples = list(storage.read_run(outer_node.run))
+            outer_tuples = list(
+                storage.read_run(
+                    outer_node.run,
+                    context=("outer partition", (outer_node.i, outer_node.j)),
+                )
+            )
             query_start = o_r + outer_node.i * d_r
             query_end = o_r + (outer_node.j + 1) * d_r - 1
             counters.charge_cpu(2)  # range-overlap guard of Algorithm 2
@@ -275,7 +328,10 @@ class OIPJoin(OverlapJoinAlgorithm):
                     if branch.i > e:
                         break
                     counters.charge_partition_access()
-                    for inner_tuple in storage.read_run(branch.run):
+                    inner_context = ("inner partition", (branch.i, branch.j))
+                    for inner_tuple in storage.read_run(
+                        branch.run, context=inner_context
+                    ):
                         for outer_tuple in outer_tuples:
                             self._match(
                                 outer_tuple, inner_tuple, counters, pairs

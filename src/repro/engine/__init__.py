@@ -10,8 +10,10 @@ from .operators import (
     TimeSliceOperator,
 )
 from .parallel import (
+    ExecutionReport,
     ProbeSchedule,
     ProbeTask,
+    WorkerFaultPlan,
     build_probe_schedule,
     execute_schedule,
 )
@@ -43,8 +45,10 @@ __all__ = [
     "JoinedRow",
     "JoinPlan",
     "JoinPlanner",
+    "ExecutionReport",
     "ProbeSchedule",
     "ProbeTask",
+    "WorkerFaultPlan",
     "build_probe_schedule",
     "execute_schedule",
     "overlaps",

@@ -70,23 +70,66 @@ interleaving of reads, which parallel execution intentionally destroys.
 :class:`~repro.core.join.OIPJoin` falls back to the sequential probe loop
 when a buffer pool is attached (and records the fallback in the result
 details).
+
+Resilient execution
+-------------------
+
+:func:`execute_schedule` tolerates degraded workers without giving up the
+determinism contract:
+
+* **per-chunk timeouts** — a chunk whose result does not arrive within
+  ``timeout`` seconds is counted and re-submitted;
+* **chunk retries** — a chunk that fails with a worker-side exception is
+  re-submitted up to ``max_chunk_retries`` times.  A failed attempt
+  returns nothing, so its partial counter charges are discarded and the
+  successful attempt charges exactly once — retried runs stay
+  bit-identical to undisturbed ones;
+* **graceful degradation** — when the pool itself breaks (a crashed
+  process worker, :class:`concurrent.futures.BrokenExecutor`) or a chunk
+  exhausts its retries, the remaining chunks are re-run on the in-process
+  sequential path and the downgrade is recorded in the
+  :class:`ExecutionReport` and the resilience counters;
+* **fault-schedule parity** — workers route their block-read charging
+  through :func:`repro.storage.faults.perform_read` with the same
+  deterministic :class:`~repro.storage.faults.FaultPolicy` as the
+  sequential join, so transient faults, retries and the random-IO retry
+  charges are reproduced identically in parallel runs.  A *permanent*
+  fault makes the chunk fail deterministically on every attempt,
+  including the final in-process one, and the structured storage error
+  (naming block and partition) propagates instead of partial results.
+
+:class:`WorkerFaultPlan` is the chaos hook for the executor itself: it
+injects worker-side failures, hard process crashes and slow chunks on
+pooled attempts only (the degraded in-process path ignores it, as the
+driver is assumed healthy).
 """
 
 from __future__ import annotations
 
 import concurrent.futures
-from dataclasses import dataclass
-from typing import List, NamedTuple, Optional, Sequence, Tuple
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, List, Mapping, NamedTuple, Optional, Sequence, Tuple
 
 from ..core.base import JoinPair
 from ..core.lazy_list import LazyPartitionList
-from ..storage.metrics import CostCounters
+from ..storage.faults import (
+    FaultInjector,
+    FaultPolicy,
+    StorageFaultError,
+    perform_read,
+)
+from ..storage.metrics import CostCounters, ResilienceCounters
 
 __all__ = [
     "BACKENDS",
     "InnerPartition",
     "ProbeTask",
     "ProbeSchedule",
+    "ExecutionReport",
+    "WorkerFaultPlan",
+    "InjectedWorkerError",
     "build_probe_schedule",
     "execute_schedule",
 ]
@@ -130,6 +173,66 @@ class ProbeSchedule:
     @property
     def task_count(self) -> int:
         return len(self.tasks)
+
+
+@dataclass
+class ExecutionReport:
+    """What :func:`execute_schedule` had to do to complete a schedule."""
+
+    backend: str = "thread"
+    chunks: int = 0
+    chunk_retries: int = 0
+    chunk_timeouts: int = 0
+    worker_crashes: int = 0
+    #: Chunks completed on the in-process sequential path after the pool
+    #: degraded or a chunk exhausted its retries.
+    downgraded_chunks: int = 0
+
+    @property
+    def degraded(self) -> bool:
+        return self.downgraded_chunks > 0
+
+
+class InjectedWorkerError(RuntimeError):
+    """A worker failure injected by a :class:`WorkerFaultPlan`."""
+
+
+@dataclass(frozen=True)
+class WorkerFaultPlan:
+    """Deterministic executor-level chaos, applied to pooled attempts.
+
+    ``fail_chunks[c] = n`` makes the first ``n`` pooled attempts of chunk
+    ``c`` raise :class:`InjectedWorkerError`; ``crash_chunks`` hard-kills
+    the worker process on the chunk's first attempt (thread workers
+    cannot be killed, so the thread backend raises instead — still a
+    retryable worker failure); ``slow_chunks[c] = seconds`` sleeps before
+    the chunk runs, for exercising per-chunk timeouts.  The plan must be
+    picklable: it ships to process workers.
+    """
+
+    fail_chunks: Mapping[int, int] = field(default_factory=dict)
+    crash_chunks: frozenset = frozenset()
+    slow_chunks: Mapping[int, float] = field(default_factory=dict)
+
+    def apply(self, chunk_index: int, attempt: int) -> None:
+        """Run the plan's effect for one pooled chunk attempt (worker
+        side); may sleep, raise, or kill the worker process."""
+        delay = self.slow_chunks.get(chunk_index)
+        if delay:
+            time.sleep(delay)
+        if chunk_index in self.crash_chunks and attempt == 0:
+            if _PROCESS_INNER_TABLE is not None:
+                # Genuine worker death: breaks the process pool, which the
+                # driver must survive by degrading to sequential.
+                os._exit(17)
+            raise InjectedWorkerError(
+                f"injected crash in chunk {chunk_index}"
+            )
+        if attempt < self.fail_chunks.get(chunk_index, 0):
+            raise InjectedWorkerError(
+                f"injected failure in chunk {chunk_index} "
+                f"(attempt {attempt})"
+            )
 
 
 def build_probe_schedule(
@@ -243,42 +346,78 @@ def _charge_run_reads(
     counters: CostCounters,
     block_ids: Sequence[int],
     last_read: Optional[int],
+    injector: Optional[FaultInjector] = None,
+    resilience: Optional[ResilienceCounters] = None,
+    max_retries: int = 3,
+    context: Any = None,
 ) -> Optional[int]:
     """Charge the block reads of one run, continuing the sequential/random
-    chain from *last_read* exactly as the storage manager would."""
+    chain from *last_read* exactly as the storage manager would.  With an
+    *injector*, each read runs the same :func:`perform_read` retry loop as
+    the sequential join, reproducing its fault schedule and retry charges."""
+    if injector is None:
+        for block_id in block_ids:
+            counters.charge_read(
+                sequential=last_read is not None and block_id == last_read + 1
+            )
+            last_read = block_id
+        return last_read
     for block_id in block_ids:
-        counters.charge_read(
-            sequential=last_read is not None and block_id == last_read + 1
+        last_read = perform_read(
+            block_id,
+            counters,
+            last_read,
+            injector=injector,
+            resilience=resilience,
+            max_retries=max_retries,
+            context=context,
         )
-        last_read = block_id
     return last_read
 
 
 def _run_probe_chunk(
     tasks: Sequence[ProbeTask],
     inner_table: Optional[List[InnerPartition]] = None,
+    chunk_index: int = 0,
+    attempt: int = 0,
+    fault_policy: Optional[FaultPolicy] = None,
+    max_read_retries: int = 3,
+    worker_faults: Optional[WorkerFaultPlan] = None,
 ):
     """Probe a contiguous chunk of outer partitions.
 
-    Returns ``(counters, matches)`` where ``matches[t][r]`` is the list of
-    hits of task ``t``'s ``r``-th relevant inner partition, each hit
-    encoded as the single integer ``inner_pos * n_outer + outer_pos`` —
-    ascending encoded order is exactly the sequential join's inner-major
-    emission order, and flat ints keep the process backend's result
-    pickling small.  Only indices cross the process boundary; the driver
-    rebuilds pairs from its own tuple objects.
+    Returns ``(counters, resilience, matches)`` where ``matches[t][r]`` is
+    the list of hits of task ``t``'s ``r``-th relevant inner partition,
+    each hit encoded as the single integer ``inner_pos * n_outer +
+    outer_pos`` — ascending encoded order is exactly the sequential
+    join's inner-major emission order, and flat ints keep the process
+    backend's result pickling small.  Only indices and counters cross the
+    process boundary; the driver rebuilds pairs from its own tuple
+    objects.
     """
     if inner_table is None:
         inner_table = _PROCESS_INNER_TABLE
         assert inner_table is not None, "process worker not initialised"
+    if worker_faults is not None:
+        worker_faults.apply(chunk_index, attempt)
     counters = CostCounters()
+    resilience = ResilienceCounters()
+    injector = (
+        FaultInjector(fault_policy) if fault_policy is not None else None
+    )
     # Tasks within a chunk are contiguous, so the read chain of the first
     # task seeds the whole chunk.
     last_read = tasks[0].last_read_in
     matches: List[List[List[int]]] = []
     for task in tasks:
         last_read = _charge_run_reads(
-            counters, task.outer_block_ids, last_read
+            counters,
+            task.outer_block_ids,
+            last_read,
+            injector=injector,
+            resilience=resilience,
+            max_retries=max_read_retries,
+            context=("outer partition", task.index),
         )
         outer_tuples = task.outer_tuples
         n_outer = len(outer_tuples)
@@ -289,7 +428,13 @@ def _run_probe_chunk(
         for rel in task.relevant:
             inner_tuples, inner_block_ids = inner_table[rel]
             last_read = _charge_run_reads(
-                counters, inner_block_ids, last_read
+                counters,
+                inner_block_ids,
+                last_read,
+                injector=injector,
+                resilience=resilience,
+                max_retries=max_read_retries,
+                context=("inner partition", rel),
             )
             # Bulk-charge the two endpoint comparisons per candidate pair
             # (what the sequential loop charges one _match at a time).
@@ -312,12 +457,27 @@ def _run_probe_chunk(
             )
             task_matches.append(hits)
         matches.append(task_matches)
-    return counters, matches
+    return counters, resilience, matches
 
 
-def _run_probe_chunk_process(tasks: Sequence[ProbeTask]):
+def _run_probe_chunk_process(
+    tasks: Sequence[ProbeTask],
+    chunk_index: int = 0,
+    attempt: int = 0,
+    fault_policy: Optional[FaultPolicy] = None,
+    max_read_retries: int = 3,
+    worker_faults: Optional[WorkerFaultPlan] = None,
+):
     """Process-backend entry point: reads the initializer-installed table."""
-    return _run_probe_chunk(tasks, None)
+    return _run_probe_chunk(
+        tasks,
+        None,
+        chunk_index=chunk_index,
+        attempt=attempt,
+        fault_policy=fault_policy,
+        max_read_retries=max_read_retries,
+        worker_faults=worker_faults,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -349,12 +509,26 @@ def execute_schedule(
     workers: int = 1,
     backend: str = "thread",
     chunk_size: Optional[int] = None,
-) -> None:
+    resilience: Optional[ResilienceCounters] = None,
+    fault_policy: Optional[FaultPolicy] = None,
+    max_read_retries: int = 3,
+    timeout: Optional[float] = None,
+    max_chunk_retries: int = 2,
+    worker_faults: Optional[WorkerFaultPlan] = None,
+) -> ExecutionReport:
     """Run *schedule* on a worker pool, merging results deterministically.
 
-    Worker counters are summed into *counters* and reconstructed pairs
-    appended to *pairs* in chunk-submission order, so the outcome is
-    independent of completion order and identical to the sequential join.
+    Worker counters are summed into *counters* (and worker resilience
+    events into *resilience*) and reconstructed pairs appended to *pairs*
+    in chunk-submission order, so the outcome is independent of
+    completion order and identical to the sequential join.  Failed or
+    timed-out chunks are retried and, past ``max_chunk_retries`` or a
+    broken pool, completed on the in-process sequential path (see the
+    module docstring); the returned :class:`ExecutionReport` records what
+    happened.  Structured storage faults
+    (:class:`~repro.storage.faults.StorageFaultError`) are *not* retried
+    at chunk level — their schedule is deterministic, so they propagate
+    immediately instead of burning the retry budget.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
@@ -362,37 +536,56 @@ def execute_schedule(
         raise ValueError(
             f"unknown backend {backend!r}; choose from {BACKENDS}"
         )
+    if timeout is not None and timeout <= 0:
+        raise ValueError(f"chunk timeout must be > 0, got {timeout}")
+    if max_chunk_retries < 0:
+        raise ValueError(
+            f"max_chunk_retries must be >= 0, got {max_chunk_retries}"
+        )
+    report = ExecutionReport(backend=backend)
     if not schedule.tasks:
-        return
+        return report
 
     chunks = _chunk_tasks(schedule.tasks, workers, chunk_size)
+    report.chunks = len(chunks)
+
+    def run_inline(index: int):
+        """The degraded path: the driver probes the chunk itself.  The
+        worker fault plan does not apply (the driver is healthy); storage
+        faults still do, so permanent faults keep failing structurally."""
+        return _run_probe_chunk(
+            chunks[index],
+            schedule.inner_table,
+            chunk_index=index,
+            fault_policy=fault_policy,
+            max_read_retries=max_read_retries,
+        )
+
     if workers == 1 or len(chunks) == 1:
-        # Inline fast path: same kernel, no pool.
-        outcomes = [_run_probe_chunk(chunk, schedule.inner_table) for chunk in chunks]
-    elif backend == "thread":
-        with concurrent.futures.ThreadPoolExecutor(
-            max_workers=workers
-        ) as pool:
-            futures = [
-                pool.submit(_run_probe_chunk, chunk, schedule.inner_table)
-                for chunk in chunks
-            ]
-            outcomes = [future.result() for future in futures]
-    else:  # process backend
-        with concurrent.futures.ProcessPoolExecutor(
-            max_workers=workers,
-            initializer=_init_process_worker,
-            initargs=(schedule.inner_table,),
-        ) as pool:
-            futures = [
-                pool.submit(_run_probe_chunk_process, chunk)
-                for chunk in chunks
-            ]
-            outcomes = [future.result() for future in futures]
+        # Inline fast path: same kernel, no pool, nothing to degrade to.
+        outcomes = [run_inline(index) for index in range(len(chunks))]
+    else:
+        outcomes = _execute_on_pool(
+            chunks,
+            schedule.inner_table,
+            workers,
+            backend,
+            report,
+            fault_policy,
+            max_read_retries,
+            timeout,
+            max_chunk_retries,
+            worker_faults,
+            run_inline,
+        )
 
     inner_table = schedule.inner_table
-    for chunk, (chunk_counters, chunk_matches) in zip(chunks, outcomes):
+    for chunk, (chunk_counters, chunk_resilience, chunk_matches) in zip(
+        chunks, outcomes
+    ):
         _merge_into(counters, chunk_counters)
+        if resilience is not None:
+            resilience.merge(chunk_resilience)
         for task, task_matches in zip(chunk, chunk_matches):
             outer_tuples = task.outer_tuples
             n_outer = len(outer_tuples)
@@ -405,6 +598,105 @@ def execute_schedule(
                     )
                     for encoded in hits
                 )
+    if resilience is not None:
+        resilience.chunk_retries += report.chunk_retries
+        resilience.chunk_timeouts += report.chunk_timeouts
+        resilience.worker_crashes += report.worker_crashes
+        resilience.sequential_downgrades += report.downgraded_chunks
+    return report
+
+
+def _execute_on_pool(
+    chunks: List[Sequence[ProbeTask]],
+    inner_table: List[InnerPartition],
+    workers: int,
+    backend: str,
+    report: ExecutionReport,
+    fault_policy: Optional[FaultPolicy],
+    max_read_retries: int,
+    timeout: Optional[float],
+    max_chunk_retries: int,
+    worker_faults: Optional[WorkerFaultPlan],
+    run_inline,
+) -> List[Tuple[CostCounters, ResilienceCounters, List]]:
+    """Pooled execution with retry, timeout and degradation handling.
+
+    Returns one outcome per chunk, in chunk order.  Chunks whose pooled
+    attempts are exhausted — or every remaining chunk once the pool
+    itself breaks — complete via *run_inline*.
+    """
+    if backend == "thread":
+        pool = concurrent.futures.ThreadPoolExecutor(max_workers=workers)
+
+        def submit(index: int, attempt: int):
+            return pool.submit(
+                _run_probe_chunk,
+                chunks[index],
+                inner_table,
+                chunk_index=index,
+                attempt=attempt,
+                fault_policy=fault_policy,
+                max_read_retries=max_read_retries,
+                worker_faults=worker_faults,
+            )
+
+    else:  # process backend
+        pool = concurrent.futures.ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_process_worker,
+            initargs=(inner_table,),
+        )
+
+        def submit(index: int, attempt: int):
+            return pool.submit(
+                _run_probe_chunk_process,
+                chunks[index],
+                chunk_index=index,
+                attempt=attempt,
+                fault_policy=fault_policy,
+                max_read_retries=max_read_retries,
+                worker_faults=worker_faults,
+            )
+
+    outcomes: List[Optional[Tuple]] = [None] * len(chunks)
+    pool_broken = False
+    try:
+        futures = [submit(index, 0) for index in range(len(chunks))]
+        for index in range(len(chunks)):
+            attempt = 0
+            while outcomes[index] is None:
+                if pool_broken:
+                    outcomes[index] = run_inline(index)
+                    report.downgraded_chunks += 1
+                    break
+                try:
+                    outcomes[index] = futures[index].result(timeout=timeout)
+                    break
+                except StorageFaultError:
+                    # Deterministic data fault: retrying cannot help, and
+                    # partial results must not be returned.
+                    raise
+                except concurrent.futures.TimeoutError:
+                    report.chunk_timeouts += 1
+                except concurrent.futures.BrokenExecutor:
+                    # The pool is gone (worker crash); every remaining
+                    # chunk degrades to the in-process path.
+                    report.worker_crashes += 1
+                    pool_broken = True
+                    continue
+                except Exception:
+                    pass  # retryable worker failure
+                attempt += 1
+                if attempt > max_chunk_retries:
+                    # Retry budget exhausted: last resort is the driver.
+                    outcomes[index] = run_inline(index)
+                    report.downgraded_chunks += 1
+                    break
+                report.chunk_retries += 1
+                futures[index] = submit(index, attempt)
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+    return outcomes  # type: ignore[return-value]
 
 
 def _merge_into(target: CostCounters, delta: CostCounters) -> None:

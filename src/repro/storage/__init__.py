@@ -8,7 +8,7 @@ IOs, buffer hits and sequential/random split the paper plots fall out of the
 same code path the join executes.
 """
 
-from .block import Block, BlockRun
+from .block import Block, BlockRun, tuple_checksum
 from .buffer import (
     BufferPool,
     ClockPolicy,
@@ -18,12 +18,25 @@ from .buffer import (
     UnboundedBufferPool,
 )
 from .device import TUPLE_SIZE_BYTES, DeviceProfile
+from .faults import (
+    FAULT_PROFILES,
+    CorruptBlockError,
+    FaultInjector,
+    FaultKind,
+    FaultPolicy,
+    ReadRetriesExceededError,
+    StorageFaultError,
+    TransientReadError,
+    fault_profile,
+    perform_read,
+)
 from .manager import StorageManager
-from .metrics import CostCounters, CostWeights
+from .metrics import CostCounters, CostWeights, ResilienceCounters
 
 __all__ = [
     "Block",
     "BlockRun",
+    "tuple_checksum",
     "BufferPool",
     "ClockPolicy",
     "FIFOPolicy",
@@ -32,7 +45,18 @@ __all__ = [
     "UnboundedBufferPool",
     "DeviceProfile",
     "TUPLE_SIZE_BYTES",
+    "FAULT_PROFILES",
+    "CorruptBlockError",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPolicy",
+    "ReadRetriesExceededError",
+    "StorageFaultError",
+    "TransientReadError",
+    "fault_profile",
+    "perform_read",
     "StorageManager",
     "CostCounters",
     "CostWeights",
+    "ResilienceCounters",
 ]

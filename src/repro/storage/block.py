@@ -1,25 +1,57 @@
-"""Fixed-capacity storage blocks.
+"""Fixed-capacity storage blocks with content checksums.
 
 Tuples are stored in blocks of a fixed byte size; a block holds at most
 ``b = block_size // tuple_size`` tuples.  Partitions and index nodes own
 *runs* of blocks; the block ids double as the device addresses the buffer
 pool caches, and consecutive ids model physically contiguous storage (the
 property Algorithm 1's sorting buys the OIPJOIN).
+
+Every block also carries a cheap CRC32 content checksum, folded
+incrementally as tuples are appended.  Storage-manager reads verify it
+(memoised — a block that has not been mutated since its last successful
+verification is not re-hashed), which is how the resilience layer detects
+corrupted payloads.  Two explicit corruption hooks exist for fault
+injection and tests:
+
+* :meth:`Block.mark_corrupted` flags the *delivered/cached* copy as bad —
+  a device re-read (:meth:`Block.refresh_from_device`) restores it unless
+  the corruption was marked permanent (bad media), and
+* :meth:`Block.tamper` silently replaces stored content without updating
+  the recorded checksum, modelling a genuine undetected bit-flip that
+  only verification can surface.
 """
 
 from __future__ import annotations
 
+import zlib
 from typing import Iterator, List, Sequence
 
 from ..core.relation import TemporalTuple
 
-__all__ = ["Block", "BlockRun"]
+__all__ = ["Block", "BlockRun", "tuple_checksum"]
+
+
+def tuple_checksum(tup: TemporalTuple, crc: int = 0) -> int:
+    """Fold one tuple's content into a running CRC32 checksum."""
+    return zlib.crc32(
+        f"{tup.start}:{tup.end}:{tup.payload!r}".encode("utf-8", "replace"),
+        crc,
+    )
 
 
 class Block:
     """One storage block holding up to *capacity* tuples."""
 
-    __slots__ = ("block_id", "capacity", "_tuples")
+    __slots__ = (
+        "block_id",
+        "capacity",
+        "_tuples",
+        "_stored_checksum",
+        "_computed_checksum",
+        "_dirty",
+        "_delivery_corrupt",
+        "_media_corrupt",
+    )
 
     def __init__(self, block_id: int, capacity: int) -> None:
         if capacity < 1:
@@ -27,6 +59,11 @@ class Block:
         self.block_id = block_id
         self.capacity = capacity
         self._tuples: List[TemporalTuple] = []
+        self._stored_checksum = 0
+        self._computed_checksum = 0
+        self._dirty = False
+        self._delivery_corrupt = False
+        self._media_corrupt = False
 
     def __len__(self) -> int:
         return len(self._tuples)
@@ -56,6 +93,58 @@ class Block:
         if self.is_full:
             raise OverflowError(f"block {self.block_id} is full")
         self._tuples.append(tup)
+        self._stored_checksum = tuple_checksum(tup, self._stored_checksum)
+        self._dirty = True
+
+    # -- integrity ----------------------------------------------------------
+
+    @property
+    def checksum(self) -> int:
+        """The checksum recorded at write time."""
+        return self._stored_checksum
+
+    def compute_checksum(self) -> int:
+        """Recompute the content checksum from the stored tuples."""
+        crc = 0
+        for tup in self._tuples:
+            crc = tuple_checksum(tup, crc)
+        return crc
+
+    def verify(self) -> bool:
+        """True iff the block's content matches its recorded checksum and
+        no corruption flag is set.  The recompute is memoised: a block
+        untouched since its last verification compares two cached ints."""
+        if self._delivery_corrupt or self._media_corrupt:
+            return False
+        if self._dirty:
+            self._computed_checksum = self.compute_checksum()
+            self._dirty = False
+        return self._computed_checksum == self._stored_checksum
+
+    def mark_corrupted(self, permanent: bool = False) -> None:
+        """Fault hook: flag this copy of the block as corrupted.
+
+        Non-permanent corruption models a bad cached/delivered copy — a
+        re-read from the device (:meth:`refresh_from_device`) clears it.
+        Permanent corruption models bad media: no re-read helps, and the
+        storage manager's retry loop ends in a
+        :class:`~repro.storage.faults.CorruptBlockError`.
+        """
+        if permanent:
+            self._media_corrupt = True
+        else:
+            self._delivery_corrupt = True
+
+    def tamper(self, index: int, tup: TemporalTuple) -> None:
+        """Fault hook: overwrite the tuple at *index* without updating the
+        recorded checksum — an undetected bit-flip in stored content."""
+        self._tuples[index] = tup
+        self._dirty = True
+
+    def refresh_from_device(self) -> None:
+        """Model a fresh device read delivering a clean copy: transient
+        delivery corruption clears; permanent media corruption does not."""
+        self._delivery_corrupt = False
 
 
 class BlockRun:

@@ -171,6 +171,38 @@ class BufferPool:
         self._last_device_read = block_id
         self._admit(block_id)
 
+    # -- resilience hooks ---------------------------------------------------
+    #
+    # The storage manager's fault-aware read path drives the pool through
+    # these finer-grained steps instead of :meth:`read`, so it can verify
+    # cached copies, retry device reads and evict corrupted blocks while
+    # keeping hit/miss charging and the sequential/random chain identical.
+
+    @property
+    def last_device_read(self) -> Optional[int]:
+        """The block id of the most recent read that reached the device."""
+        return self._last_device_read
+
+    def note_hit(self, block_id: int, counters: CostCounters) -> None:
+        """Charge a buffer hit for the resident *block_id*."""
+        counters.charge_buffer_hit()
+        self._policy.record_access(block_id)
+
+    def note_device_read(self, block_id: int) -> None:
+        """Advance the sequential/random chain past a successful device
+        read and admit the block."""
+        self._last_device_read = block_id
+        self._admit(block_id)
+
+    def invalidate(self, block_id: int) -> bool:
+        """Evict *block_id* (a corrupted copy) so the next request is
+        forced back to the device.  Returns True when it was resident."""
+        if block_id not in self._resident:
+            return False
+        self._resident.discard(block_id)
+        self._policy.discard(block_id)
+        return True
+
     def read_run(self, block_ids: Iterable[int], counters: CostCounters) -> None:
         """Request a run of block ids in order."""
         for block_id in block_ids:

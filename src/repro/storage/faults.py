@@ -1,0 +1,398 @@
+"""Deterministic fault injection for the storage substrate.
+
+The paper's cost model (Section 6, Equation 2) assumes a perfectly
+reliable device; production deployments of partition joins do not get
+one.  This module provides the chaos half of the resilience layer: a
+seeded, fully deterministic :class:`FaultPolicy` describing *which* reads
+misbehave and :class:`FaultInjector` deciding it per ``(block id,
+attempt)``, plus :func:`perform_read` — the one retry/charging loop both
+the :class:`~repro.storage.manager.StorageManager` and the parallel
+probe workers run their device reads through, so sequential and parallel
+executions observe the *identical* fault schedule and charge the
+identical IO.
+
+Determinism is the load-bearing property.  Fault decisions are pure
+functions of ``(seed, block_id, attempt)`` — an avalanche hash mapped to
+the unit interval, no shared RNG stream — so
+
+* the same seed reproduces the same faults run after run,
+* a re-read of the same block at the same attempt makes the same
+  decision no matter which worker issues it or in which order, and
+* differential tests can assert that a chaos run returns the exact match
+  set of a fault-free run while the retries stay visible in the
+  :class:`~repro.storage.metrics.ResilienceCounters`.
+
+Fault taxonomy
+--------------
+
+* **transient read error** — the device errors out mid-read; a bounded
+  exponential-backoff retry loop re-issues the read.  Every attempt is
+  charged as an IO (the device did the work); re-reads are charged as
+  *random* IO because error handling loses the head position.
+* **corrupted payload** — the read completes but the delivered block
+  fails its content checksum; the block is evicted from the buffer pool
+  (never served stale) and re-read.
+* **permanent fault** — a block id listed in ``permanent_blocks`` fails
+  every attempt; once the retry budget is exhausted a structured error
+  naming the block and the partition context is raised instead of
+  returning partial results.
+* **latency spike** — the read succeeds but is recorded as slow; no
+  retry, visible in the resilience counters.
+"""
+
+from __future__ import annotations
+
+import enum
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, FrozenSet, Mapping, Optional
+
+from .metrics import CostCounters, ResilienceCounters
+
+__all__ = [
+    "FaultKind",
+    "FaultPolicy",
+    "FaultInjector",
+    "StorageFaultError",
+    "TransientReadError",
+    "CorruptBlockError",
+    "ReadRetriesExceededError",
+    "FAULT_PROFILES",
+    "fault_profile",
+    "perform_read",
+]
+
+
+class FaultKind(enum.Enum):
+    """Outcome of one injected read attempt."""
+
+    OK = "ok"
+    TRANSIENT = "transient"
+    CORRUPT = "corrupt"
+    LATENCY = "latency"
+
+
+# ----------------------------------------------------------------------
+# Structured errors.
+# ----------------------------------------------------------------------
+
+
+class StorageFaultError(RuntimeError):
+    """Base class of all structured storage-fault errors.
+
+    Carries the failing block id, the number of attempts made, and the
+    *context* (typically the partition being fetched) so callers and
+    operators can tell exactly what was lost.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        block_id: int,
+        attempts: int = 1,
+        context: Any = None,
+    ) -> None:
+        if context not in (None, ""):
+            message = f"{message} while reading {context}"
+        super().__init__(message)
+        self.block_id = block_id
+        self.attempts = attempts
+        self.context = context
+
+
+class TransientReadError(StorageFaultError):
+    """A single failed read attempt (recoverable by retrying)."""
+
+    def __init__(self, block_id: int, attempt: int, context: Any = None) -> None:
+        super().__init__(
+            f"transient read error on block {block_id} (attempt {attempt})",
+            block_id,
+            attempts=attempt + 1,
+            context=context,
+        )
+
+
+class CorruptBlockError(StorageFaultError):
+    """Block content failed checksum verification on every attempt."""
+
+    def __init__(self, block_id: int, attempts: int, context: Any = None) -> None:
+        super().__init__(
+            f"block {block_id} failed checksum verification "
+            f"after {attempts} attempt(s)",
+            block_id,
+            attempts=attempts,
+            context=context,
+        )
+
+
+class ReadRetriesExceededError(StorageFaultError):
+    """Transient faults persisted past the bounded retry budget."""
+
+    def __init__(self, block_id: int, attempts: int, context: Any = None) -> None:
+        super().__init__(
+            f"read of block {block_id} still failing "
+            f"after {attempts} attempt(s)",
+            block_id,
+            attempts=attempts,
+            context=context,
+        )
+
+
+# ----------------------------------------------------------------------
+# Policy and injector.
+# ----------------------------------------------------------------------
+
+
+_MASK64 = (1 << 64) - 1
+
+
+def _unit_draw(seed: int, salt: str, block_id: int, attempt: int) -> float:
+    """A deterministic pseudo-random draw in ``[0, 1)`` for one decision.
+
+    A splitmix64-style finalizer over the combined key: full avalanche,
+    so draws for neighbouring block ids are independent (a plain CRC of
+    the key string leaves adjacent ids correlated and the fault schedule
+    visibly clustered)."""
+    x = (
+        seed * 0x9E3779B97F4A7C15
+        + zlib.crc32(salt.encode("ascii")) * 0xD1B54A32D192ED03
+        + block_id * 0xBF58476D1CE4E5B9
+        + attempt * 0x94D049BB133111EB
+    ) & _MASK64
+    x ^= x >> 30
+    x = (x * 0xBF58476D1CE4E5B9) & _MASK64
+    x ^= x >> 27
+    x = (x * 0x94D049BB133111EB) & _MASK64
+    x ^= x >> 31
+    return x / 18446744073709551616.0  # 2**64
+
+
+@dataclass(frozen=True)
+class FaultPolicy:
+    """Seeded, deterministic description of how the device misbehaves.
+
+    Probabilistic faults (``*_probability``) draw one deterministic value
+    per ``(block id, attempt)``, so a given seed yields the same schedule
+    on every run and on every execution path.  Explicit schedules pin
+    behaviour for specific block ids: ``transient_schedule[b] = n`` makes
+    the first ``n`` attempts on block ``b`` fail transiently,
+    ``corrupt_schedule[b] = n`` delivers ``n`` corrupted payloads first,
+    and ``permanent_blocks`` never deliver a good read at all.
+    """
+
+    seed: int = 0
+    transient_probability: float = 0.0
+    corrupt_probability: float = 0.0
+    latency_probability: float = 0.0
+    #: Simulated extra latency of one spike, in milliseconds (reported,
+    #: never slept).
+    latency_penalty_ms: float = 5.0
+    #: First backoff step in milliseconds; step ``n`` waits ``2**n`` of
+    #: these units (simulated, recorded in ``backoff_units``).
+    backoff_base_ms: float = 1.0
+    transient_schedule: Mapping[int, int] = field(default_factory=dict)
+    corrupt_schedule: Mapping[int, int] = field(default_factory=dict)
+    permanent_blocks: FrozenSet[int] = frozenset()
+
+    def __post_init__(self) -> None:
+        for name in (
+            "transient_probability",
+            "corrupt_probability",
+            "latency_probability",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(
+                    f"{name} must be within [0, 1], got {value}"
+                )
+        if self.latency_penalty_ms < 0 or self.backoff_base_ms < 0:
+            raise ValueError("latency/backoff durations must be >= 0")
+        for name in ("transient_schedule", "corrupt_schedule"):
+            for block_id, count in getattr(self, name).items():
+                if count < 0:
+                    raise ValueError(
+                        f"{name}[{block_id}] must be >= 0, got {count}"
+                    )
+        object.__setattr__(
+            self, "permanent_blocks", frozenset(self.permanent_blocks)
+        )
+
+    @property
+    def injects_faults(self) -> bool:
+        """False when the policy can never produce a fault (checksum
+        verification may still run, but no read will be disturbed)."""
+        return bool(
+            self.transient_probability
+            or self.corrupt_probability
+            or self.latency_probability
+            or self.transient_schedule
+            or self.corrupt_schedule
+            or self.permanent_blocks
+        )
+
+    def decide(self, block_id: int, attempt: int) -> FaultKind:
+        """The fate of reading *block_id* on try number *attempt*."""
+        if block_id in self.permanent_blocks:
+            return FaultKind.TRANSIENT
+        if attempt < self.transient_schedule.get(block_id, 0):
+            return FaultKind.TRANSIENT
+        if attempt < self.corrupt_schedule.get(block_id, 0):
+            return FaultKind.CORRUPT
+        if self.transient_probability and (
+            _unit_draw(self.seed, "transient", block_id, attempt)
+            < self.transient_probability
+        ):
+            return FaultKind.TRANSIENT
+        if self.corrupt_probability and (
+            _unit_draw(self.seed, "corrupt", block_id, attempt)
+            < self.corrupt_probability
+        ):
+            return FaultKind.CORRUPT
+        if self.latency_probability and (
+            _unit_draw(self.seed, "latency", block_id, attempt)
+            < self.latency_probability
+        ):
+            return FaultKind.LATENCY
+        return FaultKind.OK
+
+
+class FaultInjector:
+    """Applies a :class:`FaultPolicy` to a stream of read attempts.
+
+    The injector itself is stateless (decisions are pure functions of the
+    policy), which is what makes it safe to re-create one per worker
+    process from the pickled policy: every copy injects the same faults.
+    """
+
+    __slots__ = ("policy",)
+
+    def __init__(self, policy: FaultPolicy) -> None:
+        self.policy = policy
+
+    def decide(self, block_id: int, attempt: int) -> FaultKind:
+        return self.policy.decide(block_id, attempt)
+
+    def __repr__(self) -> str:
+        return f"FaultInjector(seed={self.policy.seed})"
+
+
+# ----------------------------------------------------------------------
+# Named chaos profiles (CLI --fault-profile).
+# ----------------------------------------------------------------------
+
+#: Named fault profiles for chaos runs; keys are CLI-visible.
+FAULT_PROFILES: Dict[str, Callable[[int], FaultPolicy]] = {
+    "transient": lambda seed: FaultPolicy(
+        seed=seed, transient_probability=0.02
+    ),
+    "transient-heavy": lambda seed: FaultPolicy(
+        seed=seed, transient_probability=0.15
+    ),
+    "corrupt": lambda seed: FaultPolicy(seed=seed, corrupt_probability=0.02),
+    "latency": lambda seed: FaultPolicy(seed=seed, latency_probability=0.10),
+    "chaos": lambda seed: FaultPolicy(
+        seed=seed,
+        transient_probability=0.05,
+        corrupt_probability=0.02,
+        latency_probability=0.05,
+    ),
+}
+
+
+def fault_profile(name: str, seed: int = 0) -> Optional[FaultPolicy]:
+    """The named chaos profile seeded with *seed*; ``"none"`` is ``None``."""
+    if name in ("none", "off"):
+        return None
+    try:
+        return FAULT_PROFILES[name](seed)
+    except KeyError:
+        raise ValueError(
+            f"unknown fault profile {name!r}; choose from "
+            f"{', '.join(sorted(FAULT_PROFILES))} or 'none'"
+        ) from None
+
+
+# ----------------------------------------------------------------------
+# The shared charged-read retry loop.
+# ----------------------------------------------------------------------
+
+
+def perform_read(
+    block_id: int,
+    counters: CostCounters,
+    last_read: Optional[int],
+    injector: Optional[FaultInjector] = None,
+    resilience: Optional[ResilienceCounters] = None,
+    max_retries: int = 3,
+    verify: Optional[Callable[[], bool]] = None,
+    context: Any = None,
+) -> int:
+    """Charge one logical block read, retrying under the fault schedule.
+
+    This is the *single* implementation of the read/retry/verify loop;
+    the storage manager and the parallel probe workers both call it, so
+    their charging is identical field by field:
+
+    * attempt 0 is charged sequential iff ``block_id == last_read + 1``
+      (the storage manager's classic chain rule),
+    * every retry attempt is charged as a **random** read — the cost
+      model stays honest about error handling losing the head position,
+    * a read that exhausts ``max_retries`` raises a structured
+      :class:`ReadRetriesExceededError` / :class:`CorruptBlockError`
+      naming the block and *context*; ``last_read`` is then left to the
+      caller unchanged, so a failed read never poisons the sequential/
+      random classification of the next successful one.
+
+    *verify* (when given) is called after each successful delivery and
+    must return True for the read to count; the storage manager passes
+    the block's checksum verification here.  Returns *block_id*, the new
+    last-read position, on success.
+    """
+    if max_retries < 0:
+        raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+    attempt = 0
+    while True:
+        kind = (
+            injector.decide(block_id, attempt)
+            if injector is not None
+            else FaultKind.OK
+        )
+        sequential = (
+            attempt == 0
+            and last_read is not None
+            and block_id == last_read + 1
+        )
+        counters.charge_read(sequential=sequential)
+        corrupt = False
+        if kind is FaultKind.TRANSIENT:
+            if resilience is not None:
+                resilience.transient_faults += 1
+        elif kind is FaultKind.CORRUPT:
+            corrupt = True
+            if resilience is not None:
+                resilience.corruptions_detected += 1
+        else:
+            if kind is FaultKind.LATENCY and resilience is not None:
+                resilience.latency_spikes += 1
+            if verify is not None:
+                if resilience is not None:
+                    resilience.checksum_verifications += 1
+                if verify():
+                    return block_id
+                corrupt = True
+                if resilience is not None:
+                    resilience.corruptions_detected += 1
+            else:
+                return block_id
+        if attempt >= max_retries:
+            if corrupt:
+                raise CorruptBlockError(
+                    block_id, attempts=attempt + 1, context=context
+                )
+            raise ReadRetriesExceededError(
+                block_id, attempts=attempt + 1, context=context
+            )
+        if resilience is not None:
+            resilience.retries += 1
+            resilience.backoff_units += 2 ** attempt
+        attempt += 1

@@ -1,4 +1,4 @@
-"""Storage manager: block allocation and charged reads.
+"""Storage manager: block allocation, charged reads, and fault recovery.
 
 One :class:`StorageManager` represents the storage of one algorithm run.
 It allocates block ids monotonically, so a structure that appends its
@@ -9,17 +9,30 @@ exactly the effect the paper attributes to Algorithm 1's sort.
 Reads are routed through an optional :class:`~repro.storage.buffer.BufferPool`
 (the OS page cache of Figure 11); without a pool every read reaches the
 device.
+
+Resilience (see :mod:`repro.storage.faults`): when a block object is
+available the manager verifies its content checksum on every read —
+including buffer hits, so a corrupted cached copy is evicted and
+re-fetched rather than served stale — and an optional
+:class:`~repro.storage.faults.FaultInjector` subjects device reads to a
+deterministic fault schedule.  Recovery runs a bounded exponential-backoff
+retry loop whose re-reads are charged as *random* IO (the cost model stays
+honest), with every event recorded in a
+:class:`~repro.storage.metrics.ResilienceCounters`.  A read that cannot be
+recovered raises a structured error naming the block and the partition
+context instead of returning partial data.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Optional
+from typing import Any, Iterable, Iterator, List, Optional
 
 from ..core.relation import TemporalTuple
 from .block import Block, BlockRun
 from .buffer import BufferPool
 from .device import DeviceProfile
-from .metrics import CostCounters
+from .faults import FaultInjector, perform_read
+from .metrics import CostCounters, ResilienceCounters
 
 __all__ = ["StorageManager"]
 
@@ -33,11 +46,23 @@ class StorageManager:
         counters: Optional[CostCounters] = None,
         buffer_pool: Optional[BufferPool] = None,
         charge_writes: bool = True,
+        fault_injector: Optional[FaultInjector] = None,
+        resilience: Optional[ResilienceCounters] = None,
+        max_retries: int = 3,
+        verify_checksums: bool = True,
     ) -> None:
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
         self.device = device if device is not None else DeviceProfile.main_memory()
         self.counters = counters if counters is not None else CostCounters()
         self.buffer_pool = buffer_pool
         self.charge_writes = charge_writes
+        self.fault_injector = fault_injector
+        self.resilience = (
+            resilience if resilience is not None else ResilienceCounters()
+        )
+        self.max_retries = max_retries
+        self.verify_checksums = verify_checksums
         self._next_block_id = 0
         self._last_read_id: Optional[int] = None
 
@@ -71,10 +96,16 @@ class StorageManager:
 
     # -- reading ----------------------------------------------------------------
 
-    def read_run(self, run: BlockRun) -> Iterator[TemporalTuple]:
-        """Fetch every block of *run*, charging IO, and yield its tuples."""
+    def read_run(
+        self, run: BlockRun, context: Any = None
+    ) -> Iterator[TemporalTuple]:
+        """Fetch every block of *run*, charging IO, and yield its tuples.
+
+        *context* (typically the partition identity) is carried into any
+        structured fault error raised while fetching.
+        """
         for block in run:
-            self.read_block(block.block_id)
+            self.read_block(block.block_id, block=block, context=context)
             yield from block
 
     def read_runs(self, runs: Iterable[BlockRun]) -> Iterator[TemporalTuple]:
@@ -82,17 +113,78 @@ class StorageManager:
         for run in runs:
             yield from self.read_run(run)
 
-    def read_block(self, block_id: int) -> None:
-        """Fetch a single block by id, charging IO."""
-        if self.buffer_pool is not None:
-            self.buffer_pool.read(block_id, self.counters)
-            return
-        sequential = (
-            self._last_read_id is not None
-            and block_id == self._last_read_id + 1
+    def read_block(
+        self,
+        block_id: int,
+        block: Optional[Block] = None,
+        context: Any = None,
+    ) -> None:
+        """Fetch a single block by id, charging IO and recovering faults.
+
+        When *block* is given its content checksum is verified (including
+        on buffer hits); without the block object only injected faults can
+        be detected.  Raises :class:`~repro.storage.faults
+        .CorruptBlockError` / :class:`~repro.storage.faults
+        .ReadRetriesExceededError` when recovery fails.
+        """
+        verify = (
+            self._make_verifier(block)
+            if block is not None and self.verify_checksums
+            else None
         )
-        self.counters.charge_read(sequential=sequential)
-        self._last_read_id = block_id
+        pool = self.buffer_pool
+        if pool is not None:
+            if block_id in pool:
+                if block is not None and self.verify_checksums:
+                    self.resilience.checksum_verifications += 1
+                if (
+                    block is None
+                    or not self.verify_checksums
+                    or block.verify()
+                ):
+                    pool.note_hit(block_id, self.counters)
+                    return
+                # Corrupted cached copy: never serve it stale — evict and
+                # fall through to a device re-read.
+                self.resilience.corruptions_detected += 1
+                self.resilience.pool_invalidations += 1
+                pool.invalidate(block_id)
+            perform_read(
+                block_id,
+                self.counters,
+                pool.last_device_read,
+                injector=self.fault_injector,
+                resilience=self.resilience,
+                max_retries=self.max_retries,
+                verify=verify,
+                context=context,
+            )
+            pool.note_device_read(block_id)
+            return
+        # A failed read leaves ``_last_read_id`` untouched, so the next
+        # successful read is classified against the last *successful* one.
+        self._last_read_id = perform_read(
+            block_id,
+            self.counters,
+            self._last_read_id,
+            injector=self.fault_injector,
+            resilience=self.resilience,
+            max_retries=self.max_retries,
+            verify=verify,
+            context=context,
+        )
+
+    @staticmethod
+    def _make_verifier(block: Block):
+        """Per-attempt verification: each device read delivers a fresh
+        copy (clearing transient delivery corruption) and must pass the
+        content checksum."""
+
+        def verify() -> bool:
+            block.refresh_from_device()
+            return block.verify()
+
+        return verify
 
     # -- convenience ----------------------------------------------------------
 

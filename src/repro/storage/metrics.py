@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict
 
-__all__ = ["CostWeights", "CostCounters"]
+__all__ = ["CostWeights", "CostCounters", "ResilienceCounters"]
 
 
 @dataclass(frozen=True)
@@ -207,3 +207,131 @@ class CostCounters:
         self.partition_accesses = 0
         self.result_tuples = 0
         self.extras.clear()
+
+
+@dataclass
+class ResilienceCounters:
+    """Fault-handling events of one algorithm run, reported alongside
+    :class:`CostCounters`.
+
+    The IO cost of fault handling (retry re-reads charged as random IO)
+    lands in the :class:`CostCounters` so the paper's cost model stays
+    honest; these counters record *why* those extra IOs happened and what
+    the recovery machinery did.  All fields are integers so that merging
+    per-worker counters is exact in any order.
+
+    Storage-level events (charged by :func:`repro.storage.faults
+    .perform_read` and the storage manager):
+
+    * ``transient_faults`` — device read attempts that errored out,
+    * ``corruptions_detected`` — reads whose payload failed checksum
+      verification (injected or real),
+    * ``retries`` — re-issued device reads after a failed attempt,
+    * ``backoff_units`` — accumulated exponential-backoff units
+      (``2**attempt`` per retry; multiply by the policy's
+      ``backoff_base_ms`` for simulated milliseconds),
+    * ``latency_spikes`` — slow-but-successful reads,
+    * ``checksum_verifications`` — block verifications performed,
+    * ``pool_invalidations`` — corrupted blocks evicted from the buffer
+      pool and re-fetched from the device.
+
+    Executor-level events (charged by :func:`repro.engine.parallel
+    .execute_schedule`):
+
+    * ``chunk_retries`` — probe chunks re-submitted after a worker
+      failure or timeout,
+    * ``chunk_timeouts`` — chunk waits that exceeded the per-chunk
+      timeout,
+    * ``worker_crashes`` — worker-pool breakdowns observed,
+    * ``sequential_downgrades`` — chunks re-run on the in-process
+      sequential path after the pool degraded.
+    """
+
+    transient_faults: int = 0
+    corruptions_detected: int = 0
+    retries: int = 0
+    backoff_units: int = 0
+    latency_spikes: int = 0
+    checksum_verifications: int = 0
+    pool_invalidations: int = 0
+    chunk_retries: int = 0
+    chunk_timeouts: int = 0
+    worker_crashes: int = 0
+    sequential_downgrades: int = 0
+
+    #: Snapshot keys describing device-level fault handling (identical
+    #: between sequential and parallel runs of the same fault schedule).
+    STORAGE_FIELDS = (
+        "transient_faults",
+        "corruptions_detected",
+        "retries",
+        "backoff_units",
+        "latency_spikes",
+    )
+
+    @property
+    def faults_observed(self) -> int:
+        """Total faults of any kind seen by this run."""
+        return (
+            self.transient_faults
+            + self.corruptions_detected
+            + self.latency_spikes
+            + self.chunk_timeouts
+            + self.worker_crashes
+        )
+
+    @property
+    def recovered(self) -> bool:
+        """True when faults were observed (and, since the run produced a
+        result, survived)."""
+        return self.faults_observed > 0
+
+    def merge(self, other: "ResilienceCounters") -> None:
+        """Add every field of *other* onto this counter set in place."""
+        self.transient_faults += other.transient_faults
+        self.corruptions_detected += other.corruptions_detected
+        self.retries += other.retries
+        self.backoff_units += other.backoff_units
+        self.latency_spikes += other.latency_spikes
+        self.checksum_verifications += other.checksum_verifications
+        self.pool_invalidations += other.pool_invalidations
+        self.chunk_retries += other.chunk_retries
+        self.chunk_timeouts += other.chunk_timeouts
+        self.worker_crashes += other.worker_crashes
+        self.sequential_downgrades += other.sequential_downgrades
+
+    def snapshot(self) -> Dict[str, int]:
+        """Plain-dict view for printing and test assertions."""
+        return {
+            "transient_faults": self.transient_faults,
+            "corruptions_detected": self.corruptions_detected,
+            "retries": self.retries,
+            "backoff_units": self.backoff_units,
+            "latency_spikes": self.latency_spikes,
+            "checksum_verifications": self.checksum_verifications,
+            "pool_invalidations": self.pool_invalidations,
+            "chunk_retries": self.chunk_retries,
+            "chunk_timeouts": self.chunk_timeouts,
+            "worker_crashes": self.worker_crashes,
+            "sequential_downgrades": self.sequential_downgrades,
+        }
+
+    def storage_snapshot(self) -> Dict[str, int]:
+        """The device-level subset of :meth:`snapshot` (the fields a
+        parallel run reproduces exactly from the sequential schedule)."""
+        full = self.snapshot()
+        return {key: full[key] for key in self.STORAGE_FIELDS}
+
+    def reset(self) -> None:
+        """Zero every counter in place."""
+        self.transient_faults = 0
+        self.corruptions_detected = 0
+        self.retries = 0
+        self.backoff_units = 0
+        self.latency_spikes = 0
+        self.checksum_verifications = 0
+        self.pool_invalidations = 0
+        self.chunk_retries = 0
+        self.chunk_timeouts = 0
+        self.worker_crashes = 0
+        self.sequential_downgrades = 0

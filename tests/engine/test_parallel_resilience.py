@@ -1,0 +1,199 @@
+"""Tests for resilient parallel execution: chunk retries, timeouts,
+worker-crash recovery and graceful degradation to the sequential path.
+
+Every scenario asserts the PR-1 contract survives the failure: the match
+set, pair order and cost counters equal the healthy sequential run.
+"""
+
+import pytest
+
+from repro.core.interval import Interval
+from repro.core.join import OIPJoin
+from repro.engine.parallel import (
+    ExecutionReport,
+    InjectedWorkerError,
+    WorkerFaultPlan,
+    build_probe_schedule,
+    execute_schedule,
+)
+from repro.storage.faults import FaultPolicy, StorageFaultError
+from repro.workloads import long_lived_mixture
+
+
+@pytest.fixture(scope="module")
+def relations():
+    outer = long_lived_mixture(
+        400, 0.3, Interval(1, 30_000), seed=11, name="outer"
+    )
+    inner = long_lived_mixture(
+        400, 0.3, Interval(1, 30_000), seed=12, name="inner"
+    )
+    return outer, inner
+
+
+@pytest.fixture(scope="module")
+def sequential_result(relations):
+    outer, inner = relations
+    return OIPJoin().join(outer, inner)
+
+
+def assert_identical(result, reference):
+    assert result.pair_keys() == reference.pair_keys()
+    assert result.counters.snapshot() == reference.counters.snapshot()
+
+
+class TestChunkRetries:
+    def test_failed_chunk_is_retried_and_result_identical(
+        self, relations, sequential_result
+    ):
+        outer, inner = relations
+        plan = WorkerFaultPlan(fail_chunks={0: 1, 2: 2})
+        result = OIPJoin(
+            parallelism=3, parallel_fault_plan=plan
+        ).join(outer, inner)
+        assert_identical(result, sequential_result)
+        assert result.resilience.chunk_retries >= 3
+        assert result.details.get("chunk_retries", 0) >= 3
+
+    def test_exhausted_retries_degrade_to_inline(
+        self, relations, sequential_result
+    ):
+        outer, inner = relations
+        plan = WorkerFaultPlan(fail_chunks={0: 99})
+        result = OIPJoin(
+            parallelism=3,
+            parallel_chunk_retries=1,
+            parallel_fault_plan=plan,
+        ).join(outer, inner)
+        assert_identical(result, sequential_result)
+        assert result.resilience.sequential_downgrades >= 1
+        assert result.details.get("degraded_chunks", 0) >= 1
+
+    def test_thread_crash_is_a_retryable_failure(
+        self, relations, sequential_result
+    ):
+        outer, inner = relations
+        plan = WorkerFaultPlan(crash_chunks=frozenset({1}))
+        result = OIPJoin(
+            parallelism=3, parallel_fault_plan=plan
+        ).join(outer, inner)
+        assert_identical(result, sequential_result)
+        assert result.resilience.chunk_retries >= 1
+
+
+class TestChunkTimeouts:
+    def test_slow_chunk_times_out_and_completes_elsewhere(
+        self, relations, sequential_result
+    ):
+        outer, inner = relations
+        plan = WorkerFaultPlan(slow_chunks={0: 0.4})
+        result = OIPJoin(
+            parallelism=3,
+            parallel_chunk_timeout=0.05,
+            parallel_chunk_retries=0,
+            parallel_fault_plan=plan,
+        ).join(outer, inner)
+        assert_identical(result, sequential_result)
+        assert result.resilience.chunk_timeouts >= 1
+        assert result.resilience.sequential_downgrades >= 1
+
+
+class TestProcessPoolRecovery:
+    def test_worker_crash_degrades_to_sequential(
+        self, relations, sequential_result
+    ):
+        outer, inner = relations
+        plan = WorkerFaultPlan(crash_chunks=frozenset({0}))
+        result = OIPJoin(
+            parallelism=2,
+            parallel_backend="process",
+            parallel_fault_plan=plan,
+        ).join(outer, inner)
+        assert_identical(result, sequential_result)
+        assert result.resilience.worker_crashes >= 1
+        assert result.resilience.sequential_downgrades >= 1
+        assert result.details.get("degraded_chunks", 0) >= 1
+
+
+class TestStorageFaultPropagation:
+    def test_permanent_fault_not_retried_at_chunk_level(self, relations):
+        outer, inner = relations
+        policy = FaultPolicy(permanent_blocks=frozenset({0}))
+        with pytest.raises(StorageFaultError) as excinfo:
+            OIPJoin(parallelism=3, fault_policy=policy).join(outer, inner)
+        assert excinfo.value.block_id == 0
+        assert "partition" in str(excinfo.value)
+
+    def test_transient_faults_identical_across_backends(
+        self, relations, sequential_result
+    ):
+        outer, inner = relations
+        policy = FaultPolicy(seed=21, transient_probability=0.1)
+        seq = OIPJoin(fault_policy=policy).join(outer, inner)
+        par = OIPJoin(fault_policy=policy, parallelism=4).join(outer, inner)
+        # Pairs match the healthy run; counters match between the two
+        # faulty runs (retried reads are charged, so they exceed the
+        # healthy run's IO).
+        assert seq.pair_keys() == sequential_result.pair_keys()
+        assert_identical(par, seq)
+        assert seq.resilience.retries > 0
+        assert (
+            seq.resilience.storage_snapshot()
+            == par.resilience.storage_snapshot()
+        )
+
+
+class TestConfigurationValidation:
+    def test_non_positive_timeout_rejected(self):
+        with pytest.raises(ValueError, match="timeout"):
+            OIPJoin(parallelism=2, parallel_chunk_timeout=0)
+        with pytest.raises(ValueError, match="timeout"):
+            OIPJoin(parallelism=2, parallel_chunk_timeout=-1.0)
+
+    def test_negative_chunk_retries_rejected(self):
+        with pytest.raises(ValueError, match="chunk retries"):
+            OIPJoin(parallelism=2, parallel_chunk_retries=-1)
+
+    def test_negative_read_retries_rejected(self):
+        with pytest.raises(ValueError, match="retries"):
+            OIPJoin(max_read_retries=-1)
+
+    def test_executor_rejects_bad_timeout(self, relations):
+        outer, inner = relations
+        from repro.storage.metrics import CostCounters
+
+        counters = CostCounters()
+        with pytest.raises(ValueError, match="timeout"):
+            execute_schedule(
+                _tiny_schedule(outer, inner, counters),
+                counters,
+                [],
+                workers=2,
+                timeout=0,
+            )
+        with pytest.raises(ValueError, match="max_chunk_retries"):
+            execute_schedule(
+                _tiny_schedule(outer, inner, counters),
+                counters,
+                [],
+                workers=2,
+                max_chunk_retries=-1,
+            )
+
+    def test_injected_worker_error_is_runtime_error(self):
+        assert issubclass(InjectedWorkerError, RuntimeError)
+
+    def test_execution_report_degraded_flag(self):
+        assert not ExecutionReport().degraded
+        assert ExecutionReport(downgraded_chunks=1).degraded
+
+
+def _tiny_schedule(outer, inner, counters):
+    from repro.core.lazy_list import oip_create
+    from repro.core.oip import OIPConfiguration
+    from repro.storage.manager import StorageManager
+
+    storage = StorageManager(counters=counters)
+    outer_list = oip_create(outer, OIPConfiguration.for_relation(outer, 4), storage)
+    inner_list = oip_create(inner, OIPConfiguration.for_relation(inner, 4), storage)
+    return build_probe_schedule(outer_list, inner_list, 4, counters)
