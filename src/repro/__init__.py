@@ -47,6 +47,16 @@ from .core import (
     histogram_cost_model,
     oip_create,
 )
+from .engine.governor import (
+    AdmissionController,
+    AdmissionRejectedError,
+    BudgetExceededError,
+    CancellationToken,
+    CircuitBreaker,
+    QueryBudget,
+    QueryCancelledError,
+    QueryCheckpoint,
+)
 from .storage import (
     BufferPool,
     CostCounters,
@@ -82,5 +92,13 @@ __all__ = [
     "StorageManager",
     "CostCounters",
     "CostWeights",
+    "QueryBudget",
+    "CancellationToken",
+    "QueryCheckpoint",
+    "AdmissionController",
+    "CircuitBreaker",
+    "BudgetExceededError",
+    "QueryCancelledError",
+    "AdmissionRejectedError",
     "__version__",
 ]

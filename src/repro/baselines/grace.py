@@ -81,7 +81,7 @@ class GracePartitionJoin(OverlapJoinAlgorithm):
         for tup in inner:
             inner_native[partition_of(tup.end)].append(tup)
 
-        pairs: List = []
+        pairs: List = self._begin_pairs()
         outer_carry: List[TemporalTuple] = []
         inner_carry: List[TemporalTuple] = []
         for index in range(m - 1, -1, -1):

@@ -32,7 +32,7 @@ class NestedLoopJoin(OverlapJoinAlgorithm):
         outer_run = storage.store_tuples(outer)
         inner_run = storage.store_tuples(inner)
 
-        pairs: List = []
+        pairs: List = self._begin_pairs()
         for outer_block in outer_run:
             storage.read_block(outer_block.block_id, block=outer_block)
             for inner_tuple in storage.read_run(inner_run):

@@ -246,7 +246,7 @@ class QuadtreeJoin(OverlapJoinAlgorithm):
         outer_tree = self._build_tree(outer, storage)
         inner_tree = self._build_tree(inner, storage)
 
-        pairs: List = []
+        pairs: List = self._begin_pairs()
         for outer_node in outer_tree.iter_occupied():
             outer_tuples = list(storage.read_run(outer_node.run))
             for inner_node in inner_tree.iter_overlapping(

@@ -186,7 +186,7 @@ class RITJoin(OverlapJoinAlgorithm):
         )
         outer_run = storage.store_tuples(outer)
 
-        pairs: List = []
+        pairs: List = self._begin_pairs()
         for outer_block in outer_run:
             storage.read_block(outer_block.block_id, block=outer_block)
             for outer_tuple in outer_block:

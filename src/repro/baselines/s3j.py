@@ -84,7 +84,7 @@ class SizeSeparationJoin(OverlapJoinAlgorithm):
             sorted(outer, key=lambda tup: tup.start)
         )
 
-        pairs: List = []
+        pairs: List = self._begin_pairs()
         for outer_block in outer_run:
             storage.read_block(outer_block.block_id, block=outer_block)
             for outer_tuple in outer_block:

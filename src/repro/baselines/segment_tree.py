@@ -143,7 +143,7 @@ class SegmentTreeJoin(OverlapJoinAlgorithm):
         tree = SegmentTree(inner, storage)
         outer_run = storage.store_tuples(outer)
 
-        pairs: List = []
+        pairs: List = self._begin_pairs()
 
         def probe(
             node: Optional[_SegmentNode], outer_tuple: TemporalTuple

@@ -53,7 +53,7 @@ class SortMergeJoin(OverlapJoinAlgorithm):
         block_first_start = [block.tuples[0].start for block in inner_blocks]
         max_inner_duration = inner.max_duration
 
-        pairs: List = []
+        pairs: List = self._begin_pairs()
         for outer_block in outer_run:
             storage.read_block(outer_block.block_id, block=outer_block)
             for outer_tuple in outer_block:

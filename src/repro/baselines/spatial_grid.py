@@ -63,7 +63,7 @@ class SpatialGridJoin(OverlapJoinAlgorithm):
             for region, tuples in self._partition(inner, region_of).items()
         }
 
-        pairs: List = []
+        pairs: List = self._begin_pairs()
         for (outer_s, outer_e), outer_tuples in outer_regions.items():
             outer_run = storage.store_tuples(outer_tuples)
             cached = list(storage.read_run(outer_run))

@@ -15,6 +15,7 @@ inspect datasets without writing code.
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
 import time
 from typing import List, Optional, Sequence
@@ -23,6 +24,11 @@ from .baselines import ALGORITHMS
 from .core.granules import JoinCostModel, derive_k
 from .core.interval import Interval
 from .core.relation import TemporalRelation
+from .engine.governor import (
+    BudgetExceededError,
+    CancellationToken,
+    QueryBudget,
+)
 from .storage.faults import FAULT_PROFILES, StorageFaultError, fault_profile
 from .storage.metrics import CostWeights
 from .workloads import (
@@ -144,6 +150,108 @@ def _add_resilience_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_lifecycle_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help=(
+            "wall-clock budget for the join; exceeded at a cooperative "
+            "boundary the run aborts with its partial counters (exit 75)"
+        ),
+    )
+    parser.add_argument(
+        "--max-comparisons",
+        type=int,
+        default=None,
+        help="logical budget: abort past this many CPU comparisons",
+    )
+    parser.add_argument(
+        "--max-block-reads",
+        type=int,
+        default=None,
+        help="logical budget: abort past this many block reads",
+    )
+    parser.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help=(
+            "write a resumable JSON checkpoint here periodically and at "
+            "any cancellation/budget stop (oip only)"
+        ),
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="outer partitions between checkpoints (default 8)",
+    )
+    parser.add_argument(
+        "--resume-from",
+        default=None,
+        metavar="PATH",
+        help="resume an interrupted oip join from a checkpoint file",
+    )
+
+
+def _budget_from(args: argparse.Namespace) -> Optional[QueryBudget]:
+    deadline = getattr(args, "deadline_ms", None)
+    max_comparisons = getattr(args, "max_comparisons", None)
+    max_block_reads = getattr(args, "max_block_reads", None)
+    if deadline is None and max_comparisons is None and max_block_reads is None:
+        return None
+    try:
+        return QueryBudget(
+            deadline_ms=deadline,
+            max_comparisons=max_comparisons,
+            max_block_reads=max_block_reads,
+        )
+    except ValueError as error:
+        raise SystemExit(str(error))
+
+
+def _lifecycle_kwargs(name: str, args: argparse.Namespace) -> dict:
+    """Governor keyword arguments for algorithm *name*.
+
+    Cancellation (the SIGINT/SIGTERM token) applies to every algorithm;
+    budgets and checkpoint/resume need the OIPJOIN's partition
+    boundaries and are rejected for the baselines.
+    """
+    kwargs: dict = {}
+    budget = _budget_from(args)
+    checkpoint = getattr(args, "checkpoint", None)
+    checkpoint_every = getattr(args, "checkpoint_every", None)
+    resume_from = getattr(args, "resume_from", None)
+    oip_only = [
+        flag
+        for flag, value in (
+            ("--deadline-ms/--max-comparisons/--max-block-reads", budget),
+            ("--checkpoint", checkpoint),
+            ("--checkpoint-every", checkpoint_every),
+            ("--resume-from", resume_from),
+        )
+        if value is not None
+    ]
+    if name != "oip":
+        if oip_only:
+            raise SystemExit(
+                f"{', '.join(oip_only)} are only supported by the oip "
+                f"algorithm, not {name!r}"
+            )
+        return kwargs
+    if budget is not None:
+        kwargs["budget"] = budget
+    if checkpoint is not None:
+        kwargs["checkpoint_path"] = checkpoint
+    if checkpoint_every is not None:
+        kwargs["checkpoint_every"] = checkpoint_every
+    if resume_from is not None:
+        kwargs["resume_from"] = resume_from
+    return kwargs
+
+
 def _resilience_kwargs(args: argparse.Namespace) -> dict:
     """Fault-injection keyword arguments shared by every algorithm."""
     kwargs: dict = {}
@@ -163,9 +271,14 @@ def _make_algorithm(
     name: str, args: argparse.Namespace, ignore_workers: bool = False
 ):
     """Instantiate algorithm *name*, honouring ``--workers`` for the
-    OIPJOIN (the only algorithm with a parallel probe phase) and the
-    ``--fault-profile`` resilience flags for every algorithm."""
+    OIPJOIN (the only algorithm with a parallel probe phase), the
+    ``--fault-profile`` resilience flags for every algorithm, and the
+    lifecycle flags (budget / checkpoint / cancellation)."""
     kwargs = _resilience_kwargs(args)
+    kwargs.update(_lifecycle_kwargs(name, args))
+    token = getattr(args, "_cancellation", None)
+    if token is not None:
+        kwargs["cancellation"] = token
     workers = getattr(args, "workers", None)
     if workers is not None and not ignore_workers:
         if workers < 1:
@@ -182,7 +295,45 @@ def _make_algorithm(
             parallel_backend=args.parallel_backend,
             **kwargs,
         )
-    return ALGORITHMS[name](**kwargs)
+    try:
+        return ALGORITHMS[name](**kwargs)
+    except TypeError:
+        # An algorithm whose constructor predates a lifecycle keyword.
+        raise SystemExit(
+            f"algorithm {name!r} does not support the given lifecycle "
+            "options"
+        )
+
+
+def _print_counters(counters, indent: str = "  ") -> None:
+    for key, value in sorted(counters.snapshot().items()):
+        print(f"{indent}{key:>20}: {value:,}")
+
+
+def _install_cancel_handlers(token: CancellationToken) -> dict:
+    """Route SIGINT/SIGTERM into the cancellation token so an
+    interrupted join unwinds at a cooperative boundary into a partial
+    result (and checkpoint) instead of a traceback.  Returns the
+    previous handlers for restoration; silently does nothing off the
+    main thread (tests call the CLI in-process)."""
+    previous: dict = {}
+    def cancel(_signum, _frame):
+        token.cancel()
+
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[sig] = signal.signal(sig, cancel)
+        except (ValueError, OSError):  # pragma: no cover - non-main thread
+            pass
+    return previous
+
+
+def _restore_handlers(previous: dict) -> None:
+    for sig, handler in previous.items():
+        try:
+            signal.signal(sig, handler)
+        except (ValueError, OSError):  # pragma: no cover
+            pass
 
 
 def _run_single(args: argparse.Namespace) -> int:
@@ -193,19 +344,52 @@ def _run_single(args: argparse.Namespace) -> int:
         )
     outer = _make_relation(args, args.seed, "outer")
     inner = _make_relation(args, args.seed + 1, "inner")
+    token = CancellationToken()
+    args._cancellation = token
     join = _make_algorithm(args.algorithm, args)
+    previous = _install_cancel_handlers(token)
     started = time.perf_counter()
     try:
         result = join.join(outer, inner)
     except StorageFaultError as error:
         raise SystemExit(f"join failed after retries: {error}")
+    except BudgetExceededError as error:
+        elapsed = time.perf_counter() - started
+        print(
+            f"{args.algorithm}: budget exceeded ({error.reason}) after "
+            f"{elapsed * 1e3:.1f} ms and "
+            f"{error.partitions_completed} outer partition(s)"
+        )
+        print("  partial counters:")
+        _print_counters(error.counters, indent="  ")
+        if error.checkpoint_path:
+            print(f"  checkpoint written to: {error.checkpoint_path}")
+        return 75  # EX_TEMPFAIL: retry with a bigger budget or resume
+    except KeyboardInterrupt:
+        # An interrupt that outran the cooperative machinery (e.g. a
+        # second Ctrl-C, or a platform without signal rerouting).
+        print(f"\n{args.algorithm}: interrupted; no partial result")
+        return 130
+    finally:
+        _restore_handlers(previous)
     elapsed = time.perf_counter() - started
+    if not result.completed:
+        print(
+            f"{args.algorithm}: cancelled after {elapsed * 1e3:.1f} ms "
+            f"with {result.cardinality:,} partial result pairs"
+        )
+        print("  partial counters:")
+        _print_counters(result.counters)
+        checkpoint = result.details.get("checkpoint")
+        if checkpoint:
+            print(f"  checkpoint written to: {checkpoint}")
+            print(f"  resume with: --resume-from {checkpoint}")
+        return 130
     print(
         f"{args.algorithm}: {result.cardinality:,} result pairs in "
         f"{elapsed * 1e3:.1f} ms"
     )
-    for key, value in sorted(result.counters.snapshot().items()):
-        print(f"  {key:>20}: {value:,}")
+    _print_counters(result.counters)
     if result.resilience.faults_observed or args.fault_profile != "none":
         for key, value in sorted(result.resilience.snapshot().items()):
             print(f"  {key:>20}: {value:,}")
@@ -313,6 +497,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_parallel_arguments(join_parser)
     _add_resilience_arguments(join_parser)
+    _add_lifecycle_arguments(join_parser)
     join_parser.set_defaults(handler=_run_single)
 
     compare_parser = commands.add_parser(

@@ -66,6 +66,10 @@ class JoinResult:
     details: Dict[str, Any] = field(default_factory=dict)
     #: Fault-handling events of the run (all zero on a healthy device).
     resilience: ResilienceCounters = field(default_factory=ResilienceCounters)
+    #: False when the run stopped early at a cooperative cancellation
+    #: point — ``pairs``/``counters`` then hold the well-formed partial
+    #: state at the last boundary reached, not the full join.
+    completed: bool = True
 
     def __len__(self) -> int:
         return len(self.pairs)
@@ -100,6 +104,13 @@ class OverlapJoinAlgorithm(ABC):
     #: Short name used in benchmark tables ("oip", "lqt", "rit", ...).
     name: str = "join"
 
+    #: When True (the default), a cancellation token is enforced by the
+    #: storage manager on every block read — the right granularity for
+    #: algorithms without an outer-partition loop of their own.  The
+    #: OIPJOIN overrides this to False and polls the token at partition/
+    #: chunk boundaries through its governor instead.
+    cancellation_via_storage: bool = True
+
     def __init__(
         self,
         device: Optional[DeviceProfile] = None,
@@ -107,6 +118,7 @@ class OverlapJoinAlgorithm(ABC):
         fault_policy: Optional[FaultPolicy] = None,
         max_read_retries: int = 3,
         verify_checksums: bool = True,
+        cancellation: Optional[Any] = None,
     ) -> None:
         if max_read_retries < 0:
             raise ValueError(
@@ -117,17 +129,27 @@ class OverlapJoinAlgorithm(ABC):
         self.fault_policy = fault_policy
         self.max_read_retries = max_read_retries
         self.verify_checksums = verify_checksums
+        #: Optional :class:`~repro.engine.governor.CancellationToken`
+        #: (duck typed: anything with ``poll``/``raise_if_cancelled``).
+        self.cancellation = cancellation
         self._resilience = ResilienceCounters()
+        self._partial_pairs: List[JoinPair] = []
 
     def join(
         self,
         outer: TemporalRelation,
         inner: TemporalRelation,
     ) -> JoinResult:
-        """Compute the overlap join of *outer* and *inner*."""
+        """Compute the overlap join of *outer* and *inner*.
+
+        With a cancellation token attached, a cancel observed at a
+        cooperative point unwinds into a *partial* result: the pairs
+        collected so far, the counters at the stop point, and
+        ``completed=False``."""
         counters = CostCounters()
         resilience = ResilienceCounters()
         self._resilience = resilience
+        self._partial_pairs = []
         if outer.is_empty or inner.is_empty:
             return JoinResult(
                 algorithm=self.name,
@@ -135,10 +157,30 @@ class OverlapJoinAlgorithm(ABC):
                 counters=counters,
                 resilience=resilience,
             )
-        result = self._execute(outer, inner, counters)
+        # Imported lazily: repro.engine.governor must stay importable
+        # without repro.core (and vice versa).
+        from ..engine.governor import QueryCancelledError
+
+        try:
+            result = self._execute(outer, inner, counters)
+        except QueryCancelledError:
+            result = JoinResult(
+                algorithm=self.name,
+                pairs=list(self._partial_pairs),
+                counters=counters,
+                details={"cancelled": True},
+                completed=False,
+            )
         result.counters.result_tuples = len(result.pairs)
         result.resilience = resilience
         return result
+
+    def _begin_pairs(self) -> List[JoinPair]:
+        """The pair sink of one execution.  Registering the list here
+        lets :meth:`join` hand back a well-formed partial result when a
+        cancellation unwinds through :class:`QueryCancelledError`."""
+        self._partial_pairs = []
+        return self._partial_pairs
 
     def _storage(self, counters: CostCounters) -> StorageManager:
         """The storage manager of one run, wired with this algorithm's
@@ -158,6 +200,9 @@ class OverlapJoinAlgorithm(ABC):
             resilience=self._resilience,
             max_retries=self.max_read_retries,
             verify_checksums=self.verify_checksums,
+            cancellation=(
+                self.cancellation if self.cancellation_via_storage else None
+            ),
         )
 
     @abstractmethod

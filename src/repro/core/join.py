@@ -18,7 +18,7 @@ endpoint comparisons per pair; failing pairs are false hits).
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Any, List, Optional, Tuple
 
 from ..storage.buffer import BufferPool
 from ..storage.device import DeviceProfile
@@ -32,6 +32,10 @@ from .oip import OIPConfiguration
 from .relation import TemporalRelation
 
 __all__ = ["OIPJoin"]
+
+#: Outer partitions between periodic checkpoints when ``checkpoint_path``
+#: is set but ``checkpoint_every`` is not.
+DEFAULT_CHECKPOINT_EVERY = 8
 
 
 class OIPJoin(OverlapJoinAlgorithm):
@@ -89,9 +93,44 @@ class OIPJoin(OverlapJoinAlgorithm):
         Executor-level chaos hook
         (:class:`~repro.engine.parallel.WorkerFaultPlan`) used by the
         resilience tests; leave ``None`` in production.
+    budget:
+        A :class:`~repro.engine.governor.QueryBudget` enforced
+        cooperatively at outer-partition boundaries of the sequential
+        loop and at chunk boundaries of both parallel backends; a
+        violated budget raises :class:`~repro.engine.governor
+        .BudgetExceededError` with the partial counters, and an
+        already-exhausted budget (zero limit / non-positive deadline)
+        fails fast before any partition work.
+    cancellation:
+        A :class:`~repro.engine.governor.CancellationToken`; a cancel
+        observed at a boundary returns a partial :class:`JoinResult`
+        with ``completed=False`` (see :class:`OverlapJoinAlgorithm`).
+    checkpoint_path, checkpoint_every:
+        Write a JSON checkpoint of ``(outer partitions completed,
+        counters, resilience, matched pair positions)`` to
+        *checkpoint_path* every *checkpoint_every* outer partitions
+        (default 8), and unconditionally at a
+        cancellation or budget stop.  Checkpoint state is
+        sequential-equivalent regardless of backend.
+    resume_from:
+        Path of a checkpoint written by a previous (interrupted) run of
+        the *same* join; the completed outer partitions are skipped and
+        the final pairs/counters are bit-identical to an uninterrupted
+        run.  A checkpoint from a different query is rejected with
+        :class:`~repro.engine.governor.CheckpointMismatchError`.
+    circuit_breaker:
+        A shared :class:`~repro.engine.governor.CircuitBreaker`
+        consulted before using the worker pool and fed the execution
+        outcome afterwards; while open, the probe runs on the
+        sequential path (``parallel_fallback: "circuit_open"``).
     """
 
     name = "oip"
+
+    # The OIPJOIN polls its cancellation token at partition/chunk
+    # boundaries (where partial state is well-defined and resumable),
+    # not on every block read.
+    cancellation_via_storage = False
 
     def __init__(
         self,
@@ -110,8 +149,14 @@ class OIPJoin(OverlapJoinAlgorithm):
         max_read_retries: int = 3,
         verify_checksums: bool = True,
         parallel_chunk_timeout: Optional[float] = None,
-        parallel_chunk_retries: int = 2,
+        parallel_chunk_retries: Optional[int] = None,
         parallel_fault_plan=None,
+        budget: Optional[Any] = None,
+        cancellation: Optional[Any] = None,
+        checkpoint_path: Optional[str] = None,
+        checkpoint_every: Optional[int] = None,
+        resume_from: Optional[str] = None,
+        circuit_breaker: Optional[Any] = None,
     ) -> None:
         super().__init__(
             device=device,
@@ -119,6 +164,7 @@ class OIPJoin(OverlapJoinAlgorithm):
             fault_policy=fault_policy,
             max_read_retries=max_read_retries,
             verify_checksums=verify_checksums,
+            cancellation=cancellation,
         )
         if k is not None and k < 1:
             raise ValueError(f"k must be >= 1 when pinned, got {k}")
@@ -132,6 +178,63 @@ class OIPJoin(OverlapJoinAlgorithm):
                     f"per-side granule counts must be >= 1, got "
                     f"({k_outer}, {k_inner})"
                 )
+        self._validate_parallel_keywords(
+            parallelism=parallelism,
+            parallel_backend=parallel_backend,
+            parallel_chunk_size=parallel_chunk_size,
+            parallel_chunk_timeout=parallel_chunk_timeout,
+            parallel_chunk_retries=parallel_chunk_retries,
+            parallel_fault_plan=parallel_fault_plan,
+        )
+        self._validate_lifecycle_keywords(
+            buffer_pool=buffer_pool,
+            checkpoint_path=checkpoint_path,
+            checkpoint_every=checkpoint_every,
+            resume_from=resume_from,
+        )
+        self.fixed_k = k
+        self.fixed_k_outer = k_outer
+        self.fixed_k_inner = k_inner
+        self.weights = weights
+        self.use_exact_root = use_exact_root
+        self.use_histogram_statistics = use_histogram_statistics
+        self.parallelism = parallelism
+        self.parallel_backend = parallel_backend
+        self.parallel_chunk_size = parallel_chunk_size
+        self.parallel_chunk_timeout = parallel_chunk_timeout
+        self.parallel_chunk_retries = (
+            2 if parallel_chunk_retries is None else parallel_chunk_retries
+        )
+        self.parallel_fault_plan = parallel_fault_plan
+        self.budget = budget
+        self.checkpoint_path = checkpoint_path
+        self.checkpoint_every = (
+            DEFAULT_CHECKPOINT_EVERY
+            if checkpoint_every is None
+            else checkpoint_every
+        )
+        self.resume_from = resume_from
+        self.circuit_breaker = circuit_breaker
+
+    @staticmethod
+    def _validate_parallel_keywords(
+        parallelism: Optional[int],
+        parallel_backend: str,
+        parallel_chunk_size: Optional[int],
+        parallel_chunk_timeout: Optional[float],
+        parallel_chunk_retries: Optional[int],
+        parallel_fault_plan,
+    ) -> None:
+        """All parallel-keyword interaction rules, in one place.
+
+        Beyond per-value range checks, keywords that only the *pooled*
+        execution path can honour are rejected when no pool will exist:
+        ``parallelism=None`` runs the classic sequential loop (no chunks
+        at all) and ``parallelism=1`` the inline chunk path (no pool, so
+        nothing can time out, be retried, or have worker faults
+        injected).  Silently ignoring them would let a caller believe a
+        timeout was armed when it was not.
+        """
         if parallelism is not None and parallelism < 1:
             raise ValueError(
                 f"parallelism must be >= 1 when given, got {parallelism}"
@@ -150,23 +253,64 @@ class OIPJoin(OverlapJoinAlgorithm):
                 "parallel chunk timeout must be positive, got "
                 f"{parallel_chunk_timeout}"
             )
-        if parallel_chunk_retries < 0:
+        if parallel_chunk_retries is not None and parallel_chunk_retries < 0:
             raise ValueError(
                 "parallel chunk retries must be >= 0, got "
                 f"{parallel_chunk_retries}"
             )
-        self.fixed_k = k
-        self.fixed_k_outer = k_outer
-        self.fixed_k_inner = k_inner
-        self.weights = weights
-        self.use_exact_root = use_exact_root
-        self.use_histogram_statistics = use_histogram_statistics
-        self.parallelism = parallelism
-        self.parallel_backend = parallel_backend
-        self.parallel_chunk_size = parallel_chunk_size
-        self.parallel_chunk_timeout = parallel_chunk_timeout
-        self.parallel_chunk_retries = parallel_chunk_retries
-        self.parallel_fault_plan = parallel_fault_plan
+        pooled_only = [
+            name
+            for name, value in (
+                ("parallel_chunk_timeout", parallel_chunk_timeout),
+                ("parallel_chunk_retries", parallel_chunk_retries),
+                ("parallel_fault_plan", parallel_fault_plan),
+            )
+            if value is not None
+        ]
+        if parallelism is None:
+            if parallel_chunk_size is not None:
+                pooled_only.insert(0, "parallel_chunk_size")
+            if pooled_only:
+                raise ValueError(
+                    f"{', '.join(pooled_only)} require(s) parallel "
+                    "execution; pass parallelism>=2 (the sequential "
+                    "loop has no chunks)"
+                )
+        elif parallelism == 1 and pooled_only:
+            raise ValueError(
+                f"{', '.join(pooled_only)} require(s) a worker pool; "
+                "parallelism=1 runs chunks inline where no timeout, "
+                "retry or worker fault can apply — pass parallelism>=2"
+            )
+
+    @staticmethod
+    def _validate_lifecycle_keywords(
+        buffer_pool: Optional[BufferPool],
+        checkpoint_path: Optional[str],
+        checkpoint_every: Optional[int],
+        resume_from: Optional[str],
+    ) -> None:
+        """Checkpoint/resume keyword interaction rules, in one place."""
+        if checkpoint_every is not None:
+            if checkpoint_every < 1:
+                raise ValueError(
+                    f"checkpoint_every must be >= 1, got {checkpoint_every}"
+                )
+            if checkpoint_path is None:
+                raise ValueError(
+                    "checkpoint_every has no effect without "
+                    "checkpoint_path"
+                )
+        if buffer_pool is not None and (
+            checkpoint_path is not None or resume_from is not None
+        ):
+            # Buffer-hit accounting depends on the pool's (transient)
+            # content, which a checkpoint cannot capture — a resumed run
+            # could not reproduce the uninterrupted counters.
+            raise ValueError(
+                "checkpoint/resume is not supported with a buffer pool "
+                "(pool-hit counters are not reproducible across runs)"
+            )
 
     # ------------------------------------------------------------------
 
@@ -197,12 +341,50 @@ class OIPJoin(OverlapJoinAlgorithm):
             )
         return derive_k(model, use_exact_root=self.use_exact_root)
 
+    def _governed_run(self):
+        """The per-run governor (None when no lifecycle feature is on)."""
+        if (
+            self.budget is None
+            and self.cancellation is None
+            and self.checkpoint_path is None
+        ):
+            return None
+        from ..engine.governor import GovernedRun
+
+        weights = (
+            self.weights if self.weights is not None else self.device.weights
+        )
+        return GovernedRun(
+            budget=self.budget,
+            cancellation=self.cancellation,
+            weights=weights,
+        )
+
     def _execute(
         self,
         outer: TemporalRelation,
         inner: TemporalRelation,
         counters: CostCounters,
     ) -> JoinResult:
+        # Imported lazily so repro.core keeps no import-time dependency
+        # on repro.engine (the planner imports this module).
+        from ..engine.governor import (
+            CheckpointWriter,
+            QueryCheckpoint,
+            make_fingerprint,
+        )
+
+        governor = self._governed_run()
+        if governor is not None:
+            # Fail fast on an already-exhausted budget: no k derivation,
+            # no partitioning, no partition work.
+            governor.preflight()
+        checkpoint = (
+            QueryCheckpoint.load(self.resume_from)
+            if self.resume_from is not None
+            else None
+        )
+
         derivation = self._derive_k(outer, inner)
         if derivation is not None:
             k_outer = k_inner = derivation.k
@@ -221,15 +403,58 @@ class OIPJoin(OverlapJoinAlgorithm):
         outer_list = oip_create(outer, config_r, storage)
         inner_list = oip_create(inner, config_s, storage)
 
-        pairs: List = []
+        pairs: List = self._begin_pairs()
+        start_at = 0
+        fingerprint = None
+        if checkpoint is not None or self.checkpoint_path is not None:
+            fingerprint = make_fingerprint(
+                self.name, k_outer, k_inner, outer, inner
+            )
+        if checkpoint is not None:
+            checkpoint.validate(fingerprint, outer_list.partition_count)
+            # The build phase above re-ran deterministically and re-made
+            # the exact charges the original run made; the checkpoint
+            # snapshot already contains them plus the completed probe
+            # work, so overwriting keeps the final totals bit-identical
+            # to an uninterrupted run.
+            checkpoint.restore_into(counters, self._resilience)
+            pairs.extend(checkpoint.rebuild_pairs(outer, inner))
+            start_at = checkpoint.partitions_completed
+        if governor is not None and self.checkpoint_path is not None:
+            governor.attach_writer(
+                CheckpointWriter(
+                    self.checkpoint_path,
+                    self.checkpoint_every,
+                    fingerprint,
+                    outer_list.partition_count,
+                    outer,
+                    inner,
+                )
+            )
+
+        cancelled = False
+        partitions_done = outer_list.partition_count
         parallel_details: dict = {}
-        if self.parallelism is not None and self.buffer_pool is None:
+        breaker = self.circuit_breaker
+        use_parallel = (
+            self.parallelism is not None and self.buffer_pool is None
+        )
+        if use_parallel and breaker is not None and not breaker.allow_parallel():
+            # The breaker is open: repeated degraded executions made the
+            # pool untrustworthy, so this join runs sequentially.
+            use_parallel = False
+            parallel_details = {
+                "parallel_fallback": "circuit_open",
+                "breaker_state": breaker.state,
+            }
+        if use_parallel:
             # Partition-pair scheduling over a worker pool; bit-identical
             # to the sequential loop below (see repro.engine.parallel).
             from ..engine.parallel import build_probe_schedule, execute_schedule
 
             schedule = build_probe_schedule(
-                outer_list, inner_list, k_inner, counters
+                outer_list, inner_list, k_inner, counters,
+                charge_from=start_at,
             )
             report = execute_schedule(
                 schedule,
@@ -244,7 +469,17 @@ class OIPJoin(OverlapJoinAlgorithm):
                 timeout=self.parallel_chunk_timeout,
                 max_chunk_retries=self.parallel_chunk_retries,
                 worker_faults=self.parallel_fault_plan,
+                governor=governor,
+                start_at=start_at,
             )
+            if breaker is not None:
+                if report.downgraded_chunks or report.worker_crashes:
+                    breaker.record_failure()
+                else:
+                    breaker.record_success()
+                report.breaker_state = breaker.state
+            cancelled = report.cancelled
+            partitions_done = start_at + report.tasks_completed
             parallel_details = {
                 "parallelism": self.parallelism,
                 "parallel_backend": report.backend,
@@ -256,13 +491,22 @@ class OIPJoin(OverlapJoinAlgorithm):
                 parallel_details["degraded_chunks"] = report.downgraded_chunks
             if report.chunk_retries:
                 parallel_details["chunk_retries"] = report.chunk_retries
+            if breaker is not None:
+                parallel_details["breaker_state"] = breaker.state
         else:
-            if self.parallelism is not None:
+            if self.parallelism is not None and self.buffer_pool is not None:
                 # Buffer-pool hit accounting depends on the global read
                 # order, which parallel execution would break.
                 parallel_details = {"parallel_fallback": "buffer_pool"}
-            self._probe_sequential(
-                outer_list, inner_list, k_inner, storage, counters, pairs
+            cancelled, partitions_done = self._probe_sequential(
+                outer_list,
+                inner_list,
+                k_inner,
+                storage,
+                counters,
+                pairs,
+                governor=governor,
+                start_at=start_at,
             )
 
         details = {
@@ -277,11 +521,22 @@ class OIPJoin(OverlapJoinAlgorithm):
         if derivation is not None:
             details["k_derivation_steps"] = derivation.steps
             details["k_oscillated"] = derivation.oscillated
+        if governor is not None:
+            details["partitions_completed"] = partitions_done
+            if start_at:
+                details["resumed_from_partition"] = start_at
+            if cancelled:
+                details["cancelled"] = True
+            if governor.last_checkpoint is not None:
+                details["checkpoint"] = governor.last_checkpoint
+        elif start_at:
+            details["resumed_from_partition"] = start_at
         return JoinResult(
             algorithm=self.name,
             pairs=pairs,
             counters=counters,
             details=details,
+            completed=not cancelled,
         )
 
     def _probe_sequential(
@@ -292,17 +547,33 @@ class OIPJoin(OverlapJoinAlgorithm):
         storage: StorageManager,
         counters: CostCounters,
         pairs: List,
-    ) -> None:
+        governor=None,
+        start_at: int = 0,
+    ) -> Tuple[bool, int]:
         """The classic sequential Algorithm 2 probe loop: for every outer
         partition, issue an overlap query with the partition interval and
-        walk the inner lazy list per Lemma 1."""
+        walk the inner lazy list per Lemma 1.
+
+        Every outer partition is a cooperative boundary: the governor is
+        consulted *before* the partition's work, so a cancel or budget
+        stop leaves the counters exactly at the last completed
+        partition.  Partitions below *start_at* (completed by the run a
+        checkpoint was restored from) are skipped without charges.
+        Returns ``(cancelled, partitions_completed)``.
+        """
         config_r, config_s = outer_list.config, inner_list.config
         d_r, o_r = config_r.d, config_r.o
         d_s, o_s = config_s.d, config_s.o
         inner_range_start = o_s
         inner_range_stop = o_s + k_inner * d_s  # exclusive
 
-        for outer_node in outer_list.iter_nodes():
+        for index, outer_node in enumerate(outer_list.iter_nodes()):
+            if index < start_at:
+                continue
+            if governor is not None and governor.boundary(
+                index, counters, self._resilience, pairs
+            ):
+                return True, index
             outer_tuples = list(
                 storage.read_run(
                     outer_node.run,
@@ -338,3 +609,4 @@ class OIPJoin(OverlapJoinAlgorithm):
                             )
                     branch = branch.right
                 node = node.down
+        return False, outer_list.partition_count

@@ -153,6 +153,11 @@ class ProbeTask(NamedTuple):
     ``last_read_in`` is the block id the sequential join would have read
     immediately before this task (``None`` at the very start), used to
     resume the sequential/random read chain deterministically.
+    ``nav_cpu`` / ``nav_accesses`` record the navigation charges the
+    enumeration made for this task (the CPU index tests plus the
+    range-overlap guard, and the partition accesses), so the governor can
+    convert the driver's charged-up-front counters into the
+    *sequential-equivalent* state at any chunk boundary.
     """
 
     index: int
@@ -160,6 +165,8 @@ class ProbeTask(NamedTuple):
     outer_block_ids: Tuple[int, ...]
     relevant: Tuple[int, ...]
     last_read_in: Optional[int]
+    nav_cpu: int = 0
+    nav_accesses: int = 0
 
 
 @dataclass
@@ -187,6 +194,15 @@ class ExecutionReport:
     #: Chunks completed on the in-process sequential path after the pool
     #: degraded or a chunk exhausted its retries.
     downgraded_chunks: int = 0
+    #: Probe tasks whose results were merged by this execution (excludes
+    #: tasks skipped via ``start_at`` on a resume).
+    tasks_completed: int = 0
+    #: True when a cooperative cancellation stopped the execution early;
+    #: the merged pairs/counters form a well-defined partial result.
+    cancelled: bool = False
+    #: State of the circuit breaker that governed this execution, when
+    #: one was consulted (``"closed"`` / ``"open"`` / ``"half-open"``).
+    breaker_state: Optional[str] = None
 
     @property
     def degraded(self) -> bool:
@@ -240,6 +256,7 @@ def build_probe_schedule(
     inner_list: LazyPartitionList,
     k_inner: int,
     counters: CostCounters,
+    charge_from: int = 0,
 ) -> ProbeSchedule:
     """Enumerate the relevant partition pairs of ``outer JOIN inner``.
 
@@ -248,6 +265,11 @@ def build_probe_schedule(
     partition, the relevant inner partitions plus the incoming position of
     the block-read chain.  Block reads themselves and the per-candidate
     endpoint comparisons are *not* charged here; the workers charge them.
+
+    ``charge_from`` supports checkpoint resume: tasks with an index below
+    it are still enumerated (the read chain and pair order need them) but
+    their navigation charges are *not* added to *counters* — a restored
+    checkpoint already contains them.
     """
     config_r, config_s = outer_list.config, inner_list.config
     d_r, o_r = config_r.d, config_r.o
@@ -278,7 +300,7 @@ def build_probe_schedule(
 
         query_start = o_r + outer_node.i * d_r
         query_end = o_r + (outer_node.j + 1) * d_r - 1
-        counters.charge_cpu(2)  # range-overlap guard of Algorithm 2
+        nav_cpu = 2  # range-overlap guard of Algorithm 2
         if not (
             query_end < inner_range_start or query_start >= inner_range_stop
         ):
@@ -289,18 +311,21 @@ def build_probe_schedule(
             # (i <= e) test, one partition access per relevant partition.
             node = inner_list.head
             while node is not None:
-                counters.charge_cpu()  # j >= s test
+                nav_cpu += 1  # j >= s test
                 if node.j < s:
                     break
                 branch = node
                 while branch is not None:
-                    counters.charge_cpu()  # i <= e test
+                    nav_cpu += 1  # i <= e test
                     if branch.i > e:
                         break
-                    counters.charge_partition_access()
                     relevant.append(inner_index[id(branch)])
                     branch = branch.right
                 node = node.down
+        if task_index >= charge_from:
+            counters.charge_cpu(nav_cpu)
+            if relevant:
+                counters.charge_partition_access(len(relevant))
 
         tasks.append(
             ProbeTask(
@@ -309,6 +334,8 @@ def build_probe_schedule(
                 outer_block_ids=outer_block_ids,
                 relevant=tuple(relevant),
                 last_read_in=last_read,
+                nav_cpu=nav_cpu,
+                nav_accesses=len(relevant),
             )
         )
         pair_count += len(relevant)
@@ -515,6 +542,8 @@ def execute_schedule(
     timeout: Optional[float] = None,
     max_chunk_retries: int = 2,
     worker_faults: Optional[WorkerFaultPlan] = None,
+    governor: Optional[Any] = None,
+    start_at: int = 0,
 ) -> ExecutionReport:
     """Run *schedule* on a worker pool, merging results deterministically.
 
@@ -529,6 +558,23 @@ def execute_schedule(
     (:class:`~repro.storage.faults.StorageFaultError`) are *not* retried
     at chunk level — their schedule is deterministic, so they propagate
     immediately instead of burning the retry budget.
+
+    Lifecycle hooks:
+
+    * ``start_at`` skips the first *start_at* tasks — a checkpoint resume;
+      their charges must already be in *counters* (see
+      :func:`build_probe_schedule`'s ``charge_from``).
+    * ``governor`` — a :class:`~repro.engine.governor.GovernedRun` (duck
+      typed) consulted at every chunk boundary, mirroring the sequential
+      loop's outer-partition boundary checks.  The governor sees
+      *sequential-equivalent* counters: the enumeration charges
+      navigation for all tasks up front, so the boundary check subtracts
+      the recorded navigation of not-yet-merged tasks before asking.  A
+      cancelled run stops merging, rolls the pending navigation charges
+      out of the live counters (making the partial counters exactly the
+      sequential join's state at that boundary) and returns with
+      ``report.cancelled`` set; a violated budget propagates the
+      governor's :class:`~repro.engine.governor.BudgetExceededError`.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
@@ -542,11 +588,17 @@ def execute_schedule(
         raise ValueError(
             f"max_chunk_retries must be >= 0, got {max_chunk_retries}"
         )
+    if not 0 <= start_at <= len(schedule.tasks):
+        raise ValueError(
+            f"start_at must be within [0, {len(schedule.tasks)}], "
+            f"got {start_at}"
+        )
     report = ExecutionReport(backend=backend)
-    if not schedule.tasks:
+    tasks = schedule.tasks[start_at:] if start_at else schedule.tasks
+    if not tasks:
         return report
 
-    chunks = _chunk_tasks(schedule.tasks, workers, chunk_size)
+    chunks = _chunk_tasks(tasks, workers, chunk_size)
     report.chunks = len(chunks)
 
     def run_inline(index: int):
@@ -563,9 +615,10 @@ def execute_schedule(
 
     if workers == 1 or len(chunks) == 1:
         # Inline fast path: same kernel, no pool, nothing to degrade to.
-        outcomes = [run_inline(index) for index in range(len(chunks))]
+        # Lazily evaluated so a boundary stop skips unprobed chunks.
+        outcome_iter = (run_inline(index) for index in range(len(chunks)))
     else:
-        outcomes = _execute_on_pool(
+        outcome_iter = _pool_outcomes(
             chunks,
             schedule.inner_table,
             workers,
@@ -579,25 +632,68 @@ def execute_schedule(
             run_inline,
         )
 
+    # Suffix sums of the navigation charges of not-yet-merged chunks:
+    # pending_*[c] is what must be subtracted from the live counters to
+    # obtain the sequential-equivalent state at the boundary *before*
+    # chunk c.
+    pending_cpu = pending_accesses = None
+    if governor is not None:
+        pending_cpu = [0] * (len(chunks) + 1)
+        pending_accesses = [0] * (len(chunks) + 1)
+        for index in range(len(chunks) - 1, -1, -1):
+            pending_cpu[index] = pending_cpu[index + 1] + sum(
+                task.nav_cpu for task in chunks[index]
+            )
+            pending_accesses[index] = pending_accesses[index + 1] + sum(
+                task.nav_accesses for task in chunks[index]
+            )
+
     inner_table = schedule.inner_table
-    for chunk, (chunk_counters, chunk_resilience, chunk_matches) in zip(
-        chunks, outcomes
-    ):
-        _merge_into(counters, chunk_counters)
-        if resilience is not None:
-            resilience.merge(chunk_resilience)
-        for task, task_matches in zip(chunk, chunk_matches):
-            outer_tuples = task.outer_tuples
-            n_outer = len(outer_tuples)
-            for rel, hits in zip(task.relevant, task_matches):
-                inner_tuples = inner_table[rel].tuples
-                pairs.extend(
-                    (
-                        outer_tuples[encoded % n_outer],
-                        inner_tuples[encoded // n_outer],
+    boundary_resilience = (
+        resilience if resilience is not None else ResilienceCounters()
+    )
+    done = start_at
+    try:
+        for index, chunk in enumerate(chunks):
+            if governor is not None:
+                equivalent = counters.merged_with(CostCounters())
+                equivalent.cpu_comparisons -= pending_cpu[index]
+                equivalent.partition_accesses -= pending_accesses[index]
+                if governor.boundary(
+                    done, equivalent, boundary_resilience, pairs
+                ):
+                    report.cancelled = True
+                    # Roll back the pending navigation charges so the
+                    # partial counters are exactly the sequential state.
+                    counters.cpu_comparisons -= pending_cpu[index]
+                    counters.partition_accesses -= pending_accesses[index]
+                    break
+            chunk_counters, chunk_resilience, chunk_matches = next(
+                outcome_iter
+            )
+            _merge_into(counters, chunk_counters)
+            if resilience is not None:
+                resilience.merge(chunk_resilience)
+            for task, task_matches in zip(chunk, chunk_matches):
+                outer_tuples = task.outer_tuples
+                n_outer = len(outer_tuples)
+                for rel, hits in zip(task.relevant, task_matches):
+                    inner_tuples = inner_table[rel].tuples
+                    pairs.extend(
+                        (
+                            outer_tuples[encoded % n_outer],
+                            inner_tuples[encoded // n_outer],
+                        )
+                        for encoded in hits
                     )
-                    for encoded in hits
-                )
+            done += len(chunk)
+            report.tasks_completed += len(chunk)
+    finally:
+        # Abandoning the iterator early (cancel or budget stop) must
+        # still shut the worker pool down.
+        close = getattr(outcome_iter, "close", None)
+        if close is not None:
+            close()
     if resilience is not None:
         resilience.chunk_retries += report.chunk_retries
         resilience.chunk_timeouts += report.chunk_timeouts
@@ -606,7 +702,7 @@ def execute_schedule(
     return report
 
 
-def _execute_on_pool(
+def _pool_outcomes(
     chunks: List[Sequence[ProbeTask]],
     inner_table: List[InnerPartition],
     workers: int,
@@ -618,12 +714,14 @@ def _execute_on_pool(
     max_chunk_retries: int,
     worker_faults: Optional[WorkerFaultPlan],
     run_inline,
-) -> List[Tuple[CostCounters, ResilienceCounters, List]]:
+):
     """Pooled execution with retry, timeout and degradation handling.
 
-    Returns one outcome per chunk, in chunk order.  Chunks whose pooled
-    attempts are exhausted — or every remaining chunk once the pool
-    itself breaks — complete via *run_inline*.
+    Yields one outcome per chunk, in chunk order, so the caller can merge
+    incrementally and stop between chunks (closing the generator shuts
+    the pool down).  Chunks whose pooled attempts are exhausted — or
+    every remaining chunk once the pool itself breaks — complete via
+    *run_inline*.
     """
     if backend == "thread":
         pool = concurrent.futures.ThreadPoolExecutor(max_workers=workers)
@@ -658,19 +756,19 @@ def _execute_on_pool(
                 worker_faults=worker_faults,
             )
 
-    outcomes: List[Optional[Tuple]] = [None] * len(chunks)
     pool_broken = False
     try:
         futures = [submit(index, 0) for index in range(len(chunks))]
         for index in range(len(chunks)):
             attempt = 0
-            while outcomes[index] is None:
+            outcome = None
+            while outcome is None:
                 if pool_broken:
-                    outcomes[index] = run_inline(index)
+                    outcome = run_inline(index)
                     report.downgraded_chunks += 1
                     break
                 try:
-                    outcomes[index] = futures[index].result(timeout=timeout)
+                    outcome = futures[index].result(timeout=timeout)
                     break
                 except StorageFaultError:
                     # Deterministic data fault: retrying cannot help, and
@@ -689,14 +787,14 @@ def _execute_on_pool(
                 attempt += 1
                 if attempt > max_chunk_retries:
                     # Retry budget exhausted: last resort is the driver.
-                    outcomes[index] = run_inline(index)
+                    outcome = run_inline(index)
                     report.downgraded_chunks += 1
                     break
                 report.chunk_retries += 1
                 futures[index] = submit(index, attempt)
+            yield outcome
     finally:
         pool.shutdown(wait=False, cancel_futures=True)
-    return outcomes  # type: ignore[return-value]
 
 
 def _merge_into(target: CostCounters, delta: CostCounters) -> None:

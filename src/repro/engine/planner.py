@@ -171,10 +171,76 @@ class JoinPlanner:
             return self.workers
         return os.cpu_count() or 1
 
+    def _check_budget(
+        self,
+        budget,
+        outer: TemporalRelation,
+        inner: TemporalRelation,
+        estimated: float,
+    ) -> None:
+        """Refuse to plan a join whose *estimate* already exceeds the
+        budget — failing at plan time beats failing mid-execution.
+
+        The estimate is deliberately optimistic (one scan of each input
+        plus two endpoint comparisons per estimated candidate, no
+        partitioning overhead), so a refusal means even a best-case
+        execution could not fit; plans that pass still carry the budget
+        for exact cooperative enforcement at run time.
+        """
+        from .governor import BudgetExceededError
+
+        device = (
+            self.device
+            if self.device is not None
+            else DeviceProfile.main_memory()
+        )
+        est_comparisons = 2.0 * estimated
+        if (
+            budget.max_comparisons is not None
+            and est_comparisons > budget.max_comparisons
+        ):
+            raise BudgetExceededError(
+                f"planner estimate: ~{est_comparisons:.3g} candidate "
+                f"comparisons exceed max_comparisons="
+                f"{budget.max_comparisons}"
+            )
+        est_reads = device.blocks_for_tuples(
+            outer.cardinality
+        ) + device.blocks_for_tuples(inner.cardinality)
+        if budget.max_block_reads is not None and est_reads > budget.max_block_reads:
+            raise BudgetExceededError(
+                f"planner estimate: ~{est_reads} block reads exceed "
+                f"max_block_reads={budget.max_block_reads}"
+            )
+        if budget.max_cost is not None:
+            weights = (
+                budget.weights
+                if budget.weights is not None
+                else device.weights
+            )
+            est_cost = (
+                est_comparisons * weights.cpu + est_reads * weights.io
+            )
+            if est_cost > budget.max_cost:
+                raise BudgetExceededError(
+                    f"planner estimate: ~{est_cost:.3g} cost units exceed "
+                    f"max_cost={budget.max_cost}"
+                )
+
     def plan(
-        self, outer: TemporalRelation, inner: TemporalRelation
+        self,
+        outer: TemporalRelation,
+        inner: TemporalRelation,
+        budget=None,
     ) -> JoinPlan:
-        """Choose the algorithm for ``outer JOIN inner``."""
+        """Choose the algorithm for ``outer JOIN inner``.
+
+        With a :class:`~repro.engine.governor.QueryBudget`, the planner
+        first refuses plans whose optimistic cost estimate already
+        exceeds the budget (raising :class:`~repro.engine.governor
+        .BudgetExceededError` before any work), then threads the budget
+        into the planned OIPJOIN for cooperative runtime enforcement.
+        """
         outer_lambda = (
             outer.duration_fraction if not outer.is_empty else 0.0
         )
@@ -182,6 +248,8 @@ class JoinPlanner:
             inner.duration_fraction if not inner.is_empty else 0.0
         )
         estimated = self.estimate_candidates(outer, inner)
+        if budget is not None:
+            self._check_budget(budget, outer, inner, estimated)
         if (
             outer_lambda <= self.point_threshold
             and inner_lambda <= self.point_threshold
@@ -213,6 +281,7 @@ class JoinPlanner:
                 buffer_pool=self.buffer_pool,
                 parallelism=parallelism,
                 parallel_backend=self.parallel_backend,
+                budget=budget,
             )
 
             def reason() -> str:
@@ -240,7 +309,10 @@ class JoinPlanner:
         )
 
     def join(
-        self, outer: TemporalRelation, inner: TemporalRelation
+        self,
+        outer: TemporalRelation,
+        inner: TemporalRelation,
+        budget=None,
     ) -> JoinResult:
         """Plan and execute in one call."""
-        return self.plan(outer, inner).execute(outer, inner)
+        return self.plan(outer, inner, budget=budget).execute(outer, inner)

@@ -50,6 +50,7 @@ class StorageManager:
         resilience: Optional[ResilienceCounters] = None,
         max_retries: int = 3,
         verify_checksums: bool = True,
+        cancellation: Optional[Any] = None,
     ) -> None:
         if max_retries < 0:
             raise ValueError(f"max_retries must be >= 0, got {max_retries}")
@@ -63,6 +64,10 @@ class StorageManager:
         )
         self.max_retries = max_retries
         self.verify_checksums = verify_checksums
+        #: Cooperative stop signal checked before every block fetch (duck
+        #: typed to :class:`repro.engine.governor.CancellationToken` —
+        #: the storage layer deliberately does not import the governor).
+        self.cancellation = cancellation
         self._next_block_id = 0
         self._last_read_id: Optional[int] = None
 
@@ -126,7 +131,14 @@ class StorageManager:
         be detected.  Raises :class:`~repro.storage.faults
         .CorruptBlockError` / :class:`~repro.storage.faults
         .ReadRetriesExceededError` when recovery fails.
+
+        Every fetch is also a cooperative cancellation point: with a
+        cancellation token attached, a requested cancel raises
+        :class:`repro.engine.governor.QueryCancelledError` *before* the
+        read is charged, so partial counters never include abandoned IO.
         """
+        if self.cancellation is not None:
+            self.cancellation.raise_if_cancelled()
         verify = (
             self._make_verifier(block)
             if block is not None and self.verify_checksums

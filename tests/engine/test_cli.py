@@ -152,3 +152,117 @@ class TestParser:
         parser = build_parser()
         args = parser.parse_args(["join", "--cardinality", "5"])
         assert args.cardinality == 5
+
+
+class TestLifecycleFlags:
+    """The governor's CLI surface: budgets, checkpoint/resume, and the
+    SIGINT-to-cooperative-cancellation round trip."""
+
+    JOIN = ["join", "--workload", "mixture", "--cardinality", "600"]
+
+    def test_budget_exceeded_exits_75_with_partial_counters(self, capsys):
+        code = main(self.JOIN + ["--max-comparisons", "2000"])
+        assert code == 75
+        out = capsys.readouterr().out
+        assert "budget exceeded (comparisons)" in out
+        assert "partial counters:" in out
+        assert "cpu_comparisons" in out
+
+    def test_exhausted_budget_fails_fast(self, capsys):
+        assert main(self.JOIN + ["--max-comparisons", "0"]) == 75
+        assert "exhausted at launch" in capsys.readouterr().out
+
+    def test_generous_deadline_completes(self, capsys):
+        assert main(self.JOIN + ["--deadline-ms", "60000"]) == 0
+        assert "result pairs" in capsys.readouterr().out
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(SystemExit):
+            main(self.JOIN + ["--max-comparisons", "-5"])
+
+    def test_lifecycle_flags_are_oip_only(self):
+        with pytest.raises(SystemExit, match="oip"):
+            main(self.JOIN + ["--algorithm", "smj", "--deadline-ms", "100"])
+        with pytest.raises(SystemExit, match="oip"):
+            main(self.JOIN + ["--algorithm", "grace", "--checkpoint", "x"])
+
+    def test_budget_abort_checkpoint_then_resume(self, tmp_path, capsys):
+        path = str(tmp_path / "ck.json")
+        code = main(
+            self.JOIN
+            + [
+                "--max-comparisons",
+                "2000",
+                "--checkpoint",
+                path,
+                "--checkpoint-every",
+                "1",
+            ]
+        )
+        assert code == 75
+        assert f"checkpoint written to: {path}" in capsys.readouterr().out
+        # Resuming without the budget finishes the join and reports the
+        # same totals an uninterrupted run would.
+        assert main(self.JOIN) == 0
+        full = capsys.readouterr().out
+        assert main(self.JOIN + ["--resume-from", path]) == 0
+        resumed = capsys.readouterr().out
+        assert "resumed_from_partition" in resumed
+        # Identical pair count and counter totals vs the full run.
+        assert full.splitlines()[0].split(" in ")[0] == (
+            resumed.splitlines()[0].split(" in ")[0]
+        )
+        assert [
+            line for line in full.splitlines() if "cpu_comparisons" in line
+        ] == [
+            line
+            for line in resumed.splitlines()
+            if "cpu_comparisons" in line
+        ]
+
+    @pytest.mark.slow
+    def test_sigint_round_trip(self, tmp_path):
+        """A real SIGINT mid-join lands a checkpoint and exit 130; a
+        follow-up --resume-from completes with exit 0."""
+        import os
+        import signal
+        import subprocess
+        import sys
+        import time
+
+        path = str(tmp_path / "sigint-ck.json")
+        argv = [
+            sys.executable,
+            "-m",
+            "repro",
+            "join",
+            "--workload",
+            "mixture",
+            "--cardinality",
+            "4000",
+            "--algorithm",
+            "oip",
+            "--checkpoint",
+            path,
+            "--checkpoint-every",
+            "1",
+        ]
+        env = dict(os.environ)
+        proc = subprocess.Popen(
+            argv, env=env, stdout=subprocess.PIPE, text=True
+        )
+        time.sleep(1.2)
+        proc.send_signal(signal.SIGINT)
+        out, _ = proc.communicate(timeout=60)
+        assert proc.returncode == 130, out
+        assert f"checkpoint written to: {path}" in out
+        assert "--resume-from" in out
+        resumed = subprocess.run(
+            argv[:-4] + ["--resume-from", path],
+            env=env,
+            stdout=subprocess.PIPE,
+            text=True,
+            timeout=120,
+        )
+        assert resumed.returncode == 0, resumed.stdout
+        assert "result pairs" in resumed.stdout
