@@ -57,6 +57,16 @@ from .engine.governor import (
     QueryCancelledError,
     QueryCheckpoint,
 )
+from .obs import (
+    JsonlSink,
+    MetricsRegistry,
+    NULL_TRACER,
+    Tracer,
+    build_report,
+    compare_reports,
+    load_report,
+    write_report,
+)
 from .storage import (
     BufferPool,
     CostCounters,
@@ -100,5 +110,13 @@ __all__ = [
     "BudgetExceededError",
     "QueryCancelledError",
     "AdmissionRejectedError",
+    "Tracer",
+    "NULL_TRACER",
+    "JsonlSink",
+    "MetricsRegistry",
+    "build_report",
+    "write_report",
+    "load_report",
+    "compare_reports",
     "__version__",
 ]

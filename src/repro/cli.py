@@ -5,8 +5,11 @@ inspect datasets without writing code.
 
     python -m repro join --workload mixture --cardinality 2000 \\
         --long-fraction 0.5 --algorithm oip
+    python -m repro join --algorithm oip --trace run.trace.jsonl \\
+        --metrics-out run.metrics.json --report run.report.json
     python -m repro compare --workload uniform --cardinality 1500 \\
         --algorithms oip,lqt,smj
+    python -m repro compare base.report.json other.report.json
     python -m repro derive-k --outer 10000000 --inner 100000000 \\
         --lambda-outer 0.0001 --lambda-inner 0.0005
     python -m repro datasets
@@ -150,6 +153,95 @@ def _add_resilience_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write a JSONL span/event trace of the run to PATH",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write the metrics-registry snapshot to PATH after the run",
+    )
+    parser.add_argument(
+        "--metrics-format",
+        default="json",
+        choices=("json", "prometheus"),
+        help="exposition format of --metrics-out (default json)",
+    )
+    parser.add_argument(
+        "--report",
+        default=None,
+        metavar="PATH",
+        help="write the machine-readable run report (JSON) to PATH",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help=(
+            "print the run report JSON to stdout instead of the text "
+            "summary (same serialization as --report)"
+        ),
+    )
+
+
+def _obs_kwargs(args: argparse.Namespace) -> dict:
+    """Observability keyword arguments from the ``--trace`` /
+    ``--metrics-out`` / ``--report`` / ``--json`` flags.
+
+    The trace sink and metrics registry are stashed on *args* so
+    :func:`_run_single` can flush the artifacts after the run.  With none
+    of the flags given this attaches nothing — the join runs the exact
+    pre-observability code paths.
+    """
+    kwargs: dict = {}
+    trace_path = getattr(args, "trace", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    collect = (
+        getattr(args, "report", None) is not None
+        or getattr(args, "json", False)
+    )
+    if trace_path is not None:
+        from .obs import JsonlSink, Tracer
+
+        args._trace_sink = JsonlSink(trace_path)
+        kwargs["tracer"] = Tracer(sink=args._trace_sink)
+    if metrics_out is not None or collect:
+        # A report is richer with a metrics section, so --report/--json
+        # attach a registry even without --metrics-out.
+        from .obs import MetricsRegistry
+
+        args._metrics = MetricsRegistry()
+        kwargs["metrics"] = args._metrics
+    if collect:
+        kwargs["collect_report"] = True
+    return kwargs
+
+
+def _write_obs_artifacts(args: argparse.Namespace, result) -> None:
+    """Write the ``--metrics-out`` and ``--report`` files for a finished
+    (completed or cancelled) run."""
+    metrics = getattr(args, "_metrics", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    if metrics is not None and metrics_out is not None:
+        if getattr(args, "metrics_format", "json") == "prometheus":
+            text = metrics.to_prometheus_text()
+        else:
+            text = metrics.to_json()
+        if not text.endswith("\n"):
+            text += "\n"
+        with open(metrics_out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    report_path = getattr(args, "report", None)
+    if report_path is not None and result.report is not None:
+        from .obs.report import write_report
+
+        write_report(result.report, report_path)
+
+
 def _add_lifecycle_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--deadline-ms",
@@ -276,6 +368,7 @@ def _make_algorithm(
     lifecycle flags (budget / checkpoint / cancellation)."""
     kwargs = _resilience_kwargs(args)
     kwargs.update(_lifecycle_kwargs(name, args))
+    kwargs.update(_obs_kwargs(args))
     token = getattr(args, "_cancellation", None)
     if token is not None:
         kwargs["cancellation"] = token
@@ -298,14 +391,19 @@ def _make_algorithm(
     try:
         return ALGORITHMS[name](**kwargs)
     except TypeError:
-        # An algorithm whose constructor predates a lifecycle keyword.
+        # An algorithm whose constructor predates a lifecycle or
+        # observability keyword.
         raise SystemExit(
             f"algorithm {name!r} does not support the given lifecycle "
-            "options"
+            "or observability options"
         )
 
 
-def _print_counters(counters, indent: str = "  ") -> None:
+def _print_counters(counters, indent: str = "  ", partial: bool = False) -> None:
+    """Print a counter snapshot; the single formatting path shared by the
+    completed, cancelled and budget-abort outcomes."""
+    if partial:
+        print(f"{indent}partial counters:")
     for key, value in sorted(counters.snapshot().items()):
         print(f"{indent}{key:>20}: {value:,}")
 
@@ -354,14 +452,16 @@ def _run_single(args: argparse.Namespace) -> int:
     except StorageFaultError as error:
         raise SystemExit(f"join failed after retries: {error}")
     except BudgetExceededError as error:
+        # No JoinResult exists here, so the partial elapsed time is the
+        # CLI's own measurement (completed runs report the base class's
+        # JoinResult.elapsed_ms instead).
         elapsed = time.perf_counter() - started
         print(
             f"{args.algorithm}: budget exceeded ({error.reason}) after "
             f"{elapsed * 1e3:.1f} ms and "
             f"{error.partitions_completed} outer partition(s)"
         )
-        print("  partial counters:")
-        _print_counters(error.counters, indent="  ")
+        _print_counters(error.counters, indent="  ", partial=True)
         if error.checkpoint_path:
             print(f"  checkpoint written to: {error.checkpoint_path}")
         return 75  # EX_TEMPFAIL: retry with a bigger budget or resume
@@ -372,14 +472,21 @@ def _run_single(args: argparse.Namespace) -> int:
         return 130
     finally:
         _restore_handlers(previous)
-    elapsed = time.perf_counter() - started
+        sink = getattr(args, "_trace_sink", None)
+        if sink is not None:
+            sink.close()
+    _write_obs_artifacts(args, result)
+    if getattr(args, "json", False):
+        from .obs.report import dumps_report
+
+        sys.stdout.write(dumps_report(result.report))
+        return 0 if result.completed else 130
     if not result.completed:
         print(
-            f"{args.algorithm}: cancelled after {elapsed * 1e3:.1f} ms "
+            f"{args.algorithm}: cancelled after {result.elapsed_ms:.1f} ms "
             f"with {result.cardinality:,} partial result pairs"
         )
-        print("  partial counters:")
-        _print_counters(result.counters)
+        _print_counters(result.counters, partial=True)
         checkpoint = result.details.get("checkpoint")
         if checkpoint:
             print(f"  checkpoint written to: {checkpoint}")
@@ -387,7 +494,7 @@ def _run_single(args: argparse.Namespace) -> int:
         return 130
     print(
         f"{args.algorithm}: {result.cardinality:,} result pairs in "
-        f"{elapsed * 1e3:.1f} ms"
+        f"{result.elapsed_ms:.1f} ms"
     )
     _print_counters(result.counters)
     if result.resilience.faults_observed or args.fault_profile != "none":
@@ -399,6 +506,24 @@ def _run_single(args: argparse.Namespace) -> int:
 
 
 def _run_compare(args: argparse.Namespace) -> int:
+    reports = getattr(args, "reports", None) or []
+    if reports:
+        if len(reports) != 2:
+            raise SystemExit(
+                "comparing run reports takes exactly two paths "
+                f"(base other), got {len(reports)}"
+            )
+        from .obs.compare import main as compare_main
+
+        forwarded = list(reports)
+        forwarded += ["--threshold", str(args.threshold)]
+        if getattr(args, "json", False):
+            forwarded.append("--json")
+        return compare_main(forwarded)
+    if getattr(args, "json", False):
+        raise SystemExit(
+            "compare --json requires two REPORT paths (report-diff mode)"
+        )
     names = [name.strip() for name in args.algorithms.split(",") if name.strip()]
     unknown = [name for name in names if name not in ALGORITHMS]
     if unknown:
@@ -498,10 +623,38 @@ def build_parser() -> argparse.ArgumentParser:
     _add_parallel_arguments(join_parser)
     _add_resilience_arguments(join_parser)
     _add_lifecycle_arguments(join_parser)
+    _add_obs_arguments(join_parser)
     join_parser.set_defaults(handler=_run_single)
 
     compare_parser = commands.add_parser(
-        "compare", help="run several algorithms on the same input"
+        "compare",
+        help=(
+            "run several algorithms on the same input, or diff two run "
+            "reports (repro compare base.json other.json)"
+        ),
+    )
+    compare_parser.add_argument(
+        "reports",
+        nargs="*",
+        metavar="REPORT",
+        help=(
+            "two run-report JSON paths (written by join --report) to "
+            "diff; with no paths, runs the algorithm comparison instead"
+        ),
+    )
+    compare_parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.10,
+        help=(
+            "relative phase slow-down flagged as a regression in "
+            "report-diff mode (default %(default)s)"
+        ),
+    )
+    compare_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the report diff as JSON (report-diff mode only)",
     )
     _add_workload_arguments(compare_parser)
     compare_parser.add_argument(

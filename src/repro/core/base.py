@@ -19,10 +19,12 @@ algorithm performs.
 
 from __future__ import annotations
 
+import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
+from ..obs.trace import NULL_TRACER
 from ..storage.buffer import BufferPool
 from ..storage.device import DeviceProfile
 from ..storage.faults import FaultInjector, FaultPolicy
@@ -70,6 +72,17 @@ class JoinResult:
     #: point — ``pairs``/``counters`` then hold the well-formed partial
     #: state at the last boundary reached, not the full join.
     completed: bool = True
+    #: Wall-clock duration of :meth:`OverlapJoinAlgorithm.join`, measured
+    #: by the base class so library callers and run reports get timing
+    #: without re-measuring around the call.
+    elapsed_ms: float = 0.0
+    #: The parallel :class:`~repro.engine.parallel.ExecutionReport` when
+    #: the probe ran on the worker-pool path (typed loosely: core does
+    #: not import engine).
+    execution: Optional[Any] = None
+    #: The run-report document (see :mod:`repro.obs.report`), built when
+    #: the algorithm was constructed with ``collect_report=True``.
+    report: Optional[Dict[str, Any]] = None
 
     def __len__(self) -> int:
         return len(self.pairs)
@@ -119,6 +132,9 @@ class OverlapJoinAlgorithm(ABC):
         max_read_retries: int = 3,
         verify_checksums: bool = True,
         cancellation: Optional[Any] = None,
+        tracer: Optional[Any] = None,
+        metrics: Optional[Any] = None,
+        collect_report: bool = False,
     ) -> None:
         if max_read_retries < 0:
             raise ValueError(
@@ -132,8 +148,19 @@ class OverlapJoinAlgorithm(ABC):
         #: Optional :class:`~repro.engine.governor.CancellationToken`
         #: (duck typed: anything with ``poll``/``raise_if_cancelled``).
         self.cancellation = cancellation
+        #: Phase tracer (:class:`~repro.obs.trace.Tracer`); defaults to
+        #: the shared zero-allocation :data:`~repro.obs.trace.NULL_TRACER`.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: Optional :class:`~repro.obs.registry.MetricsRegistry` the run's
+        #: counters and subsystems publish into after every join.
+        self.metrics = metrics
+        #: When True, :meth:`join` builds the run-report document on
+        #: ``JoinResult.report`` (attaching a private in-memory tracer if
+        #: none is enabled, so the report always has phase timings).
+        self.collect_report = collect_report
         self._resilience = ResilienceCounters()
         self._partial_pairs: List[JoinPair] = []
+        self._run_tracer: Any = self.tracer
 
     def join(
         self,
@@ -146,34 +173,117 @@ class OverlapJoinAlgorithm(ABC):
         cooperative point unwinds into a *partial* result: the pairs
         collected so far, the counters at the stop point, and
         ``completed=False``."""
+        started = time.perf_counter()
         counters = CostCounters()
         resilience = ResilienceCounters()
         self._resilience = resilience
         self._partial_pairs = []
+        tracer = self.tracer
+        if self.collect_report and not tracer.enabled:
+            # The report needs phase timings even when the caller did not
+            # attach a tracer: collect into a private in-memory one.
+            from ..obs.trace import Tracer
+
+            tracer = Tracer()
+        self._run_tracer = tracer
+        spans_before = tracer.span_count
+        events_before = tracer.event_count
+        roots_before = len(tracer.roots)
         if outer.is_empty or inner.is_empty:
-            return JoinResult(
+            result = JoinResult(
                 algorithm=self.name,
                 pairs=[],
                 counters=counters,
                 resilience=resilience,
             )
-        # Imported lazily: repro.engine.governor must stay importable
-        # without repro.core (and vice versa).
-        from ..engine.governor import QueryCancelledError
+        else:
+            # Imported lazily: repro.engine.governor must stay importable
+            # without repro.core (and vice versa).
+            from ..engine.governor import QueryCancelledError
 
-        try:
-            result = self._execute(outer, inner, counters)
-        except QueryCancelledError:
-            result = JoinResult(
-                algorithm=self.name,
-                pairs=list(self._partial_pairs),
-                counters=counters,
-                details={"cancelled": True},
-                completed=False,
-            )
+            try:
+                with tracer.span("join", algorithm=self.name):
+                    result = self._execute(outer, inner, counters)
+            except QueryCancelledError:
+                result = JoinResult(
+                    algorithm=self.name,
+                    pairs=list(self._partial_pairs),
+                    counters=counters,
+                    details={"cancelled": True},
+                    completed=False,
+                )
         result.counters.result_tuples = len(result.pairs)
         result.resilience = resilience
+        result.elapsed_ms = (time.perf_counter() - started) * 1000.0
+        if self.metrics is not None or self.collect_report:
+            self._finish_observability(
+                result, tracer, spans_before, events_before, roots_before
+            )
         return result
+
+    def _finish_observability(
+        self,
+        result: JoinResult,
+        tracer: Any,
+        spans_before: int,
+        events_before: int,
+        roots_before: int,
+    ) -> None:
+        """Publish the run into the metrics registry and/or build the
+        run-report document.  Runs strictly after the join so the hot
+        path carries no observability cost."""
+        if self.metrics is not None:
+            for key, value in result.counters.snapshot().items():
+                self.metrics.counter(f"join.counters.{key}").inc(value)
+            for key, value in result.resilience.snapshot().items():
+                self.metrics.counter(f"join.resilience.{key}").inc(value)
+            for subsystem in (
+                self.buffer_pool,
+                self.fault_policy,
+                getattr(self, "circuit_breaker", None),
+            ):
+                publish = getattr(subsystem, "publish_metrics", None)
+                if publish is not None:
+                    publish(self.metrics)
+        if self.collect_report:
+            from ..obs.report import build_report
+
+            root = (
+                tracer.roots[-1] if len(tracer.roots) > roots_before else None
+            )
+            weights = getattr(self, "weights", None)
+            if weights is None:
+                weights = self.device.weights
+            result.report = build_report(
+                result,
+                self.device,
+                weights,
+                root=root,
+                span_count=tracer.span_count - spans_before,
+                event_count=tracer.event_count - events_before,
+                governor=self._governor_summary(result),
+                metrics=(
+                    self.metrics.snapshot()
+                    if self.metrics is not None
+                    else None
+                ),
+            )
+
+    @staticmethod
+    def _governor_summary(result: JoinResult) -> Optional[Dict[str, Any]]:
+        """The governor-outcome section of the run report, distilled from
+        the result details the governed run recorded (None when the run
+        was not governed)."""
+        keys = (
+            "partitions_completed",
+            "resumed_from_partition",
+            "cancelled",
+            "checkpoint",
+        )
+        summary = {
+            key: result.details[key] for key in keys if key in result.details
+        }
+        return summary or None
 
     def _begin_pairs(self) -> List[JoinPair]:
         """The pair sink of one execution.  Registering the list here
@@ -203,6 +313,7 @@ class OverlapJoinAlgorithm(ABC):
             cancellation=(
                 self.cancellation if self.cancellation_via_storage else None
             ),
+            tracer=self._run_tracer,
         )
 
     @abstractmethod

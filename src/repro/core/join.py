@@ -123,6 +123,12 @@ class OIPJoin(OverlapJoinAlgorithm):
         consulted before using the worker pool and fed the execution
         outcome afterwards; while open, the probe runs on the
         sequential path (``parallel_fallback: "circuit_open"``).
+    tracer, metrics, collect_report:
+        Observability configuration; see :class:`OverlapJoinAlgorithm`.
+        Spans cover ``derive_k``, both ``oipcreate`` sides, Lemma-1
+        ``enumerate``, the ``probe`` phase and each outer partition;
+        chunk lifecycle events are recorded driver-side so parallel
+        determinism is unaffected.
     """
 
     name = "oip"
@@ -157,6 +163,9 @@ class OIPJoin(OverlapJoinAlgorithm):
         checkpoint_every: Optional[int] = None,
         resume_from: Optional[str] = None,
         circuit_breaker: Optional[Any] = None,
+        tracer: Optional[Any] = None,
+        metrics: Optional[Any] = None,
+        collect_report: bool = False,
     ) -> None:
         super().__init__(
             device=device,
@@ -165,6 +174,9 @@ class OIPJoin(OverlapJoinAlgorithm):
             max_read_retries=max_read_retries,
             verify_checksums=verify_checksums,
             cancellation=cancellation,
+            tracer=tracer,
+            metrics=metrics,
+            collect_report=collect_report,
         )
         if k is not None and k < 1:
             raise ValueError(f"k must be >= 1 when pinned, got {k}")
@@ -358,6 +370,7 @@ class OIPJoin(OverlapJoinAlgorithm):
             budget=self.budget,
             cancellation=self.cancellation,
             weights=weights,
+            tracer=self._run_tracer,
         )
 
     def _execute(
@@ -374,6 +387,7 @@ class OIPJoin(OverlapJoinAlgorithm):
             make_fingerprint,
         )
 
+        tracer = self._run_tracer
         governor = self._governed_run()
         if governor is not None:
             # Fail fast on an already-exhausted budget: no k derivation,
@@ -385,23 +399,38 @@ class OIPJoin(OverlapJoinAlgorithm):
             else None
         )
 
-        derivation = self._derive_k(outer, inner)
-        if derivation is not None:
-            k_outer = k_inner = derivation.k
-        elif self.fixed_k is not None:
-            k_outer = k_inner = self.fixed_k
-        else:
-            k_outer, k_inner = self.fixed_k_outer, self.fixed_k_inner
-        # More granules than time points cannot reduce false hits further
-        # (d is already 1); cap to keep index arithmetic small.
-        k_outer = max(1, min(k_outer, outer.time_range_duration))
-        k_inner = max(1, min(k_inner, inner.time_range_duration))
+        with tracer.span("derive_k") as k_span:
+            derivation = self._derive_k(outer, inner)
+            if derivation is not None:
+                k_outer = k_inner = derivation.k
+            elif self.fixed_k is not None:
+                k_outer = k_inner = self.fixed_k
+            else:
+                k_outer, k_inner = self.fixed_k_outer, self.fixed_k_inner
+            # More granules than time points cannot reduce false hits
+            # further (d is already 1); cap to keep index arithmetic small.
+            k_outer = max(1, min(k_outer, outer.time_range_duration))
+            k_inner = max(1, min(k_inner, inner.time_range_duration))
+            k_span.set("k_outer", k_outer)
+            k_span.set("k_inner", k_inner)
+            k_span.set("self_adjusting", derivation is not None)
 
         config_r = OIPConfiguration.for_relation(outer, k_outer)
         config_s = OIPConfiguration.for_relation(inner, k_inner)
         storage = self._storage(counters)
-        outer_list = oip_create(outer, config_r, storage)
-        inner_list = oip_create(inner, config_s, storage)
+        with tracer.span("oipcreate", side="outer") as create_span:
+            outer_list = oip_create(outer, config_r, storage)
+            create_span.set("partitions", outer_list.partition_count)
+        with tracer.span("oipcreate", side="inner") as create_span:
+            inner_list = oip_create(inner, config_s, storage)
+            create_span.set("partitions", inner_list.partition_count)
+        if self.metrics is not None:
+            # Deterministic distribution of partition sizes (in blocks):
+            # same input and k ⇒ identical exported histogram.
+            histogram = self.metrics.histogram("oip.partition_blocks")
+            for partition_list in (outer_list, inner_list):
+                for node in partition_list.iter_nodes():
+                    histogram.observe(len(node.run.block_ids))
 
         pairs: List = self._begin_pairs()
         start_at = 0
@@ -447,31 +476,40 @@ class OIPJoin(OverlapJoinAlgorithm):
                 "parallel_fallback": "circuit_open",
                 "breaker_state": breaker.state,
             }
+        execution_report = None
         if use_parallel:
             # Partition-pair scheduling over a worker pool; bit-identical
             # to the sequential loop below (see repro.engine.parallel).
             from ..engine.parallel import build_probe_schedule, execute_schedule
 
-            schedule = build_probe_schedule(
-                outer_list, inner_list, k_inner, counters,
-                charge_from=start_at,
-            )
-            report = execute_schedule(
-                schedule,
-                counters,
-                pairs,
-                workers=self.parallelism,
-                backend=self.parallel_backend,
-                chunk_size=self.parallel_chunk_size,
-                resilience=self._resilience,
-                fault_policy=self.fault_policy,
-                max_read_retries=self.max_read_retries,
-                timeout=self.parallel_chunk_timeout,
-                max_chunk_retries=self.parallel_chunk_retries,
-                worker_faults=self.parallel_fault_plan,
-                governor=governor,
-                start_at=start_at,
-            )
+            with tracer.span("enumerate") as enum_span:
+                schedule = build_probe_schedule(
+                    outer_list, inner_list, k_inner, counters,
+                    charge_from=start_at,
+                )
+                enum_span.set("tasks", schedule.task_count)
+                enum_span.set("partition_pairs", schedule.pair_count)
+            with tracer.span(
+                "probe", mode="parallel", backend=self.parallel_backend
+            ):
+                report = execute_schedule(
+                    schedule,
+                    counters,
+                    pairs,
+                    workers=self.parallelism,
+                    backend=self.parallel_backend,
+                    chunk_size=self.parallel_chunk_size,
+                    resilience=self._resilience,
+                    fault_policy=self.fault_policy,
+                    max_read_retries=self.max_read_retries,
+                    timeout=self.parallel_chunk_timeout,
+                    max_chunk_retries=self.parallel_chunk_retries,
+                    worker_faults=self.parallel_fault_plan,
+                    governor=governor,
+                    start_at=start_at,
+                    tracer=tracer,
+                )
+            execution_report = report
             if breaker is not None:
                 if report.downgraded_chunks or report.worker_crashes:
                     breaker.record_failure()
@@ -498,16 +536,17 @@ class OIPJoin(OverlapJoinAlgorithm):
                 # Buffer-pool hit accounting depends on the global read
                 # order, which parallel execution would break.
                 parallel_details = {"parallel_fallback": "buffer_pool"}
-            cancelled, partitions_done = self._probe_sequential(
-                outer_list,
-                inner_list,
-                k_inner,
-                storage,
-                counters,
-                pairs,
-                governor=governor,
-                start_at=start_at,
-            )
+            with tracer.span("probe", mode="sequential"):
+                cancelled, partitions_done = self._probe_sequential(
+                    outer_list,
+                    inner_list,
+                    k_inner,
+                    storage,
+                    counters,
+                    pairs,
+                    governor=governor,
+                    start_at=start_at,
+                )
 
         details = {
             "k": k_inner if k_inner == k_outer else (k_outer, k_inner),
@@ -537,6 +576,7 @@ class OIPJoin(OverlapJoinAlgorithm):
             counters=counters,
             details=details,
             completed=not cancelled,
+            execution=execution_report,
         )
 
     def _probe_sequential(
@@ -566,6 +606,9 @@ class OIPJoin(OverlapJoinAlgorithm):
         d_s, o_s = config_s.d, config_s.o
         inner_range_start = o_s
         inner_range_stop = o_s + k_inner * d_s  # exclusive
+        # Per-partition spans only when tracing is live — the disabled
+        # path must not even construct span objects in this hot loop.
+        trace = self._run_tracer if self._run_tracer.enabled else None
 
         for index, outer_node in enumerate(outer_list.iter_nodes()):
             if index < start_at:
@@ -574,39 +617,55 @@ class OIPJoin(OverlapJoinAlgorithm):
                 index, counters, self._resilience, pairs
             ):
                 return True, index
-            outer_tuples = list(
-                storage.read_run(
-                    outer_node.run,
-                    context=("outer partition", (outer_node.i, outer_node.j)),
+            span = None
+            if trace is not None:
+                span = trace.span("probe.partition", partition=index)
+            try:
+                outer_tuples = list(
+                    storage.read_run(
+                        outer_node.run,
+                        context=(
+                            "outer partition",
+                            (outer_node.i, outer_node.j),
+                        ),
+                    )
                 )
-            )
-            query_start = o_r + outer_node.i * d_r
-            query_end = o_r + (outer_node.j + 1) * d_r - 1
-            counters.charge_cpu(2)  # range-overlap guard of Algorithm 2
-            if query_end < inner_range_start or query_start >= inner_range_stop:
-                continue
-            s = (query_start - o_s) // d_s
-            e = (query_end - o_s) // d_s
+                query_start = o_r + outer_node.i * d_r
+                query_end = o_r + (outer_node.j + 1) * d_r - 1
+                counters.charge_cpu(2)  # range-overlap guard of Algorithm 2
+                if (
+                    query_end < inner_range_start
+                    or query_start >= inner_range_stop
+                ):
+                    continue
+                s = (query_start - o_s) // d_s
+                e = (query_end - o_s) // d_s
 
-            node = inner_list.head
-            while node is not None:
-                counters.charge_cpu()  # j >= s test
-                if node.j < s:
-                    break
-                branch = node
-                while branch is not None:
-                    counters.charge_cpu()  # i <= e test
-                    if branch.i > e:
+                node = inner_list.head
+                while node is not None:
+                    counters.charge_cpu()  # j >= s test
+                    if node.j < s:
                         break
-                    counters.charge_partition_access()
-                    inner_context = ("inner partition", (branch.i, branch.j))
-                    for inner_tuple in storage.read_run(
-                        branch.run, context=inner_context
-                    ):
-                        for outer_tuple in outer_tuples:
-                            self._match(
-                                outer_tuple, inner_tuple, counters, pairs
-                            )
-                    branch = branch.right
-                node = node.down
+                    branch = node
+                    while branch is not None:
+                        counters.charge_cpu()  # i <= e test
+                        if branch.i > e:
+                            break
+                        counters.charge_partition_access()
+                        inner_context = (
+                            "inner partition",
+                            (branch.i, branch.j),
+                        )
+                        for inner_tuple in storage.read_run(
+                            branch.run, context=inner_context
+                        ):
+                            for outer_tuple in outer_tuples:
+                                self._match(
+                                    outer_tuple, inner_tuple, counters, pairs
+                                )
+                        branch = branch.right
+                    node = node.down
+            finally:
+                if span is not None:
+                    span.__exit__(None, None, None)
         return False, outer_list.partition_count

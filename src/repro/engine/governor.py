@@ -372,6 +372,13 @@ class CancellationToken:
 # ----------------------------------------------------------------------
 
 
+def _extra_key(key: str) -> str:
+    """Snapshot key → ``extras`` key: :meth:`CostCounters.snapshot`
+    namespaces extras as ``extra.<key>``; strip that prefix on restore so
+    a snapshot → rebuild round trip is exact."""
+    return key[6:] if key.startswith("extra.") else key
+
+
 def counters_from_snapshot(snapshot: Dict[str, int]) -> CostCounters:
     """Rebuild a :class:`CostCounters` from a :meth:`CostCounters
     .snapshot` dict (unknown keys become ``extras``)."""
@@ -380,7 +387,7 @@ def counters_from_snapshot(snapshot: Dict[str, int]) -> CostCounters:
         if key in _COUNTER_FIELDS:
             setattr(counters, key, int(value))
         else:
-            counters.extras[key] = int(value)
+            counters.extras[_extra_key(key)] = int(value)
     return counters
 
 
@@ -400,7 +407,7 @@ def _overwrite_counters(target: CostCounters, snapshot: Dict[str, int]) -> None:
         if key in _COUNTER_FIELDS:
             setattr(target, key, int(value))
         else:
-            target.extras[key] = int(value)
+            target.extras[_extra_key(key)] = int(value)
 
 
 def _overwrite_resilience(
@@ -679,6 +686,7 @@ class GovernedRun:
         cancellation: Optional[CancellationToken] = None,
         weights: Optional[CostWeights] = None,
         clock: Callable[[], float] = time.monotonic,
+        tracer: Optional[Any] = None,
     ) -> None:
         self.budget = budget
         self.cancellation = cancellation
@@ -688,6 +696,12 @@ class GovernedRun:
         self.writer: Optional[CheckpointWriter] = None
         #: Path of the most recent checkpoint written by this run.
         self.last_checkpoint: Optional[str] = None
+        #: Phase tracer (duck typed); only consulted when a boundary
+        #: actually stops the run or writes a checkpoint, so the healthy
+        #: path costs nothing extra.
+        self._trace = (
+            tracer if tracer is not None and tracer.enabled else None
+        )
 
     def attach_writer(self, writer: CheckpointWriter) -> None:
         self.writer = writer
@@ -739,6 +753,11 @@ class GovernedRun:
             self.checkpoint(
                 partitions_completed, counters, resilience, pairs, force=True
             )
+            if self._trace is not None:
+                self._trace.event(
+                    "governor.cancelled",
+                    partitions_completed=partitions_completed,
+                )
             return True
         if self.budget is not None:
             reason = self.budget.violation(
@@ -752,6 +771,12 @@ class GovernedRun:
                     pairs,
                     force=True,
                 )
+                if self._trace is not None:
+                    self._trace.event(
+                        "governor.budget_exceeded",
+                        reason=reason,
+                        partitions_completed=partitions_completed,
+                    )
                 raise BudgetExceededError(
                     reason,
                     partitions_completed=partitions_completed,
@@ -762,7 +787,15 @@ class GovernedRun:
                     elapsed_ms=self.elapsed_ms(),
                     checkpoint_path=path,
                 )
-        self.checkpoint(partitions_completed, counters, resilience, pairs)
+        written = self.checkpoint(
+            partitions_completed, counters, resilience, pairs
+        )
+        if written is not None and self._trace is not None:
+            self._trace.event(
+                "governor.checkpoint",
+                partitions_completed=partitions_completed,
+                path=written,
+            )
         return False
 
 
@@ -898,6 +931,13 @@ class AdmissionController:
         with self.admit(timeout=timeout):
             return algorithm.join(outer, inner)
 
+    def publish_metrics(self, registry: Any) -> None:
+        """Publish admission outcomes (monotone counters) and the live
+        slot occupancy (gauges) into a metrics registry."""
+        registry.publish_dict("admission", self.stats.snapshot())
+        registry.gauge("admission.active").set(self._active)
+        registry.gauge("admission.queued").set(self._queued)
+
     def __repr__(self) -> str:
         return (
             f"AdmissionController(active={self._active}/{self.max_active}, "
@@ -993,6 +1033,15 @@ class CircuitBreaker:
             "trips": self.trips,
             "denied": self.denied,
         }
+
+    def publish_metrics(self, registry: Any) -> None:
+        """Publish the breaker's trip/denial counters and its state as a
+        gauge (0 = closed, 1 = half-open, 2 = open)."""
+        registry.publish_dict(
+            "breaker", {"trips": self.trips, "denied": self.denied}
+        )
+        state_value = {self.CLOSED: 0, self.HALF_OPEN: 1, self.OPEN: 2}
+        registry.gauge("breaker.state").set(state_value[self._state])
 
     def __repr__(self) -> str:
         return (

@@ -544,6 +544,7 @@ def execute_schedule(
     worker_faults: Optional[WorkerFaultPlan] = None,
     governor: Optional[Any] = None,
     start_at: int = 0,
+    tracer: Optional[Any] = None,
 ) -> ExecutionReport:
     """Run *schedule* on a worker pool, merging results deterministically.
 
@@ -575,6 +576,11 @@ def execute_schedule(
       sequential join's state at that boundary) and returns with
       ``report.cancelled`` set; a violated budget propagates the
       governor's :class:`~repro.engine.governor.BudgetExceededError`.
+    * ``tracer`` — a driver-side phase tracer (duck typed to
+      :class:`~repro.obs.trace.Tracer`); chunk lifecycle events
+      (dispatch, retry, timeout, downgrade, crash, completion) are
+      recorded by the *driver*, never by workers, so tracing cannot
+      perturb the deterministic worker results.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
@@ -593,6 +599,7 @@ def execute_schedule(
             f"start_at must be within [0, {len(schedule.tasks)}], "
             f"got {start_at}"
         )
+    trace = tracer if tracer is not None and tracer.enabled else None
     report = ExecutionReport(backend=backend)
     tasks = schedule.tasks[start_at:] if start_at else schedule.tasks
     if not tasks:
@@ -630,6 +637,7 @@ def execute_schedule(
             max_chunk_retries,
             worker_faults,
             run_inline,
+            trace,
         )
 
     # Suffix sums of the navigation charges of not-yet-merged chunks:
@@ -688,6 +696,10 @@ def execute_schedule(
                     )
             done += len(chunk)
             report.tasks_completed += len(chunk)
+            if trace is not None:
+                trace.event(
+                    "chunk.completed", chunk=index, tasks=len(chunk)
+                )
     finally:
         # Abandoning the iterator early (cancel or budget stop) must
         # still shut the worker pool down.
@@ -714,6 +726,7 @@ def _pool_outcomes(
     max_chunk_retries: int,
     worker_faults: Optional[WorkerFaultPlan],
     run_inline,
+    trace: Optional[Any] = None,
 ):
     """Pooled execution with retry, timeout and degradation handling.
 
@@ -759,6 +772,10 @@ def _pool_outcomes(
     pool_broken = False
     try:
         futures = [submit(index, 0) for index in range(len(chunks))]
+        if trace is not None:
+            trace.event(
+                "chunk.dispatched", chunks=len(chunks), backend=backend
+            )
         for index in range(len(chunks)):
             attempt = 0
             outcome = None
@@ -766,6 +783,11 @@ def _pool_outcomes(
                 if pool_broken:
                     outcome = run_inline(index)
                     report.downgraded_chunks += 1
+                    if trace is not None:
+                        trace.event(
+                            "chunk.downgraded", chunk=index,
+                            reason="pool_broken",
+                        )
                     break
                 try:
                     outcome = futures[index].result(timeout=timeout)
@@ -776,11 +798,17 @@ def _pool_outcomes(
                     raise
                 except concurrent.futures.TimeoutError:
                     report.chunk_timeouts += 1
+                    if trace is not None:
+                        trace.event(
+                            "chunk.timeout", chunk=index, attempt=attempt
+                        )
                 except concurrent.futures.BrokenExecutor:
                     # The pool is gone (worker crash); every remaining
                     # chunk degrades to the in-process path.
                     report.worker_crashes += 1
                     pool_broken = True
+                    if trace is not None:
+                        trace.event("worker.crash", chunk=index)
                     continue
                 except Exception:
                     pass  # retryable worker failure
@@ -789,8 +817,17 @@ def _pool_outcomes(
                     # Retry budget exhausted: last resort is the driver.
                     outcome = run_inline(index)
                     report.downgraded_chunks += 1
+                    if trace is not None:
+                        trace.event(
+                            "chunk.downgraded", chunk=index,
+                            reason="retries_exhausted",
+                        )
                     break
                 report.chunk_retries += 1
+                if trace is not None:
+                    trace.event(
+                        "chunk.retry", chunk=index, attempt=attempt
+                    )
                 futures[index] = submit(index, attempt)
             yield outcome
     finally:

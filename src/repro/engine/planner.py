@@ -126,6 +126,9 @@ class JoinPlanner:
         parallel_threshold: Optional[float] = 2_000_000.0,
         workers: Optional[int] = None,
         parallel_backend: str = "thread",
+        tracer=None,
+        metrics=None,
+        collect_report: bool = False,
     ) -> None:
         if point_threshold <= 0:
             raise ValueError(
@@ -143,6 +146,9 @@ class JoinPlanner:
         self.parallel_threshold = parallel_threshold
         self.workers = workers
         self.parallel_backend = parallel_backend
+        self.tracer = tracer
+        self.metrics = metrics
+        self.collect_report = collect_report
 
     # ------------------------------------------------------------------
 
@@ -255,7 +261,11 @@ class JoinPlanner:
             and inner_lambda <= self.point_threshold
         ):
             algorithm: OverlapJoinAlgorithm = SortMergeJoin(
-                device=self.device, buffer_pool=self.buffer_pool
+                device=self.device,
+                buffer_pool=self.buffer_pool,
+                tracer=self.tracer,
+                metrics=self.metrics,
+                collect_report=self.collect_report,
             )
 
             def reason() -> str:
@@ -282,6 +292,9 @@ class JoinPlanner:
                 parallelism=parallelism,
                 parallel_backend=self.parallel_backend,
                 budget=budget,
+                tracer=self.tracer,
+                metrics=self.metrics,
+                collect_report=self.collect_report,
             )
 
             def reason() -> str:

@@ -1,0 +1,67 @@
+"""Observability: phase tracing, metrics registry and run reports.
+
+``repro.obs`` is the cross-cutting layer the join stack publishes into —
+see ``trace`` (spans/events + JSONL sink), ``registry``
+(counter/gauge/histogram with JSON and Prometheus exposition),
+``report`` (the per-join JSON artifact + schema validator) and
+``compare`` (diffing two reports).  Everything is optional and
+pull-based: with no tracer/registry attached, the join layers run the
+pre-observability code paths bit-identically.
+"""
+
+from .trace import (
+    NULL_TRACER,
+    JsonlSink,
+    NullTracer,
+    Span,
+    TraceEvent,
+    Tracer,
+    span_tree,
+)
+from .registry import (
+    DEFAULT_COUNT_BUCKETS,
+    DEFAULT_LATENCY_BUCKETS_MS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .report import (
+    REPORT_VERSION,
+    ReportValidationError,
+    build_report,
+    dumps_report,
+    load_report,
+    load_schema,
+    phase_table,
+    validate_report,
+    write_report,
+)
+from .compare import compare_reports, format_comparison
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "Span",
+    "TraceEvent",
+    "JsonlSink",
+    "span_tree",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_COUNT_BUCKETS",
+    "DEFAULT_LATENCY_BUCKETS_MS",
+    "REPORT_VERSION",
+    "ReportValidationError",
+    "build_report",
+    "dumps_report",
+    "write_report",
+    "load_report",
+    "load_schema",
+    "phase_table",
+    "validate_report",
+    "compare_reports",
+    "format_comparison",
+]

@@ -1,0 +1,204 @@
+"""Diff two run reports: counter deltas and phase-time regressions.
+
+``repro compare base.json other.json`` (and the library entry point
+:func:`compare_reports`) is how future PRs track the perf trajectory:
+run the same workload before and after a change, write two reports,
+diff them.  The diff has three sections:
+
+* **counters** / **resilience** — exact integer deltas (these sections
+  are deterministic, so any delta is a real behavior change, not noise);
+* **phases** — wall-clock per-phase deltas with a relative change, and a
+  ``regression`` flag for phases slower than *threshold* (default +10%);
+* **headline** — elapsed time, result pairs and completion flags.
+
+The exit-code contract mirrors the rest of the CLI: comparing reports is
+informational, so :func:`main` exits 0 whenever both reports load and
+validate, regressions or not — callers that want to gate on regressions
+read the JSON (``--json``) or the table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from typing import Any, Dict, List, Optional, Sequence
+
+from .report import load_report
+
+__all__ = ["compare_reports", "format_comparison", "main"]
+
+#: Relative phase slow-down above which the phase is flagged.
+DEFAULT_REGRESSION_THRESHOLD = 0.10
+
+
+def _counter_deltas(
+    base: Dict[str, Any], other: Dict[str, Any]
+) -> List[Dict[str, Any]]:
+    rows = []
+    for key in sorted(set(base) | set(other)):
+        before = base.get(key, 0)
+        after = other.get(key, 0)
+        if before != after:
+            rows.append(
+                {"name": key, "base": before, "other": after,
+                 "delta": after - before}
+            )
+    return rows
+
+
+def _phase_deltas(
+    base: Sequence[Dict[str, Any]],
+    other: Sequence[Dict[str, Any]],
+    threshold: float,
+) -> List[Dict[str, Any]]:
+    base_index = {row["name"]: row for row in base}
+    other_index = {row["name"]: row for row in other}
+    # Base order first, then phases only the other report has.
+    names = [row["name"] for row in base]
+    names += [row["name"] for row in other if row["name"] not in base_index]
+    rows = []
+    for name in names:
+        before = base_index.get(name, {}).get("duration_ms", 0.0)
+        after = other_index.get(name, {}).get("duration_ms", 0.0)
+        delta = after - before
+        ratio = (delta / before) if before > 0 else None
+        rows.append(
+            {
+                "name": name,
+                "base_ms": before,
+                "other_ms": after,
+                "delta_ms": delta,
+                "ratio": ratio,
+                "regression": ratio is not None and ratio > threshold,
+            }
+        )
+    return rows
+
+
+def compare_reports(
+    base: Dict[str, Any],
+    other: Dict[str, Any],
+    threshold: float = DEFAULT_REGRESSION_THRESHOLD,
+) -> Dict[str, Any]:
+    """Structured diff of two (already validated) run reports."""
+    return {
+        "base_algorithm": base["algorithm"],
+        "other_algorithm": other["algorithm"],
+        "headline": {
+            "elapsed_ms": {
+                "base": base["elapsed_ms"],
+                "other": other["elapsed_ms"],
+                "delta": other["elapsed_ms"] - base["elapsed_ms"],
+            },
+            "pairs": {
+                "base": base["result"]["pairs"],
+                "other": other["result"]["pairs"],
+                "delta": other["result"]["pairs"] - base["result"]["pairs"],
+            },
+            "completed": {
+                "base": base["completed"],
+                "other": other["completed"],
+            },
+        },
+        "counters": _counter_deltas(base["counters"], other["counters"]),
+        "resilience": _counter_deltas(
+            base["resilience"], other["resilience"]
+        ),
+        "phases": _phase_deltas(
+            base["phases"], other["phases"], threshold
+        ),
+        "regressions": sum(
+            1
+            for row in _phase_deltas(base["phases"], other["phases"], threshold)
+            if row["regression"]
+        ),
+    }
+
+
+def _fmt_ms(value: float) -> str:
+    return f"{value:.3f}"
+
+
+def format_comparison(comparison: Dict[str, Any]) -> str:
+    """Human-readable table rendering of :func:`compare_reports`."""
+    lines: List[str] = []
+    lines.append(
+        f"compare: {comparison['base_algorithm']} (base) vs "
+        f"{comparison['other_algorithm']} (other)"
+    )
+    headline = comparison["headline"]
+    elapsed = headline["elapsed_ms"]
+    lines.append(
+        f"  elapsed_ms: {_fmt_ms(elapsed['base'])} -> "
+        f"{_fmt_ms(elapsed['other'])} ({elapsed['delta']:+.3f})"
+    )
+    pairs = headline["pairs"]
+    lines.append(
+        f"  pairs: {pairs['base']} -> {pairs['other']} ({pairs['delta']:+d})"
+    )
+
+    lines.append("phase times:")
+    phase_rows = comparison["phases"]
+    if not phase_rows:
+        lines.append("  (no phases recorded)")
+    else:
+        width = max(len(row["name"]) for row in phase_rows)
+        for row in phase_rows:
+            rel = (
+                f"{row['ratio'] * 100.0:+.1f}%"
+                if row["ratio"] is not None
+                else "n/a"
+            )
+            flag = "  REGRESSION" if row["regression"] else ""
+            lines.append(
+                f"  {row['name']:<{width}}  "
+                f"{_fmt_ms(row['base_ms'])} -> {_fmt_ms(row['other_ms'])} ms  "
+                f"({row['delta_ms']:+.3f} ms, {rel}){flag}"
+            )
+
+    for section in ("counters", "resilience"):
+        rows = comparison[section]
+        lines.append(f"{section} deltas:")
+        if not rows:
+            lines.append("  (identical)")
+            continue
+        width = max(len(row["name"]) for row in rows)
+        for row in rows:
+            lines.append(
+                f"  {row['name']:<{width}}  "
+                f"{row['base']} -> {row['other']} ({row['delta']:+d})"
+            )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Stand-alone entry point (also reachable as ``repro compare A B``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-compare", description="Diff two run reports."
+    )
+    parser.add_argument("base", help="baseline run-report JSON path")
+    parser.add_argument("other", help="comparison run-report JSON path")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_REGRESSION_THRESHOLD,
+        help="relative phase slow-down flagged as a regression "
+        "(default %(default)s)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the diff as JSON"
+    )
+    args = parser.parse_args(argv)
+
+    comparison = compare_reports(
+        load_report(args.base), load_report(args.other), args.threshold
+    )
+    if args.json:
+        print(json.dumps(comparison, indent=2, sort_keys=True))
+    else:
+        print(format_comparison(comparison))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

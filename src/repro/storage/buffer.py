@@ -222,6 +222,12 @@ class BufferPool:
         self._resident.clear()
         self._last_device_read = None
 
+    def publish_metrics(self, registry) -> None:
+        """Publish the pool's residency state as gauges (hit/miss counts
+        are charged into the run's cost counters instead)."""
+        registry.gauge("buffer.capacity_blocks").set(self.capacity_blocks)
+        registry.gauge("buffer.resident_blocks").set(self.resident_count)
+
 
 class UnboundedBufferPool(BufferPool):
     """A pool that never evicts — models the 64-GB server where the whole

@@ -217,6 +217,20 @@ class FaultPolicy:
             self, "permanent_blocks", frozenset(self.permanent_blocks)
         )
 
+    def publish_metrics(self, registry: Any) -> None:
+        """Expose the configured fault rates as gauges (the injected-fault
+        *counts* flow through the run's resilience counters instead)."""
+        registry.gauge("faults.seed").set(self.seed)
+        registry.gauge("faults.transient_probability").set(
+            self.transient_probability
+        )
+        registry.gauge("faults.corrupt_probability").set(
+            self.corrupt_probability
+        )
+        registry.gauge("faults.latency_probability").set(
+            self.latency_probability
+        )
+
     @property
     def injects_faults(self) -> bool:
         """False when the policy can never produce a fault (checksum
@@ -326,6 +340,7 @@ def perform_read(
     max_retries: int = 3,
     verify: Optional[Callable[[], bool]] = None,
     context: Any = None,
+    tracer: Optional[Any] = None,
 ) -> int:
     """Charge one logical block read, retrying under the fault schedule.
 
@@ -347,6 +362,11 @@ def perform_read(
     must return True for the read to count; the storage manager passes
     the block's checksum verification here.  Returns *block_id*, the new
     last-read position, on success.
+
+    *tracer* (when given) receives one ``storage.retry`` event per retry
+    decision.  Only the driver passes one — parallel workers leave it
+    ``None`` — and the healthy path never touches it, so fault-free reads
+    carry zero tracing cost.
     """
     if max_retries < 0:
         raise ValueError(f"max_retries must be >= 0, got {max_retries}")
@@ -395,4 +415,11 @@ def perform_read(
         if resilience is not None:
             resilience.retries += 1
             resilience.backoff_units += 2 ** attempt
+        if tracer is not None:
+            tracer.event(
+                "storage.retry",
+                block_id=block_id,
+                attempt=attempt,
+                corrupt=corrupt,
+            )
         attempt += 1

@@ -51,6 +51,7 @@ class StorageManager:
         max_retries: int = 3,
         verify_checksums: bool = True,
         cancellation: Optional[Any] = None,
+        tracer: Optional[Any] = None,
     ) -> None:
         if max_retries < 0:
             raise ValueError(f"max_retries must be >= 0, got {max_retries}")
@@ -68,6 +69,13 @@ class StorageManager:
         #: typed to :class:`repro.engine.governor.CancellationToken` —
         #: the storage layer deliberately does not import the governor).
         self.cancellation = cancellation
+        #: Phase tracer (duck typed to :class:`repro.obs.trace.Tracer`).
+        #: Reduced once to None when disabled so the read path branches on
+        #: a plain identity test instead of an attribute lookup per read.
+        self.tracer = tracer
+        self._trace = (
+            tracer if tracer is not None and tracer.enabled else None
+        )
         self._next_block_id = 0
         self._last_read_id: Optional[int] = None
 
@@ -161,6 +169,10 @@ class StorageManager:
                 self.resilience.corruptions_detected += 1
                 self.resilience.pool_invalidations += 1
                 pool.invalidate(block_id)
+                if self._trace is not None:
+                    self._trace.event(
+                        "buffer.invalidated", block_id=block_id
+                    )
             perform_read(
                 block_id,
                 self.counters,
@@ -170,6 +182,7 @@ class StorageManager:
                 max_retries=self.max_retries,
                 verify=verify,
                 context=context,
+                tracer=self._trace,
             )
             pool.note_device_read(block_id)
             return
@@ -184,6 +197,7 @@ class StorageManager:
             max_retries=self.max_retries,
             verify=verify,
             context=context,
+            tracer=self._trace,
         )
 
     @staticmethod
@@ -197,6 +211,15 @@ class StorageManager:
             return block.verify()
 
         return verify
+
+    # -- observability --------------------------------------------------------
+
+    def publish_metrics(self, registry: Any) -> None:
+        """Publish the manager's storage state as gauges (the charged
+        reads/writes live in the run's cost counters, which the algorithm
+        base class publishes)."""
+        registry.gauge("storage.allocated_blocks").set(self.allocated_blocks)
+        registry.gauge("storage.max_retries").set(self.max_retries)
 
     # -- convenience ----------------------------------------------------------
 

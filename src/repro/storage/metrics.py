@@ -180,7 +180,11 @@ class CostCounters:
         return merged
 
     def snapshot(self) -> Dict[str, int]:
-        """Plain-dict view for printing and test assertions."""
+        """Plain-dict view for printing and test assertions.
+
+        Algorithm-specific ``extras`` are namespaced as ``extra.<key>``
+        so an extra named e.g. ``block_reads`` can never shadow the
+        built-in counter of the same name."""
         data = {
             "cpu_comparisons": self.cpu_comparisons,
             "block_reads": self.block_reads,
@@ -192,7 +196,8 @@ class CostCounters:
             "partition_accesses": self.partition_accesses,
             "result_tuples": self.result_tuples,
         }
-        data.update(self.extras)
+        for key, value in self.extras.items():
+            data[f"extra.{key}"] = value
         return data
 
     def reset(self) -> None:

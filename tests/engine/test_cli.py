@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -220,6 +222,109 @@ class TestLifecycleFlags:
             if "cpu_comparisons" in line
         ]
 
+class TestObservabilityFlags:
+    """--trace / --metrics-out / --report / --json and the report-diff
+    mode of the compare subcommand."""
+
+    JOIN = ["join", "--workload", "mixture", "--cardinality", "150"]
+
+    def test_report_written_and_valid(self, tmp_path, capsys):
+        from repro.obs.report import load_report
+
+        path = str(tmp_path / "run.json")
+        assert main(self.JOIN + ["--report", path]) == 0
+        report = load_report(path)  # validates against the schema
+        assert report["algorithm"] == "oip"
+        assert report["completed"] is True
+        # The text summary is unchanged by the report flag.
+        assert "result pairs" in capsys.readouterr().out
+
+    def test_trace_written_as_jsonl(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        assert main(self.JOIN + ["--trace", str(path)]) == 0
+        lines = path.read_text().splitlines()
+        assert lines
+        records = [json.loads(line) for line in lines]
+        roots = [r for r in records if r["kind"] == "span"]
+        assert roots and roots[-1]["name"] == "join"
+        phases = {child["name"] for child in roots[-1]["children"]}
+        assert {"derive_k", "oipcreate", "probe"} <= phases
+
+    def test_metrics_out_json(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        assert main(self.JOIN + ["--metrics-out", str(path)]) == 0
+        snapshot = json.loads(path.read_text())
+        assert snapshot["counters"]["join.counters.result_tuples"] > 0
+        assert "oip.partition_blocks" in snapshot["histograms"]
+
+    def test_metrics_out_prometheus(self, tmp_path):
+        path = tmp_path / "metrics.prom"
+        assert (
+            main(
+                self.JOIN
+                + [
+                    "--metrics-out",
+                    str(path),
+                    "--metrics-format",
+                    "prometheus",
+                ]
+            )
+            == 0
+        )
+        text = path.read_text()
+        assert "# TYPE join_counters_block_reads counter" in text
+        assert 'oip_partition_blocks_bucket{le="+Inf"}' in text
+
+    def test_json_mode_matches_report_file(self, tmp_path, capsys):
+        path = str(tmp_path / "run.json")
+        assert main(self.JOIN + ["--json", "--report", path]) == 0
+        out = capsys.readouterr().out
+        with open(path, "r", encoding="utf-8") as handle:
+            assert out == handle.read()
+        report = json.loads(out)
+        assert report["counters"]["result_tuples"] == report["result"]["pairs"]
+
+    def test_compare_reports_mode(self, tmp_path, capsys):
+        base = str(tmp_path / "base.json")
+        other = str(tmp_path / "other.json")
+        assert main(self.JOIN + ["--report", base]) == 0
+        assert main(self.JOIN + ["--workers", "2", "--report", other]) == 0
+        capsys.readouterr()
+        assert main(["compare", base, other]) == 0
+        out = capsys.readouterr().out
+        assert "compare: oip (base) vs oip (other)" in out
+        assert "phase times:" in out
+        # Sequential and parallel runs count identically.
+        assert "counters deltas:\n  (identical)" in out
+
+    def test_compare_reports_json(self, tmp_path, capsys):
+        base = str(tmp_path / "base.json")
+        assert main(self.JOIN + ["--report", base]) == 0
+        capsys.readouterr()
+        assert main(["compare", base, base, "--json"]) == 0
+        parsed = json.loads(capsys.readouterr().out)
+        assert parsed["counters"] == []
+        assert parsed["regressions"] == 0
+
+    def test_compare_rejects_one_report(self, tmp_path):
+        with pytest.raises(SystemExit, match="exactly two"):
+            main(["compare", str(tmp_path / "only.json")])
+
+    def test_compare_json_requires_reports(self):
+        with pytest.raises(SystemExit, match="report-diff"):
+            main(["compare", "--json", "--cardinality", "40"])
+
+    def test_obs_flags_off_output_identical(self, capsys):
+        """The observability flags change nothing when absent — counter
+        lines match a pre-observability-style bare run exactly."""
+        main(self.JOIN + ["--seed", "5"])
+        bare = capsys.readouterr().out
+        main(self.JOIN + ["--seed", "5"])
+        again = capsys.readouterr().out
+        assert bare.splitlines()[1:] == again.splitlines()[1:]
+
+
+class TestLifecycleSlow:
     @pytest.mark.slow
     def test_sigint_round_trip(self, tmp_path):
         """A real SIGINT mid-join lands a checkpoint and exit 130; a

@@ -1,0 +1,159 @@
+"""Tests for the run-report diff (repro.obs.compare)."""
+
+import json
+
+from repro.obs.compare import (
+    DEFAULT_REGRESSION_THRESHOLD,
+    compare_reports,
+    format_comparison,
+    main,
+)
+
+
+def make_report(
+    algorithm="oip",
+    elapsed_ms=10.0,
+    pairs=100,
+    counters=None,
+    resilience=None,
+    phases=None,
+):
+    return {
+        "version": 1,
+        "algorithm": algorithm,
+        "elapsed_ms": elapsed_ms,
+        "completed": True,
+        "result": {"pairs": pairs, "false_hit_ratio": 0.25},
+        "config": {
+            "device": "main-memory",
+            "weights": {"cpu": 0.5, "io": 10.0},
+        },
+        "counters": counters if counters is not None else {"cpu": 10},
+        "resilience": resilience if resilience is not None else {},
+        "phases": phases if phases is not None else [],
+        "trace": {
+            "spans": 1,
+            "events": 0,
+            "root": {"name": "join", "start_ms": 0.0, "duration_ms": 0.0},
+        },
+    }
+
+
+class TestCompareReports:
+    def test_identical_reports_have_no_deltas(self):
+        report = make_report(
+            phases=[{"name": "probe", "duration_ms": 5.0, "spans": 1}]
+        )
+        comparison = compare_reports(report, report)
+        assert comparison["counters"] == []
+        assert comparison["resilience"] == []
+        assert comparison["regressions"] == 0
+        assert comparison["headline"]["elapsed_ms"]["delta"] == 0.0
+        probe = comparison["phases"][0]
+        assert probe["delta_ms"] == 0.0
+        assert probe["regression"] is False
+
+    def test_counter_deltas_only_for_differing_keys(self):
+        base = make_report(counters={"cpu": 10, "reads": 5})
+        other = make_report(counters={"cpu": 10, "reads": 8, "writes": 2})
+        rows = compare_reports(base, other)["counters"]
+        assert rows == [
+            {"name": "reads", "base": 5, "other": 8, "delta": 3},
+            {"name": "writes", "base": 0, "other": 2, "delta": 2},
+        ]
+
+    def test_phase_regression_flagged_above_threshold(self):
+        base = make_report(
+            phases=[
+                {"name": "probe", "duration_ms": 10.0, "spans": 1},
+                {"name": "oipcreate", "duration_ms": 2.0, "spans": 2},
+            ]
+        )
+        other = make_report(
+            phases=[
+                {"name": "probe", "duration_ms": 12.0, "spans": 1},
+                {"name": "oipcreate", "duration_ms": 2.1, "spans": 2},
+            ]
+        )
+        comparison = compare_reports(
+            base, other, threshold=DEFAULT_REGRESSION_THRESHOLD
+        )
+        by_name = {row["name"]: row for row in comparison["phases"]}
+        assert by_name["probe"]["regression"] is True  # +20% > 10%
+        assert by_name["oipcreate"]["regression"] is False  # +5%
+        assert comparison["regressions"] == 1
+
+    def test_threshold_is_configurable(self):
+        base = make_report(
+            phases=[{"name": "probe", "duration_ms": 10.0, "spans": 1}]
+        )
+        other = make_report(
+            phases=[{"name": "probe", "duration_ms": 12.0, "spans": 1}]
+        )
+        assert compare_reports(base, other, threshold=0.5)["regressions"] == 0
+
+    def test_phase_only_in_other_has_no_ratio(self):
+        base = make_report(phases=[])
+        other = make_report(
+            phases=[{"name": "enumerate", "duration_ms": 1.0, "spans": 1}]
+        )
+        row = compare_reports(base, other)["phases"][0]
+        assert row["ratio"] is None
+        assert row["regression"] is False
+
+
+class TestFormatComparison:
+    def test_table_contains_sections(self):
+        base = make_report(
+            counters={"cpu": 10},
+            phases=[{"name": "probe", "duration_ms": 10.0, "spans": 1}],
+        )
+        other = make_report(
+            counters={"cpu": 15},
+            phases=[{"name": "probe", "duration_ms": 20.0, "spans": 1}],
+        )
+        text = format_comparison(compare_reports(base, other))
+        assert "compare: oip (base) vs oip (other)" in text
+        assert "phase times:" in text
+        assert "REGRESSION" in text
+        assert "counters deltas:" in text
+        assert "cpu" in text
+
+    def test_identical_sections_say_so(self):
+        report = make_report()
+        text = format_comparison(compare_reports(report, report))
+        assert "(identical)" in text
+
+
+class TestMain:
+    def write(self, tmp_path, name, report):
+        path = tmp_path / name
+        path.write_text(json.dumps(report))
+        return str(path)
+
+    def test_exit_zero_and_table(self, tmp_path, capsys):
+        base = self.write(
+            tmp_path,
+            "base.json",
+            make_report(
+                phases=[{"name": "probe", "duration_ms": 5.0, "spans": 1}]
+            ),
+        )
+        other = self.write(
+            tmp_path,
+            "other.json",
+            make_report(
+                phases=[{"name": "probe", "duration_ms": 9.0, "spans": 1}]
+            ),
+        )
+        assert main([base, other]) == 0
+        out = capsys.readouterr().out
+        assert "phase times:" in out
+        assert "probe" in out
+
+    def test_json_output(self, tmp_path, capsys):
+        base = self.write(tmp_path, "base.json", make_report())
+        other = self.write(tmp_path, "other.json", make_report(pairs=101))
+        assert main([base, other, "--json"]) == 0
+        parsed = json.loads(capsys.readouterr().out)
+        assert parsed["headline"]["pairs"]["delta"] == 1

@@ -1,0 +1,188 @@
+"""Tests for the metrics registry: instruments, determinism, exposition."""
+
+import json
+import random
+
+import pytest
+
+from repro.obs.registry import (
+    DEFAULT_COUNT_BUCKETS,
+    DEFAULT_LATENCY_BUCKETS_MS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_increments(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert counter.snapshot() == 5
+
+    def test_rejects_negative(self):
+        counter = Counter("c")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("g")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(3)
+        assert gauge.snapshot() == 12
+
+
+class TestHistogram:
+    def test_fixed_buckets_validated(self):
+        with pytest.raises(ValueError):
+            Histogram("h", [])
+        with pytest.raises(ValueError):
+            Histogram("h", [1, 1])
+        with pytest.raises(ValueError):
+            Histogram("h", [2, 1])
+        with pytest.raises(ValueError):
+            Histogram("h", [1.0, float("inf")])
+
+    def test_observe_le_semantics(self):
+        """A value equal to a bound lands in that bound's bucket
+        (Prometheus ``le`` semantics)."""
+        histogram = Histogram("h", [1, 4, 16])
+        for value in (0, 1, 2, 4, 5, 100):
+            histogram.observe(value)
+        # Non-cumulative: (<=1): 0,1 -> 2; (<=4): 2,4 -> 2; (<=16): 5 -> 1;
+        # +Inf: 100 -> 1.
+        assert histogram.counts == [2, 2, 1, 1]
+        snap = histogram.snapshot()
+        assert snap["buckets"] == [1.0, 4.0, 16.0]
+        assert snap["counts"] == [2, 4, 5, 6]  # cumulative on export
+        assert snap["count"] == 6
+        assert snap["sum"] == 112
+
+    def test_default_bucket_families(self):
+        assert DEFAULT_COUNT_BUCKETS[0] == 1
+        assert all(
+            b2 > b1
+            for b1, b2 in zip(DEFAULT_COUNT_BUCKETS, DEFAULT_COUNT_BUCKETS[1:])
+        )
+        assert all(
+            b2 > b1
+            for b1, b2 in zip(
+                DEFAULT_LATENCY_BUCKETS_MS, DEFAULT_LATENCY_BUCKETS_MS[1:]
+            )
+        )
+
+    def test_deterministic_snapshot_same_seed(self):
+        """Same seed => byte-identical exported snapshot (the bucket
+        boundaries are fixed, never rebalanced from data)."""
+
+        def run(seed: int) -> str:
+            registry = MetricsRegistry()
+            histogram = registry.histogram("oip.partition_blocks")
+            rng = random.Random(seed)
+            for _ in range(500):
+                histogram.observe(rng.randint(0, 2_000))
+            return registry.to_json()
+
+        assert run(seed=42) == run(seed=42)
+        assert run(seed=42) != run(seed=43)
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        first = registry.counter("join.pairs")
+        second = registry.counter("join.pairs")
+        assert first is second
+        first.inc(3)
+        assert registry.get("join.pairs").snapshot() == 3
+        assert "join.pairs" in registry
+        assert len(registry) == 1
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+        with pytest.raises(ValueError):
+            registry.histogram("x")
+
+    def test_histogram_bucket_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", buckets=[1, 2])
+        registry.histogram("h", buckets=[1, 2])  # identical: fine
+        with pytest.raises(ValueError):
+            registry.histogram("h", buckets=[1, 2, 3])
+
+    def test_publish_dict_set_by_increment(self):
+        """Re-publishing a monotone snapshot never double-counts."""
+        registry = MetricsRegistry()
+        registry.publish_dict("admission", {"admitted": 5, "rejected": 1})
+        registry.publish_dict("admission", {"admitted": 8, "rejected": 1})
+        assert registry.get("admission.admitted").snapshot() == 8
+        assert registry.get("admission.rejected").snapshot() == 1
+
+    def test_publish_dict_gauges(self):
+        registry = MetricsRegistry()
+        registry.publish_dict("pool", {"active": 3}, kind="gauge")
+        registry.publish_dict("pool", {"active": 1}, kind="gauge")
+        assert registry.get("pool.active").snapshot() == 1
+
+    def test_snapshot_sorted_and_grouped(self):
+        registry = MetricsRegistry()
+        registry.counter("b.counter").inc(2)
+        registry.counter("a.counter").inc(1)
+        registry.gauge("z.gauge").set(7)
+        registry.histogram("m.hist", buckets=[1, 2]).observe(1)
+        snap = registry.snapshot()
+        assert list(snap["counters"]) == ["a.counter", "b.counter"]
+        assert list(snap["gauges"]) == ["z.gauge"]
+        assert list(snap["histograms"]) == ["m.hist"]
+        json.dumps(snap)
+
+    def test_to_json_round_trips(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(3)
+        parsed = json.loads(registry.to_json())
+        assert parsed["counters"]["c"] == 3
+
+
+class TestPrometheusExposition:
+    def test_counter_and_gauge_lines(self):
+        registry = MetricsRegistry()
+        registry.counter("join.counters.block_reads", help="device reads").inc(
+            42
+        )
+        registry.gauge("buffer.resident_blocks").set(7)
+        text = registry.to_prometheus_text()
+        assert "# HELP join_counters_block_reads device reads" in text
+        assert "# TYPE join_counters_block_reads counter" in text
+        assert "join_counters_block_reads 42" in text
+        assert "# TYPE buffer_resident_blocks gauge" in text
+        assert "buffer_resident_blocks 7" in text
+        assert text.endswith("\n")
+
+    def test_histogram_lines_cumulative_with_inf(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h", buckets=[1, 4])
+        for value in (0, 2, 100):
+            histogram.observe(value)
+        text = registry.to_prometheus_text()
+        assert 'h_bucket{le="1"} 1' in text
+        assert 'h_bucket{le="4"} 2' in text
+        assert 'h_bucket{le="+Inf"} 3' in text
+        assert "h_sum 102" in text
+        assert "h_count 3" in text
+
+    def test_names_sanitized(self):
+        registry = MetricsRegistry()
+        registry.counter("join.counters.extra.block-reads").inc(1)
+        text = registry.to_prometheus_text()
+        assert "join_counters_extra_block_reads 1" in text
+
+    def test_empty_registry_is_empty_text(self):
+        assert MetricsRegistry().to_prometheus_text() == ""

@@ -1,0 +1,186 @@
+"""Tests for the span/event tracer and its JSONL sink."""
+
+import json
+
+import pytest
+
+from repro.obs.trace import (
+    NULL_TRACER,
+    JsonlSink,
+    NullTracer,
+    Tracer,
+    span_tree,
+)
+
+
+class FakeClock:
+    """Deterministic clock: each call advances by *step* seconds."""
+
+    def __init__(self, step: float = 0.001) -> None:
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        value = self.now
+        self.now += self.step
+        return value
+
+
+class TestTracer:
+    def test_spans_nest_into_a_tree(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("join", algorithm="oip"):
+            with tracer.span("oipcreate", side="outer"):
+                pass
+            with tracer.span("probe"):
+                with tracer.span("probe.partition", partition=0):
+                    pass
+        assert len(tracer.roots) == 1
+        root = tracer.roots[0]
+        assert root.name == "join"
+        assert root.attributes == {"algorithm": "oip"}
+        assert [child.name for child in root.children] == [
+            "oipcreate",
+            "probe",
+        ]
+        probe = root.children[1]
+        assert [child.name for child in probe.children] == ["probe.partition"]
+        assert tracer.span_count == 4
+        assert tracer.last_root is root
+
+    def test_durations_from_injected_clock(self):
+        tracer = Tracer(clock=FakeClock(step=0.5))
+        with tracer.span("join"):
+            pass
+        root = tracer.roots[0]
+        assert root.duration_ms > 0
+        assert root.end_ms is not None
+
+    def test_mid_span_attribute(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("oipcreate") as span:
+            span.set("partitions", 27)
+        assert tracer.roots[0].attributes["partitions"] == 27
+
+    def test_events_attach_to_innermost_span(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("join"):
+            with tracer.span("probe"):
+                tracer.event("storage.retry", block_id=7, attempt=1)
+        root = tracer.roots[0]
+        assert root.events == []
+        probe = root.children[0]
+        assert len(probe.events) == 1
+        event = probe.events[0]
+        assert event.name == "storage.retry"
+        assert event.attributes == {"block_id": 7, "attempt": 1}
+        assert tracer.event_count == 1
+
+    def test_event_without_open_span_is_counted(self):
+        tracer = Tracer(clock=FakeClock())
+        tracer.event("governor.checkpoint", partitions_completed=3)
+        assert tracer.event_count == 1
+
+    def test_exception_records_error_and_closes_tree(self):
+        tracer = Tracer(clock=FakeClock())
+        with pytest.raises(RuntimeError):
+            with tracer.span("join"):
+                with tracer.span("probe"):
+                    raise RuntimeError("boom")
+        assert len(tracer.roots) == 1
+        root = tracer.roots[0]
+        assert root.attributes["error"] == "RuntimeError"
+        assert root.children[0].attributes["error"] == "RuntimeError"
+        # Nothing left open: a fresh span becomes a new root.
+        with tracer.span("join"):
+            pass
+        assert len(tracer.roots) == 2
+
+    def test_reuse_across_runs_accumulates_roots(self):
+        tracer = Tracer(clock=FakeClock())
+        for _ in range(3):
+            with tracer.span("join"):
+                pass
+        assert len(tracer.roots) == 3
+        assert tracer.span_count == 3
+
+    def test_as_dict_shape(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("join", algorithm="oip"):
+            tracer.event("boundary", index=0)
+            with tracer.span("probe"):
+                pass
+        data = tracer.roots[0].as_dict()
+        assert data["name"] == "join"
+        assert data["attributes"] == {"algorithm": "oip"}
+        assert data["events"][0]["name"] == "boundary"
+        assert data["children"][0]["name"] == "probe"
+        # JSON-serializable end to end.
+        json.dumps(data)
+
+    def test_non_json_attribute_coerced_to_repr(self):
+        tracer = Tracer(clock=FakeClock())
+        marker = object()
+        with tracer.span("join", weird=marker):
+            pass
+        data = tracer.roots[0].as_dict()
+        assert data["attributes"]["weird"] == repr(marker)
+        json.dumps(data)
+
+
+class TestNullTracer:
+    def test_singleton_and_disabled(self):
+        assert isinstance(NULL_TRACER, NullTracer)
+        assert NULL_TRACER.enabled is False
+
+    def test_span_returns_shared_noop(self):
+        first = NULL_TRACER.span("join", algorithm="oip")
+        second = NULL_TRACER.span("probe")
+        assert first is second  # preallocated: no per-call allocation
+        with first as span:
+            span.set("k", 1)  # silently ignored
+        assert first.as_dict()["name"] == "noop"
+
+    def test_event_returns_none_and_counts_nothing(self):
+        assert NULL_TRACER.event("storage.retry", block_id=1) is None
+        assert NULL_TRACER.event_count == 0
+        assert NULL_TRACER.span_count == 0
+        assert NULL_TRACER.roots == []
+        assert NULL_TRACER.last_root is None
+
+
+class TestJsonlSink:
+    def test_streams_spans_and_events(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(str(path))
+        tracer = Tracer(sink=sink, clock=FakeClock())
+        with tracer.span("join"):
+            tracer.event("boundary", index=0)
+        tracer.close()
+        lines = path.read_text().splitlines()
+        assert len(lines) == sink.lines_written == 2
+        records = [json.loads(line) for line in lines]
+        kinds = [record["kind"] for record in records]
+        assert kinds == ["event", "span"]  # events stream first
+        span_record = records[1]
+        assert span_record["name"] == "join"
+        assert span_record["events"][0]["name"] == "boundary"
+
+    def test_emit_after_close_is_ignored(self, tmp_path):
+        sink = JsonlSink(str(tmp_path / "t.jsonl"))
+        sink.close()
+        sink.emit("event", {"name": "late"})
+        assert sink.lines_written == 0
+        sink.close()  # idempotent
+
+
+class TestSpanTree:
+    def test_none_degrades_to_stub(self):
+        stub = span_tree(None)
+        assert stub == {"name": "join", "start_ms": 0.0, "duration_ms": 0.0}
+
+    def test_real_span_round_trips(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("join"):
+            pass
+        assert span_tree(tracer.roots[0])["name"] == "join"

@@ -84,7 +84,18 @@ class TestCostCounters:
         counters.charge_extra("migrations", 2)
         counters.charge_extra("migrations")
         assert counters.extras["migrations"] == 3
-        assert counters.snapshot()["migrations"] == 3
+        assert counters.snapshot()["extra.migrations"] == 3
+
+    def test_extras_namespaced_cannot_shadow_builtins(self):
+        """An extra named like a built-in counter must not overwrite the
+        built-in's value in the snapshot (regression: extras used to be
+        merged un-namespaced)."""
+        counters = CostCounters()
+        counters.charge_read(2)
+        counters.charge_extra("block_reads", 99)
+        snap = counters.snapshot()
+        assert snap["block_reads"] == 2
+        assert snap["extra.block_reads"] == 99
 
     def test_merged_with(self):
         a = CostCounters()
@@ -109,6 +120,34 @@ class TestCostCounters:
         counters.reset()
         assert counters.cpu_comparisons == 0
         assert counters.extras == {}
+
+    def test_merge_then_reset_sources_independent(self):
+        """Merging with non-empty extras on both sides must deep-copy the
+        extras: resetting either source afterwards leaves the merged set
+        (and the other source) untouched."""
+        a = CostCounters()
+        a.charge_extra("duplicates", 2)
+        a.charge_extra("migrations", 1)
+        b = CostCounters()
+        b.charge_extra("duplicates", 5)
+        b.charge_extra("probes", 4)
+        merged = a.merged_with(b)
+        assert merged.extras == {
+            "duplicates": 7,
+            "migrations": 1,
+            "probes": 4,
+        }
+        a.reset()
+        b.reset()
+        assert merged.extras == {
+            "duplicates": 7,
+            "migrations": 1,
+            "probes": 4,
+        }
+        assert a.extras == {} and b.extras == {}
+        snap = merged.snapshot()
+        assert snap["extra.duplicates"] == 7
+        assert snap["extra.probes"] == 4
 
     def test_buffer_hits_not_ios(self):
         counters = CostCounters()
