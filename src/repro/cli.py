@@ -127,6 +127,17 @@ def _add_parallel_arguments(parser: argparse.ArgumentParser) -> None:
         choices=("thread", "process"),
         help="worker-pool backend used with --workers",
     )
+    parser.add_argument(
+        "--kernel",
+        default="auto",
+        choices=("auto", "naive", "sweep"),
+        help=(
+            "partition-pair join kernel for the oip algorithm: 'naive' "
+            "compares every candidate pair, 'sweep' forward-scans "
+            "start-sorted columns (identical pairs and cost counters "
+            "either way); 'auto' picks from the candidate estimate"
+        ),
+    )
 
 
 def _add_resilience_arguments(parser: argparse.ArgumentParser) -> None:
@@ -372,6 +383,18 @@ def _make_algorithm(
     token = getattr(args, "_cancellation", None)
     if token is not None:
         kwargs["cancellation"] = token
+    kernel = getattr(args, "kernel", None)
+    if kernel is not None and kernel != "auto":
+        if name == "oip":
+            kwargs["kernel"] = kernel
+        elif not ignore_workers:
+            # Mirrors --workers: an explicitly requested kernel on a
+            # non-oip algorithm is an error for `join`, and silently
+            # skipped for the non-oip contenders of `compare`.
+            raise SystemExit(
+                f"--kernel is only supported by the oip algorithm, "
+                f"not {name!r}"
+            )
     workers = getattr(args, "workers", None)
     if workers is not None and not ignore_workers:
         if workers < 1:

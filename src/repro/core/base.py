@@ -241,6 +241,7 @@ class OverlapJoinAlgorithm(ABC):
                 self.buffer_pool,
                 self.fault_policy,
                 getattr(self, "circuit_breaker", None),
+                getattr(self, "_kernel_cache", None),
             ):
                 publish = getattr(subsystem, "publish_metrics", None)
                 if publish is not None:

@@ -27,6 +27,14 @@ from ..storage.manager import StorageManager
 from ..storage.metrics import CostCounters, CostWeights
 from .base import JoinResult, OverlapJoinAlgorithm
 from .granules import KDerivation, cost_model_for, derive_k
+from .kernels import (
+    DEFAULT_CACHE_CAPACITY,
+    KERNEL_FUNCS,
+    KERNELS,
+    DecodedRun,
+    DecodedRunCache,
+    resolve_kernel,
+)
 from .lazy_list import oip_create
 from .oip import OIPConfiguration
 from .relation import TemporalRelation
@@ -63,6 +71,25 @@ class OIPJoin(OverlapJoinAlgorithm):
         (:mod:`repro.core.statistics`) instead of Lemma 3's
         maximum-duration bound — the paper's future-work refinement for
         skewed data.
+    kernel:
+        Partition-pair join kernel (:mod:`repro.core.kernels`):
+        ``"naive"`` compares every candidate pair (the extracted
+        original loop), ``"sweep"`` joins both runs with a forward-scan
+        sweep over start-sorted columns so only result pairs are touched
+        in Python, and ``"auto"`` (default) picks per join from the
+        planner's candidate estimate.  All kernels emit identical pairs
+        in the identical order and charge the identical paper-model
+        costs (two CPU comparisons per candidate, one false hit per
+        failing candidate — accounted analytically per partition pair),
+        so results, counters and checkpoints are kernel-independent.
+    decode_cache_size:
+        Capacity (in partition runs) of the per-run decoded-run cache
+        that memoises the columnar decode of inner partitions across the
+        many outer partitions that visit them (APA, Lemma 5).  Defaults
+        to :data:`~repro.core.kernels.DEFAULT_CACHE_CAPACITY`.  Block
+        IO is still charged on every access — the cache never skips a
+        read, and a detected corruption on a run's blocks invalidates
+        its cached decode.
     parallelism:
         Number of workers for the probe phase.  ``None`` (default) runs
         the classic sequential Algorithm 2 loop; any value ``>= 1``
@@ -148,6 +175,8 @@ class OIPJoin(OverlapJoinAlgorithm):
         use_histogram_statistics: bool = False,
         k_outer: Optional[int] = None,
         k_inner: Optional[int] = None,
+        kernel: str = "auto",
+        decode_cache_size: Optional[int] = None,
         parallelism: Optional[int] = None,
         parallel_backend: str = "thread",
         parallel_chunk_size: Optional[int] = None,
@@ -190,6 +219,15 @@ class OIPJoin(OverlapJoinAlgorithm):
                     f"per-side granule counts must be >= 1, got "
                     f"({k_outer}, {k_inner})"
                 )
+        if kernel not in ("auto",) + KERNELS:
+            raise ValueError(
+                f"unknown join kernel {kernel!r}; choose from "
+                f"{('auto',) + KERNELS}"
+            )
+        if decode_cache_size is not None and decode_cache_size < 1:
+            raise ValueError(
+                f"decode_cache_size must be >= 1, got {decode_cache_size}"
+            )
         self._validate_parallel_keywords(
             parallelism=parallelism,
             parallel_backend=parallel_backend,
@@ -210,6 +248,15 @@ class OIPJoin(OverlapJoinAlgorithm):
         self.weights = weights
         self.use_exact_root = use_exact_root
         self.use_histogram_statistics = use_histogram_statistics
+        self.kernel = kernel
+        self.decode_cache_size = (
+            DEFAULT_CACHE_CAPACITY
+            if decode_cache_size is None
+            else decode_cache_size
+        )
+        #: The decoded-run cache of the most recent run (rebuilt per
+        #: join; the base class publishes its ``kernel.cache.*`` metrics).
+        self._kernel_cache: Optional[DecodedRunCache] = None
         self.parallelism = parallelism
         self.parallel_backend = parallel_backend
         self.parallel_chunk_size = parallel_chunk_size
@@ -415,6 +462,18 @@ class OIPJoin(OverlapJoinAlgorithm):
             k_span.set("k_inner", k_inner)
             k_span.set("self_adjusting", derivation is not None)
 
+        # Kernel choice is statistics-driven ("auto") or pinned by the
+        # caller/planner; every kernel is bit-identical in pairs and
+        # counters, so this only decides physical execution speed.
+        kernel = resolve_kernel(self.kernel, outer, inner)
+        decode_cache = DecodedRunCache(self.decode_cache_size)
+        self._kernel_cache = decode_cache
+        candidate_histogram = (
+            self.metrics.histogram("join.kernel.candidates")
+            if self.metrics is not None
+            else None
+        )
+
         config_r = OIPConfiguration.for_relation(outer, k_outer)
         config_s = OIPConfiguration.for_relation(inner, k_inner)
         storage = self._storage(counters)
@@ -508,6 +567,9 @@ class OIPJoin(OverlapJoinAlgorithm):
                     governor=governor,
                     start_at=start_at,
                     tracer=tracer,
+                    kernel=kernel,
+                    decode_cache=decode_cache,
+                    candidate_histogram=candidate_histogram,
                 )
             execution_report = report
             if breaker is not None:
@@ -546,6 +608,9 @@ class OIPJoin(OverlapJoinAlgorithm):
                     pairs,
                     governor=governor,
                     start_at=start_at,
+                    kernel=kernel,
+                    decode_cache=decode_cache,
+                    candidate_histogram=candidate_histogram,
                 )
 
         details = {
@@ -555,7 +620,14 @@ class OIPJoin(OverlapJoinAlgorithm):
             "outer_partitions": outer_list.partition_count,
             "inner_partitions": inner_list.partition_count,
             "self_adjusting": derivation is not None,
+            "kernel": kernel,
         }
+        if not use_parallel:
+            # Deterministic on the sequential path (one probe thread);
+            # worker-side caches are covered by the kernel.cache.*
+            # metrics instead, whose exact split can depend on thread
+            # scheduling.
+            details["kernel_cache"] = decode_cache.snapshot()
         details.update(parallel_details)
         if derivation is not None:
             details["k_derivation_steps"] = derivation.steps
@@ -589,10 +661,26 @@ class OIPJoin(OverlapJoinAlgorithm):
         pairs: List,
         governor=None,
         start_at: int = 0,
+        kernel: str = "naive",
+        decode_cache: Optional[DecodedRunCache] = None,
+        candidate_histogram=None,
     ) -> Tuple[bool, int]:
         """The classic sequential Algorithm 2 probe loop: for every outer
         partition, issue an overlap query with the partition interval and
-        walk the inner lazy list per Lemma 1.
+        walk the inner lazy list per Lemma 1, handing each relevant
+        partition pair to the configured join *kernel*
+        (:mod:`repro.core.kernels`).
+
+        The paper's model costs are charged analytically per partition
+        pair — ``2 * candidates`` CPU comparisons and ``candidates -
+        results`` false hits, exactly what the historical per-candidate
+        ``_match`` loop summed to — so the counters are identical for
+        every kernel, and identical to the pre-kernel code, while the
+        kernels are free to skip physical comparisons.  Block IO is
+        charged per access as before; *decode_cache* only memoises the
+        columnar decode of inner runs, and is invalidated for a run
+        whenever a corruption (or buffer-pool invalidation) is detected
+        while reading its blocks, so a stale decode is never served.
 
         Every outer partition is a cooperative boundary: the governor is
         consulted *before* the partition's work, so a cancel or budget
@@ -609,20 +697,40 @@ class OIPJoin(OverlapJoinAlgorithm):
         # Per-partition spans only when tracing is live — the disabled
         # path must not even construct span objects in this hot loop.
         trace = self._run_tracer if self._run_tracer.enabled else None
+        # Hot-loop locals: these lookups used to be paid per candidate
+        # pair (or per navigation test); hoisted, the loop pays them
+        # once per probe instead.
+        kernel_fn = KERNEL_FUNCS[kernel]
+        read_run = storage.read_run
+        charge_cpu = counters.charge_cpu
+        charge_false_hit = counters.charge_false_hit
+        charge_partition_access = counters.charge_partition_access
+        resilience = self._resilience
+        cache = decode_cache
+        observe = (
+            candidate_histogram.observe
+            if candidate_histogram is not None
+            else None
+        )
 
         for index, outer_node in enumerate(outer_list.iter_nodes()):
             if index < start_at:
                 continue
             if governor is not None and governor.boundary(
-                index, counters, self._resilience, pairs
+                index, counters, resilience, pairs
             ):
                 return True, index
             span = None
             if trace is not None:
                 span = trace.span("probe.partition", partition=index)
             try:
+                # Algorithm 2 fetches the outer partition before probing
+                # it, so its reads are charged even when the range guard
+                # below fails (the parallel schedule charges the same
+                # way); only the columnar decode is deferred until a
+                # relevant inner partition actually needs it.
                 outer_tuples = list(
-                    storage.read_run(
+                    read_run(
                         outer_node.run,
                         context=(
                             "outer partition",
@@ -632,7 +740,7 @@ class OIPJoin(OverlapJoinAlgorithm):
                 )
                 query_start = o_r + outer_node.i * d_r
                 query_end = o_r + (outer_node.j + 1) * d_r - 1
-                counters.charge_cpu(2)  # range-overlap guard of Algorithm 2
+                charge_cpu(2)  # range-overlap guard of Algorithm 2
                 if (
                     query_end < inner_range_start
                     or query_start >= inner_range_stop
@@ -640,29 +748,93 @@ class OIPJoin(OverlapJoinAlgorithm):
                     continue
                 s = (query_start - o_s) // d_s
                 e = (query_end - o_s) // d_s
+                n_outer = len(outer_tuples)
+                outer_decoded = None
 
                 node = inner_list.head
                 while node is not None:
-                    counters.charge_cpu()  # j >= s test
+                    charge_cpu()  # j >= s test
                     if node.j < s:
                         break
                     branch = node
                     while branch is not None:
-                        counters.charge_cpu()  # i <= e test
+                        charge_cpu()  # i <= e test
                         if branch.i > e:
                             break
-                        counters.charge_partition_access()
+                        charge_partition_access()
+                        run = branch.run
                         inner_context = (
                             "inner partition",
                             (branch.i, branch.j),
                         )
-                        for inner_tuple in storage.read_run(
-                            branch.run, context=inner_context
-                        ):
-                            for outer_tuple in outer_tuples:
-                                self._match(
-                                    outer_tuple, inner_tuple, counters, pairs
+                        # IO is charged on every access; the cache only
+                        # memoises the decode, never the block reads.
+                        detected_before = (
+                            resilience.corruptions_detected
+                            + resilience.pool_invalidations
+                        )
+                        inner_tuples = list(
+                            read_run(run, context=inner_context)
+                        )
+                        inner_decoded = None
+                        if cache is not None:
+                            key = id(run)
+                            if (
+                                resilience.corruptions_detected
+                                + resilience.pool_invalidations
+                            ) != detected_before:
+                                # A corrupted block was detected (and
+                                # recovered) while re-reading this run:
+                                # any cached decode may be stale.
+                                cache.invalidate(key)
+                            inner_decoded = cache.get(key)
+                        if inner_decoded is None:
+                            if trace is not None:
+                                with trace.span(
+                                    "kernel.decode",
+                                    tuples=len(inner_tuples),
+                                ):
+                                    inner_decoded = DecodedRun.from_tuples(
+                                        inner_tuples
+                                    )
+                            else:
+                                inner_decoded = DecodedRun.from_tuples(
+                                    inner_tuples
                                 )
+                            if cache is not None:
+                                cache.put(key, inner_decoded)
+                        if outer_decoded is None:
+                            outer_decoded = DecodedRun.from_tuples(
+                                outer_tuples
+                            )
+                        # The paper's model costs, charged analytically:
+                        # two endpoint comparisons per candidate pair
+                        # and one false hit per candidate that is not a
+                        # result — the exact totals of the per-candidate
+                        # loop, whatever the kernel executes physically.
+                        candidates = inner_decoded.length * n_outer
+                        charge_cpu(2 * candidates)
+                        if trace is not None:
+                            with trace.span(
+                                "kernel." + kernel, candidates=candidates
+                            ):
+                                matches = kernel_fn(
+                                    outer_decoded, inner_decoded
+                                )
+                        else:
+                            matches = kernel_fn(outer_decoded, inner_decoded)
+                        charge_false_hit(candidates - len(matches))
+                        if observe is not None:
+                            observe(candidates)
+                        # Ascending encoded order is the sequential
+                        # inner-major emission order of Algorithm 2.
+                        pairs += [
+                            (
+                                outer_tuples[encoded % n_outer],
+                                inner_tuples[encoded // n_outer],
+                            )
+                            for encoded in matches
+                        ]
                         branch = branch.right
                     node = node.down
             finally:

@@ -30,10 +30,12 @@ exploits that structure in three steps:
    * ``"process"`` — a :class:`~concurrent.futures.ProcessPoolExecutor`.
      The read-only inner partition table is pickled **once per worker
      process** (via the pool initializer), and tasks are shipped in
-     chunks so the per-task pickling of outer partition tuples is
-     amortised; workers send back only compact match-index lists and a
-     counter snapshot, never tuple objects.  This backend achieves real
-     CPU parallelism and is the right choice for large joins on
+     chunks so the per-task pickling is amortised.  Both the table and
+     the tasks are *columnar* — flat ``array('q')`` endpoint columns,
+     never tuple objects (tuples stay driver-side for the merge) — so
+     the pickled payloads are compact, and workers send back only
+     match-index lists and a counter snapshot.  This backend achieves
+     real CPU parallelism and is the right choice for large joins on
      multi-core machines.
 
 3. **Merge** — chunk results are folded back **in submission order**
@@ -109,10 +111,17 @@ from __future__ import annotations
 import concurrent.futures
 import os
 import time
+from array import array
 from dataclasses import dataclass, field
 from typing import Any, List, Mapping, NamedTuple, Optional, Sequence, Tuple
 
 from ..core.base import JoinPair
+from ..core.kernels import (
+    KERNEL_FUNCS,
+    DecodedRun,
+    DecodedRunCache,
+    decode_columns,
+)
 from ..core.lazy_list import LazyPartitionList
 from ..storage.faults import (
     FaultInjector,
@@ -139,29 +148,39 @@ BACKENDS = ("thread", "process")
 
 
 class InnerPartition(NamedTuple):
-    """One inner partition, flattened for shipping to workers."""
+    """One inner partition, flattened into columnar form for shipping to
+    workers: parallel ``array('q')`` endpoint columns plus the run's
+    block ids.  Tuple objects stay driver-side (in
+    :attr:`ProbeSchedule.inner_tuples`) — workers only ever see flat
+    integer columns, which keeps the process backend's initializer
+    payload compact."""
 
-    tuples: tuple
+    starts: array
+    ends: array
     block_ids: Tuple[int, ...]
 
 
 class ProbeTask(NamedTuple):
     """One outer partition's probe work.
 
-    ``relevant`` holds indices into the schedule's inner-partition table,
-    in the exact Lemma-1 traversal order of the sequential join;
-    ``last_read_in`` is the block id the sequential join would have read
-    immediately before this task (``None`` at the very start), used to
-    resume the sequential/random read chain deterministically.
-    ``nav_cpu`` / ``nav_accesses`` record the navigation charges the
-    enumeration made for this task (the CPU index tests plus the
-    range-overlap guard, and the partition accesses), so the governor can
-    convert the driver's charged-up-front counters into the
-    *sequential-equivalent* state at any chunk boundary.
+    The outer partition ships as columnar ``array('q')`` endpoint
+    columns (the matching tuple objects stay driver-side in
+    :attr:`ProbeSchedule.outer_tuples`).  ``relevant`` holds indices
+    into the schedule's inner-partition table, in the exact Lemma-1
+    traversal order of the sequential join; ``last_read_in`` is the
+    block id the sequential join would have read immediately before
+    this task (``None`` at the very start), used to resume the
+    sequential/random read chain deterministically.  ``nav_cpu`` /
+    ``nav_accesses`` record the navigation charges the enumeration made
+    for this task (the CPU index tests plus the range-overlap guard,
+    and the partition accesses), so the governor can convert the
+    driver's charged-up-front counters into the *sequential-equivalent*
+    state at any chunk boundary.
     """
 
     index: int
-    outer_tuples: tuple
+    outer_starts: array
+    outer_ends: array
     outer_block_ids: Tuple[int, ...]
     relevant: Tuple[int, ...]
     last_read_in: Optional[int]
@@ -171,11 +190,19 @@ class ProbeTask(NamedTuple):
 
 @dataclass
 class ProbeSchedule:
-    """The enumerated partition-pair work of one OIPJOIN probe phase."""
+    """The enumerated partition-pair work of one OIPJOIN probe phase.
+
+    ``tasks`` and ``inner_table`` are the worker-facing columnar views;
+    ``outer_tuples`` (indexed by task index) and ``inner_tuples``
+    (indexed like ``inner_table``) are the driver-side tuple tables the
+    merge uses to rebuild result pairs from match indices.
+    """
 
     tasks: List[ProbeTask]
     inner_table: List[InnerPartition]
     pair_count: int
+    outer_tuples: List[tuple] = field(default_factory=list)
+    inner_tuples: List[tuple] = field(default_factory=list)
 
     @property
     def task_count(self) -> int:
@@ -277,21 +304,28 @@ def build_probe_schedule(
     inner_range_start = o_s
     inner_range_stop = o_s + k_inner * d_s  # exclusive
 
-    # Flatten the inner list once; nodes keep their traversal identity
-    # through an id() map (PartitionNode is unhashable-by-value on
-    # purpose — identity is exactly what we want here).
+    # Flatten the inner list once into columnar form; nodes keep their
+    # traversal identity through an id() map (PartitionNode is
+    # unhashable-by-value on purpose — identity is exactly what we want
+    # here).  Tuple objects stay in the driver-side table for the merge.
     inner_table: List[InnerPartition] = []
+    inner_tuple_table: List[tuple] = []
     inner_index = {}
     for node in inner_list.iter_nodes():
         inner_index[id(node)] = len(inner_table)
+        tuples = tuple(node.run.iter_tuples())
+        starts, ends = decode_columns(tuples)
         inner_table.append(
             InnerPartition(
-                tuples=tuple(node.run.iter_tuples()),
+                starts=starts,
+                ends=ends,
                 block_ids=tuple(node.run.block_ids),
             )
         )
+        inner_tuple_table.append(tuples)
 
     tasks: List[ProbeTask] = []
+    outer_tuple_table: List[tuple] = []
     pair_count = 0
     last_read: Optional[int] = None
     for task_index, outer_node in enumerate(outer_list.iter_nodes()):
@@ -327,10 +361,14 @@ def build_probe_schedule(
             if relevant:
                 counters.charge_partition_access(len(relevant))
 
+        outer_tuples = tuple(outer_node.run.iter_tuples())
+        outer_starts, outer_ends = decode_columns(outer_tuples)
+        outer_tuple_table.append(outer_tuples)
         tasks.append(
             ProbeTask(
                 index=task_index,
-                outer_tuples=tuple(outer_node.run.iter_tuples()),
+                outer_starts=outer_starts,
+                outer_ends=outer_ends,
                 outer_block_ids=outer_block_ids,
                 relevant=tuple(relevant),
                 last_read_in=last_read,
@@ -349,7 +387,11 @@ def build_probe_schedule(
                 last_read = block_id
 
     return ProbeSchedule(
-        tasks=tasks, inner_table=inner_table, pair_count=pair_count
+        tasks=tasks,
+        inner_table=inner_table,
+        pair_count=pair_count,
+        outer_tuples=outer_tuple_table,
+        inner_tuples=inner_tuple_table,
     )
 
 
@@ -360,13 +402,17 @@ def build_probe_schedule(
 # ----------------------------------------------------------------------
 
 _PROCESS_INNER_TABLE: Optional[List[InnerPartition]] = None
+_PROCESS_DECODE_CACHE: Optional[DecodedRunCache] = None
 
 
 def _init_process_worker(inner_table: List[InnerPartition]) -> None:
     """Pool initializer: install the read-only inner partition table once
-    per worker process (amortises pickling across all chunks)."""
-    global _PROCESS_INNER_TABLE
+    per worker process (amortises pickling across all chunks), plus a
+    fresh per-process decoded-run cache so the sweep kernel's start-sort
+    of an inner partition happens at most once per worker process."""
+    global _PROCESS_INNER_TABLE, _PROCESS_DECODE_CACHE
     _PROCESS_INNER_TABLE = inner_table
+    _PROCESS_DECODE_CACHE = DecodedRunCache()
 
 
 def _charge_run_reads(
@@ -410,21 +456,34 @@ def _run_probe_chunk(
     fault_policy: Optional[FaultPolicy] = None,
     max_read_retries: int = 3,
     worker_faults: Optional[WorkerFaultPlan] = None,
+    kernel: str = "naive",
+    decode_cache: Optional[DecodedRunCache] = None,
 ):
-    """Probe a contiguous chunk of outer partitions.
+    """Probe a contiguous chunk of outer partitions through the *kernel*
+    (:mod:`repro.core.kernels`).
 
     Returns ``(counters, resilience, matches)`` where ``matches[t][r]`` is
     the list of hits of task ``t``'s ``r``-th relevant inner partition,
     each hit encoded as the single integer ``inner_pos * n_outer +
     outer_pos`` — ascending encoded order is exactly the sequential
-    join's inner-major emission order, and flat ints keep the process
-    backend's result pickling small.  Only indices and counters cross the
-    process boundary; the driver rebuilds pairs from its own tuple
-    objects.
+    join's inner-major emission order (every kernel returns that order),
+    and flat ints keep the process backend's result pickling small.
+    Only indices and counters cross the process boundary; the driver
+    rebuilds pairs from its own tuple objects.
+
+    The model costs are charged analytically per partition pair — two
+    CPU comparisons per candidate and ``candidates - results`` false
+    hits, the exact totals of the historical per-candidate loop — so
+    counters are identical for every kernel.  *decode_cache* memoises
+    the per-partition :class:`~repro.core.kernels.DecodedRun` wrapper
+    (and with it the sweep kernel's lazy start-sort); the columnar data
+    itself is immutable schedule state, so worker-side cache entries can
+    never go stale.
     """
     if inner_table is None:
         inner_table = _PROCESS_INNER_TABLE
         assert inner_table is not None, "process worker not initialised"
+        decode_cache = _PROCESS_DECODE_CACHE
     if worker_faults is not None:
         worker_faults.apply(chunk_index, attempt)
     counters = CostCounters()
@@ -432,6 +491,7 @@ def _run_probe_chunk(
     injector = (
         FaultInjector(fault_policy) if fault_policy is not None else None
     )
+    kernel_fn = KERNEL_FUNCS[kernel]
     # Tasks within a chunk are contiguous, so the read chain of the first
     # task seeds the whole chunk.
     last_read = tasks[0].last_read_in
@@ -446,42 +506,33 @@ def _run_probe_chunk(
             max_retries=max_read_retries,
             context=("outer partition", task.index),
         )
-        outer_tuples = task.outer_tuples
-        n_outer = len(outer_tuples)
-        outer_starts = [tup.start for tup in outer_tuples]
-        outer_ends = [tup.end for tup in outer_tuples]
-        outer_range = range(n_outer)
+        outer_decoded = DecodedRun(task.outer_starts, task.outer_ends)
+        n_outer = outer_decoded.length
         task_matches: List[List[int]] = []
         for rel in task.relevant:
-            inner_tuples, inner_block_ids = inner_table[rel]
+            partition = inner_table[rel]
             last_read = _charge_run_reads(
                 counters,
-                inner_block_ids,
+                partition.block_ids,
                 last_read,
                 injector=injector,
                 resilience=resilience,
                 max_retries=max_read_retries,
                 context=("inner partition", rel),
             )
-            # Bulk-charge the two endpoint comparisons per candidate pair
-            # (what the sequential loop charges one _match at a time).
-            counters.charge_cpu(2 * len(inner_tuples) * n_outer)
-            hits: List[int] = []
-            hits_append = hits.append
-            base = 0
-            for inner_tuple in inner_tuples:
-                inner_start = inner_tuple.start
-                inner_end = inner_tuple.end
-                for outer_pos in outer_range:
-                    if (
-                        outer_starts[outer_pos] <= inner_end
-                        and inner_start <= outer_ends[outer_pos]
-                    ):
-                        hits_append(base + outer_pos)
-                base += n_outer
-            counters.charge_false_hit(
-                len(inner_tuples) * n_outer - len(hits)
-            )
+            if decode_cache is not None:
+                inner_decoded = decode_cache.fetch(
+                    rel,
+                    lambda part=partition: DecodedRun(
+                        part.starts, part.ends
+                    ),
+                )
+            else:
+                inner_decoded = DecodedRun(partition.starts, partition.ends)
+            candidates = inner_decoded.length * n_outer
+            counters.charge_cpu(2 * candidates)
+            hits = kernel_fn(outer_decoded, inner_decoded)
+            counters.charge_false_hit(candidates - len(hits))
             task_matches.append(hits)
         matches.append(task_matches)
     return counters, resilience, matches
@@ -494,8 +545,10 @@ def _run_probe_chunk_process(
     fault_policy: Optional[FaultPolicy] = None,
     max_read_retries: int = 3,
     worker_faults: Optional[WorkerFaultPlan] = None,
+    kernel: str = "naive",
 ):
-    """Process-backend entry point: reads the initializer-installed table."""
+    """Process-backend entry point: reads the initializer-installed table
+    (and the per-process decode cache it comes with)."""
     return _run_probe_chunk(
         tasks,
         None,
@@ -504,6 +557,7 @@ def _run_probe_chunk_process(
         fault_policy=fault_policy,
         max_read_retries=max_read_retries,
         worker_faults=worker_faults,
+        kernel=kernel,
     )
 
 
@@ -545,6 +599,9 @@ def execute_schedule(
     governor: Optional[Any] = None,
     start_at: int = 0,
     tracer: Optional[Any] = None,
+    kernel: str = "naive",
+    decode_cache: Optional[DecodedRunCache] = None,
+    candidate_histogram: Optional[Any] = None,
 ) -> ExecutionReport:
     """Run *schedule* on a worker pool, merging results deterministically.
 
@@ -581,6 +638,23 @@ def execute_schedule(
       (dispatch, retry, timeout, downgrade, crash, completion) are
       recorded by the *driver*, never by workers, so tracing cannot
       perturb the deterministic worker results.
+
+    Kernel hooks:
+
+    * ``kernel`` — the partition-pair join kernel name
+      (:data:`repro.core.kernels.KERNELS`); every kernel returns the
+      identical hits in the identical order and the model costs are
+      charged analytically, so the choice cannot affect pairs or
+      counters.
+    * ``decode_cache`` — a :class:`~repro.core.kernels.DecodedRunCache`
+      shared by the inline path and thread workers (it is thread-safe);
+      process workers use a private per-process cache installed by the
+      pool initializer instead, since the driver's cache cannot cross
+      the process boundary.
+    * ``candidate_histogram`` — a duck-typed histogram observed with the
+      candidate count of every merged partition pair, driver-side in
+      submission order (matching the sequential loop's observation
+      sequence exactly).
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
@@ -618,6 +692,8 @@ def execute_schedule(
             chunk_index=index,
             fault_policy=fault_policy,
             max_read_retries=max_read_retries,
+            kernel=kernel,
+            decode_cache=decode_cache,
         )
 
     if workers == 1 or len(chunks) == 1:
@@ -638,6 +714,8 @@ def execute_schedule(
             worker_faults,
             run_inline,
             trace,
+            kernel,
+            decode_cache,
         )
 
     # Suffix sums of the navigation charges of not-yet-merged chunks:
@@ -656,7 +734,13 @@ def execute_schedule(
                 task.nav_accesses for task in chunks[index]
             )
 
-    inner_table = schedule.inner_table
+    outer_tuple_table = schedule.outer_tuples
+    inner_tuple_table = schedule.inner_tuples
+    observe = (
+        candidate_histogram.observe
+        if candidate_histogram is not None
+        else None
+    )
     boundary_resilience = (
         resilience if resilience is not None else ResilienceCounters()
     )
@@ -683,17 +767,19 @@ def execute_schedule(
             if resilience is not None:
                 resilience.merge(chunk_resilience)
             for task, task_matches in zip(chunk, chunk_matches):
-                outer_tuples = task.outer_tuples
+                outer_tuples = outer_tuple_table[task.index]
                 n_outer = len(outer_tuples)
                 for rel, hits in zip(task.relevant, task_matches):
-                    inner_tuples = inner_table[rel].tuples
-                    pairs.extend(
+                    inner_tuples = inner_tuple_table[rel]
+                    if observe is not None:
+                        observe(len(inner_tuples) * n_outer)
+                    pairs += [
                         (
                             outer_tuples[encoded % n_outer],
                             inner_tuples[encoded // n_outer],
                         )
                         for encoded in hits
-                    )
+                    ]
             done += len(chunk)
             report.tasks_completed += len(chunk)
             if trace is not None:
@@ -727,6 +813,8 @@ def _pool_outcomes(
     worker_faults: Optional[WorkerFaultPlan],
     run_inline,
     trace: Optional[Any] = None,
+    kernel: str = "naive",
+    decode_cache: Optional[DecodedRunCache] = None,
 ):
     """Pooled execution with retry, timeout and degradation handling.
 
@@ -749,6 +837,8 @@ def _pool_outcomes(
                 fault_policy=fault_policy,
                 max_read_retries=max_read_retries,
                 worker_faults=worker_faults,
+                kernel=kernel,
+                decode_cache=decode_cache,
             )
 
     else:  # process backend
@@ -767,6 +857,7 @@ def _pool_outcomes(
                 fault_policy=fault_policy,
                 max_read_retries=max_read_retries,
                 worker_faults=worker_faults,
+                kernel=kernel,
             )
 
     pool_broken = False

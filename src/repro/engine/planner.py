@@ -12,13 +12,19 @@ of both inputs and picks the sort-merge join only when *both* relations
 are (almost) point data; otherwise it picks the self-adjusting OIPJOIN.
 
 On top of algorithm choice the planner decides the *degree of
-parallelism*.  It estimates the number of candidate comparisons the
-probe phase will perform — ``n_r * n_s`` scaled by the overlap coverage
-``min(1, lambda_r + lambda_s)`` implied by the duration statistics — and
-emits an OIPJOIN with ``parallelism`` set (the partition-pair scheduler
-of :mod:`repro.engine.parallel`) once that estimate crosses
-``parallel_threshold``.  Small joins stay sequential: spinning up a
-worker pool costs more than it saves below the threshold.
+parallelism* and the *join kernel*.  It estimates the number of
+candidate comparisons the probe phase will perform — ``n_r * n_s``
+scaled by the overlap coverage ``min(1, lambda_r + lambda_s)`` implied
+by the duration statistics — and emits an OIPJOIN with ``parallelism``
+set (the partition-pair scheduler of :mod:`repro.engine.parallel`) once
+that estimate crosses ``parallel_threshold``.  Small joins stay
+sequential: spinning up a worker pool costs more than it saves below
+the threshold.  The same estimate picks the partition-pair kernel
+(:mod:`repro.core.kernels`): the forward-scan ``sweep`` kernel once the
+candidate count amortises its sort/bisect bookkeeping
+(:data:`~repro.core.kernels.AUTO_SWEEP_CANDIDATES`), the ``naive`` loop
+below that — a pure physical-execution choice, since every kernel is
+bit-identical in pairs and counters.
 
 The chosen algorithm and the reasoning are exposed on the returned
 :class:`JoinPlan` so applications can log plan decisions.  Reasoning
@@ -34,6 +40,7 @@ from typing import Callable, Optional, Union
 
 from ..core.base import JoinResult, OverlapJoinAlgorithm
 from ..core.join import OIPJoin
+from ..core.kernels import AUTO_SWEEP_CANDIDATES, KERNELS
 from ..core.relation import TemporalRelation
 from ..baselines.sort_merge import SortMergeJoin
 from ..storage.buffer import BufferPool
@@ -116,6 +123,10 @@ class JoinPlanner:
     ``parallel_backend`` picks the pool flavour (see
     :mod:`repro.engine.parallel`).  Pass ``parallel_threshold=None`` to
     disable parallel planning entirely.
+
+    ``kernel`` pins the OIPJOIN's partition-pair join kernel; the
+    default ``"auto"`` lets the candidate estimate decide (sweep above
+    :data:`~repro.core.kernels.AUTO_SWEEP_CANDIDATES`, naive below).
     """
 
     def __init__(
@@ -126,6 +137,7 @@ class JoinPlanner:
         parallel_threshold: Optional[float] = 2_000_000.0,
         workers: Optional[int] = None,
         parallel_backend: str = "thread",
+        kernel: str = "auto",
         tracer=None,
         metrics=None,
         collect_report: bool = False,
@@ -140,12 +152,18 @@ class JoinPlanner:
             )
         if workers is not None and workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if kernel not in ("auto",) + KERNELS:
+            raise ValueError(
+                f"unknown join kernel {kernel!r}; choose from "
+                f"{('auto',) + KERNELS}"
+            )
         self.device = device
         self.buffer_pool = buffer_pool
         self.point_threshold = point_threshold
         self.parallel_threshold = parallel_threshold
         self.workers = workers
         self.parallel_backend = parallel_backend
+        self.kernel = kernel
         self.tracer = tracer
         self.metrics = metrics
         self.collect_report = collect_report
@@ -286,11 +304,23 @@ class JoinPlanner:
                 and estimated >= self.parallel_threshold
             ):
                 parallelism = workers
+            # The same candidate estimate picks the partition-pair
+            # kernel; pinned explicitly (rather than left "auto") so the
+            # plan's reasoning matches exactly what the join will run.
+            if self.kernel == "auto":
+                kernel = (
+                    "sweep"
+                    if estimated >= AUTO_SWEEP_CANDIDATES
+                    else "naive"
+                )
+            else:
+                kernel = self.kernel
             algorithm = OIPJoin(
                 device=self.device,
                 buffer_pool=self.buffer_pool,
                 parallelism=parallelism,
                 parallel_backend=self.parallel_backend,
+                kernel=kernel,
                 budget=budget,
                 tracer=self.tracer,
                 metrics=self.metrics,
@@ -311,6 +341,16 @@ class JoinPlanner:
                         f"scheduling partition pairs on {parallelism} "
                         f"{self.parallel_backend} workers"
                     )
+                if self.kernel != "auto":
+                    base += f"; {kernel} kernel (pinned)"
+                elif kernel == "sweep":
+                    base += (
+                        f"; ~{estimated:.2e} estimated candidates "
+                        f">= {AUTO_SWEEP_CANDIDATES:.0e}: "
+                        "forward-scan sweep kernel"
+                    )
+                else:
+                    base += "; naive kernel below the sweep threshold"
                 return base
 
         return JoinPlan(
