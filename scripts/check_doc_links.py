@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Check that markdown links in the given docs resolve.
+
+Three link classes are verified, everything else is ignored:
+
+* relative file links (``[text](src/repro/cli.py)``) must point at an
+  existing file or directory, resolved against the doc's own location;
+* in-page anchors (``[text](#cost-model)``) must match a heading of the
+  same document, slugified the way GitHub does;
+* cross-doc anchors (``[text](ARCHITECTURE.md#kernels)``) must match a
+  heading of the *target* document.
+
+External links (``http(s)://``, ``mailto:``) are not fetched — CI must
+not depend on the network.  Exit status is the number of broken links.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+LINK = re.compile(r"(?<!!)\[[^\]]*\]\(([^)\s]+)\)")
+HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+CODE_FENCE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, drop punctuation, dash spaces."""
+    text = re.sub(r"[`*_]", "", heading.strip()).lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set:
+    text = CODE_FENCE.sub("", path.read_text(encoding="utf-8"))
+    return {github_slug(match) for match in HEADING.findall(text)}
+
+
+def check(path: Path) -> list:
+    text = CODE_FENCE.sub("", path.read_text(encoding="utf-8"))
+    errors = []
+    for target in LINK.findall(text):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        if target.startswith("#"):
+            if github_slug(target[1:]) not in anchors_of(path):
+                errors.append(f"{path}: broken anchor {target!r}")
+            continue
+        file_part, _, anchor = target.partition("#")
+        resolved = (path.parent / file_part).resolve()
+        if not resolved.exists():
+            errors.append(f"{path}: broken link {target!r}")
+            continue
+        if anchor and resolved.suffix == ".md":
+            if github_slug(anchor) not in anchors_of(resolved):
+                errors.append(f"{path}: broken anchor {target!r}")
+    return errors
+
+
+def main(argv) -> int:
+    if not argv:
+        print("usage: check_doc_links.py DOC.md [DOC.md ...]")
+        return 2
+    errors = []
+    for name in argv:
+        doc = Path(name)
+        if not doc.exists():
+            errors.append(f"{doc}: document does not exist")
+            continue
+        errors.extend(check(doc))
+    for error in errors:
+        print(error)
+    if not errors:
+        print(f"ok: {len(argv)} document(s), all links resolve")
+    return len(errors)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -130,12 +130,14 @@ def _add_parallel_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--kernel",
         default="auto",
-        choices=("auto", "naive", "sweep"),
+        choices=("auto", "naive", "sweep", "numpy"),
         help=(
             "partition-pair join kernel for the oip algorithm: 'naive' "
             "compares every candidate pair, 'sweep' forward-scans "
-            "start-sorted columns (identical pairs and cost counters "
-            "either way); 'auto' picks from the candidate estimate"
+            "start-sorted columns, 'numpy' vectorizes the match step "
+            "(falls back to 'sweep' when numpy is not installed; "
+            "identical pairs and cost counters in every case); 'auto' "
+            "picks from the candidate estimate"
         ),
     )
 
@@ -457,12 +459,132 @@ def _restore_handlers(previous: dict) -> None:
             pass
 
 
+def _batch_report_path(path: str, index: int) -> str:
+    """Per-query report path: ``run.report.json`` → ``run.report.q0.json``."""
+    import os
+
+    base, ext = os.path.splitext(path)
+    return f"{base}.q{index}{ext}" if ext else f"{path}.q{index}"
+
+
+def _run_batch(args: argparse.Namespace) -> int:
+    """The ``join --batch N`` path: N windowed queries, one partitioning."""
+    if args.algorithm != "oip":
+        raise SystemExit(
+            f"--batch is only supported by the oip algorithm, "
+            f"not {args.algorithm!r}"
+        )
+    if args.batch < 1:
+        raise SystemExit(f"--batch must be >= 1, got {args.batch}")
+    unsupported = [
+        flag
+        for flag, value in (
+            ("--workers", getattr(args, "workers", None)),
+            ("--checkpoint", getattr(args, "checkpoint", None)),
+            ("--checkpoint-every", getattr(args, "checkpoint_every", None)),
+            ("--resume-from", getattr(args, "resume_from", None)),
+        )
+        if value is not None
+    ]
+    if unsupported:
+        raise SystemExit(
+            f"{', '.join(unsupported)} are not supported with --batch "
+            "(batched queries run sequentially and are not checkpointed)"
+        )
+    from .engine.batch import BatchJoin, equal_windows
+
+    outer = _make_relation(args, args.seed, "outer")
+    inner = _make_relation(args, args.seed + 1, "inner")
+    token = CancellationToken()
+    args._cancellation = token
+    kwargs = _resilience_kwargs(args)
+    kwargs.update(_obs_kwargs(args))
+    budget = _budget_from(args)
+    if budget is not None:
+        kwargs["budget"] = budget
+    kernel = getattr(args, "kernel", None)
+    if kernel is not None:
+        kwargs["kernel"] = kernel
+    batch = BatchJoin(cancellation=token, **kwargs)
+    try:
+        windows = equal_windows(outer.time_range, args.batch)
+    except ValueError as error:
+        raise SystemExit(str(error))
+    previous = _install_cancel_handlers(token)
+    try:
+        result = batch.run(outer, inner, windows)
+    except StorageFaultError as error:
+        raise SystemExit(f"batch join failed after retries: {error}")
+    except BudgetExceededError as error:
+        print(
+            f"oip.batch: per-query budget exceeded ({error.reason}) after "
+            f"{error.partitions_completed} outer partition(s)"
+        )
+        _print_counters(error.counters, indent="  ", partial=True)
+        return 75
+    finally:
+        _restore_handlers(previous)
+        sink = getattr(args, "_trace_sink", None)
+        if sink is not None:
+            sink.close()
+    metrics = getattr(args, "_metrics", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    if metrics is not None and metrics_out is not None:
+        if getattr(args, "metrics_format", "json") == "prometheus":
+            text = metrics.to_prometheus_text()
+        else:
+            text = metrics.to_json()
+        if not text.endswith("\n"):
+            text += "\n"
+        with open(metrics_out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    report_path = getattr(args, "report", None)
+    if report_path is not None:
+        from .obs.report import write_report
+
+        for query in result.queries:
+            if query.report is not None:
+                write_report(
+                    query.report,
+                    _batch_report_path(report_path, query.details["query_index"]),
+                )
+    if getattr(args, "json", False):
+        import json as json_module
+
+        reports = [query.report for query in result.queries]
+        sys.stdout.write(
+            json_module.dumps(reports, indent=2, sort_keys=True) + "\n"
+        )
+        return 0 if result.completed else 130
+    for query in result.queries:
+        window = query.details["window"]
+        status = "" if query.completed else " (cancelled, partial)"
+        print(
+            f"query {query.details['query_index']} "
+            f"[{window[0]:,}, {window[1]:,}]: "
+            f"{query.cardinality:,} pairs in {query.elapsed_ms:.1f} ms"
+            f"{status}"
+        )
+    print(
+        f"oip.batch: {result.total_pairs:,} result pairs over "
+        f"{len(result.queries)}/{len(result.windows)} quer"
+        f"{'y' if len(result.windows) == 1 else 'ies'} in "
+        f"{result.elapsed_ms:.1f} ms (one shared partitioning)"
+    )
+    _print_counters(result.combined_counters())
+    for key, value in sorted(result.details.items()):
+        print(f"  {key:>20}: {value}")
+    return 0 if result.completed else 130
+
+
 def _run_single(args: argparse.Namespace) -> int:
     if args.algorithm not in ALGORITHMS:
         raise SystemExit(
             f"unknown algorithm {args.algorithm!r}; "
             f"choose from {', '.join(sorted(ALGORITHMS))}"
         )
+    if getattr(args, "batch", None) is not None:
+        return _run_batch(args)
     outer = _make_relation(args, args.seed, "outer")
     inner = _make_relation(args, args.seed + 1, "inner")
     token = CancellationToken()
@@ -642,6 +764,19 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workload_arguments(join_parser)
     join_parser.add_argument(
         "--algorithm", default="oip", help="short algorithm name"
+    )
+    join_parser.add_argument(
+        "--batch",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "batched execution (oip only): split the time range into N "
+            "equal windows and run one windowed overlap query per window "
+            "against a single shared OIP partitioning (one OIPCREATE, "
+            "one decode cache); prints one summary line per query, and "
+            "--report PATH writes per-query reports to PATH.qN"
+        ),
     )
     _add_parallel_arguments(join_parser)
     _add_resilience_arguments(join_parser)

@@ -29,10 +29,10 @@ from .base import JoinResult, OverlapJoinAlgorithm
 from .granules import KDerivation, cost_model_for, derive_k
 from .kernels import (
     DEFAULT_CACHE_CAPACITY,
-    KERNEL_FUNCS,
     KERNELS,
     DecodedRun,
     DecodedRunCache,
+    kernel_function,
     resolve_kernel,
 )
 from .lazy_list import oip_create
@@ -76,20 +76,27 @@ class OIPJoin(OverlapJoinAlgorithm):
         ``"naive"`` compares every candidate pair (the extracted
         original loop), ``"sweep"`` joins both runs with a forward-scan
         sweep over start-sorted columns so only result pairs are touched
-        in Python, and ``"auto"`` (default) picks per join from the
-        planner's candidate estimate.  All kernels emit identical pairs
-        in the identical order and charge the identical paper-model
-        costs (two CPU comparisons per candidate, one false hit per
-        failing candidate — accounted analytically per partition pair),
-        so results, counters and checkpoints are kernel-independent.
+        in Python, ``"numpy"`` vectorizes the match step (broadcasted
+        comparisons for small pairs, ``searchsorted`` range pruning for
+        large ones; silently substituted by ``"sweep"`` — recorded in
+        the result details — when numpy is not importable), and
+        ``"auto"`` (default) picks per join from the planner's candidate
+        estimate.  All kernels emit identical pairs in the identical
+        order and charge the identical paper-model costs (two CPU
+        comparisons per candidate, one false hit per failing candidate —
+        accounted analytically per partition pair), so results, counters
+        and checkpoints are kernel-independent.
     decode_cache_size:
         Capacity (in partition runs) of the per-run decoded-run cache
         that memoises the columnar decode of inner partitions across the
         many outer partitions that visit them (APA, Lemma 5).  Defaults
-        to :data:`~repro.core.kernels.DEFAULT_CACHE_CAPACITY`.  Block
-        IO is still charged on every access — the cache never skips a
-        read, and a detected corruption on a run's blocks invalidates
-        its cached decode.
+        to :data:`~repro.core.kernels.DEFAULT_CACHE_CAPACITY`; ``0``
+        disables the cache entirely, which also steers ``"auto"`` kernel
+        selection back to ``"naive"`` (the sorted-column kernels
+        amortise their start sort through the cache).  Block IO is
+        still charged on every access — the cache never skips a read,
+        and a detected corruption on a run's blocks invalidates its
+        cached decode.
     parallelism:
         Number of workers for the probe phase.  ``None`` (default) runs
         the classic sequential Algorithm 2 loop; any value ``>= 1``
@@ -224,9 +231,10 @@ class OIPJoin(OverlapJoinAlgorithm):
                 f"unknown join kernel {kernel!r}; choose from "
                 f"{('auto',) + KERNELS}"
             )
-        if decode_cache_size is not None and decode_cache_size < 1:
+        if decode_cache_size is not None and decode_cache_size < 0:
             raise ValueError(
-                f"decode_cache_size must be >= 1, got {decode_cache_size}"
+                f"decode_cache_size must be >= 0 (0 disables the "
+                f"cache), got {decode_cache_size}"
             )
         self._validate_parallel_keywords(
             parallelism=parallelism,
@@ -464,9 +472,16 @@ class OIPJoin(OverlapJoinAlgorithm):
 
         # Kernel choice is statistics-driven ("auto") or pinned by the
         # caller/planner; every kernel is bit-identical in pairs and
-        # counters, so this only decides physical execution speed.
-        kernel = resolve_kernel(self.kernel, outer, inner)
-        decode_cache = DecodedRunCache(self.decode_cache_size)
+        # counters, so this only decides physical execution speed.  A
+        # pinned decode_cache_size=0 disables the cache and steers
+        # "auto" away from the cache-amortised sorted-column kernels.
+        cache_enabled = self.decode_cache_size > 0
+        kernel = resolve_kernel(
+            self.kernel, outer, inner, cache_enabled=cache_enabled
+        )
+        decode_cache = (
+            DecodedRunCache(self.decode_cache_size) if cache_enabled else None
+        )
         self._kernel_cache = decode_cache
         candidate_histogram = (
             self.metrics.histogram("join.kernel.candidates")
@@ -622,7 +637,11 @@ class OIPJoin(OverlapJoinAlgorithm):
             "self_adjusting": derivation is not None,
             "kernel": kernel,
         }
-        if not use_parallel:
+        if self.kernel not in ("auto", kernel):
+            # An explicitly pinned kernel that could not run here (the
+            # numpy tier without numpy) — record the substitution.
+            details["kernel_requested"] = self.kernel
+        if not use_parallel and decode_cache is not None:
             # Deterministic on the sequential path (one probe thread);
             # worker-side caches are covered by the kernel.cache.*
             # metrics instead, whose exact split can depend on thread
@@ -699,8 +718,10 @@ class OIPJoin(OverlapJoinAlgorithm):
         trace = self._run_tracer if self._run_tracer.enabled else None
         # Hot-loop locals: these lookups used to be paid per candidate
         # pair (or per navigation test); hoisted, the loop pays them
-        # once per probe instead.
-        kernel_fn = KERNEL_FUNCS[kernel]
+        # once per probe instead.  kernel_function (not a raw
+        # KERNEL_FUNCS lookup) supplies the sweep fallback when the
+        # numpy tier cannot run in this process.
+        kernel_fn = kernel_function(kernel)
         read_run = storage.read_run
         charge_cpu = counters.charge_cpu
         charge_false_hit = counters.charge_false_hit

@@ -15,7 +15,7 @@ every workload.  This module separates the two concerns:
   ``candidates - results`` false hits per partition pair, which is
   exactly what the per-candidate loop summed to;
 * **physical cost** — what this Python process executes — is the
-  kernel's business, and the two kernels make different tradeoffs:
+  kernel's business, and the three kernels make different tradeoffs:
 
   - :func:`naive_matches` is the extracted, micro-optimised original
     loop: every candidate pair is compared, but against flat ``array``
@@ -29,14 +29,35 @@ every workload.  This module separates the two concerns:
     *overlaps by construction* (an interval that starts inside another
     interval overlaps it), so the inner loop only ever touches pairs
     that are in the result.  Non-overlapping candidates are pruned in
-    C-speed ``bisect`` calls and never reach Python bytecode.
+    C-speed ``bisect`` calls and never reach Python bytecode;
+  - :func:`numpy_matches` is the vectorized tier: small partition pairs
+    are joined with one broadcasted start/end comparison matrix, larger
+    ones with ``searchsorted`` range pruning over the start-sorted
+    columns (the overlap set decomposes exactly into two disjoint
+    searchsorted range families — see the function docstring), so per
+    candidate work drops from Python bytecode to C loops.  The kernel
+    is optional: when numpy is not importable,
+    :func:`kernel_function` transparently substitutes the sweep kernel
+    (``numpy_matches`` itself raises), and ``"auto"`` selection never
+    picks the numpy tier.
 
-Both kernels return the identical match set encoded in the identical
+All kernels return the identical match set encoded in the identical
 order — ``inner_pos * n_outer + outer_pos``, ascending, which is the
 emission order of the sequential Algorithm 2 loop — so result pairs,
 :class:`~repro.storage.metrics.CostCounters` and run reports are
 bit-identical regardless of the kernel (the differential suite in
-``tests/core/test_kernels.py`` pins this down).
+``tests/core/test_kernels.py`` and ``tests/core/test_numpy_kernel.py``
+pins this down).
+
+``"auto"`` selection (:func:`choose_kernel`) is a three-way threshold on
+the estimated candidate count: ``naive`` below
+:data:`AUTO_SWEEP_CANDIDATES`, ``sweep`` between the thresholds, and
+``numpy`` from :data:`AUTO_NUMPY_CANDIDATES` up (when numpy is
+importable).  With the decoded-run cache explicitly disabled
+(``decode_cache_size=0``), auto selection stays on ``naive``: the
+sorted-column kernels amortise their per-partition start sort through
+the cache, and without it the sort would be re-paid on every partition
+visit — the estimate that justifies them assumes the amortisation.
 
 Decoding a partition run into columnar form (two ``array('q')``
 endpoint columns plus, lazily, a start-sorted permutation) costs one
@@ -63,24 +84,50 @@ __all__ = [
     "KERNELS",
     "KERNEL_FUNCS",
     "AUTO_SWEEP_CANDIDATES",
+    "AUTO_NUMPY_CANDIDATES",
+    "NUMPY_BROADCAST_CELLS",
     "DEFAULT_CACHE_CAPACITY",
     "DecodedRun",
     "DecodedRunCache",
     "decode_columns",
     "naive_matches",
     "sweep_matches",
+    "numpy_matches",
+    "numpy_available",
+    "kernel_function",
     "estimate_candidates",
     "choose_kernel",
     "resolve_kernel",
 ]
 
 #: The selectable kernel names (``"auto"`` resolves to one of these).
-KERNELS = ("naive", "sweep")
+KERNELS = ("naive", "sweep", "numpy")
 
 #: Estimated candidate comparisons above which ``"auto"`` picks the
 #: sweep kernel.  Below it the join is so small that the sweep's sort
 #: and bisect bookkeeping costs more than the comparisons it skips.
 AUTO_SWEEP_CANDIDATES = 50_000.0
+
+#: Estimated candidate comparisons above which ``"auto"`` picks the
+#: numpy kernel (when numpy is importable).  Between the sweep
+#: threshold and this one the partitions are still small enough that
+#: the fixed per-call cost of entering numpy (array view setup,
+#: ``searchsorted`` dispatch) eats what vectorization saves; measured
+#: on the Figure 8 long-lived workload (``benchmarks/
+#: bench_numpy_kernel.py``, results in ``BENCH_numpy.json``) the match
+#: step itself runs >3x faster than the sweep on coarse-k partition
+#: pairs, which translates to a 1.1-1.25x end-to-end win (IO and the
+#: analytic charging dominate the rest) from ~1.5e5 estimated
+#: candidates up — and no measured regime where numpy loses to the
+#: sweep above this threshold.
+AUTO_NUMPY_CANDIDATES = 150_000.0
+
+#: Candidate-count bound (``|p_outer| * |p_inner|``) up to which the
+#: numpy kernel joins a partition pair with one broadcasted comparison
+#: matrix; larger pairs use the searchsorted range decomposition, whose
+#: work scales with ``n log n + results`` instead of the full candidate
+#: grid.
+NUMPY_BROADCAST_CELLS = 4096
 
 #: Default bound of the decoded-run cache, in runs.  Partition counts
 #: grow as O(k^2) in the worst case, but the Lemma-1 walk of one outer
@@ -113,7 +160,15 @@ class DecodedRun:
     the naive kernel never needs them.
     """
 
-    __slots__ = ("tuples", "starts", "ends", "length", "_order", "_sorted_starts")
+    __slots__ = (
+        "tuples",
+        "starts",
+        "ends",
+        "length",
+        "_order",
+        "_sorted_starts",
+        "_np_view",
+    )
 
     def __init__(
         self,
@@ -127,6 +182,7 @@ class DecodedRun:
         self.length = len(starts)
         self._order: Optional[List[int]] = None
         self._sorted_starts: Optional[array] = None
+        self._np_view: Optional[Tuple[Any, Any, Any, Any]] = None
 
     @classmethod
     def from_tuples(cls, tuples: Sequence[Any]) -> "DecodedRun":
@@ -158,6 +214,26 @@ class DecodedRun:
                 "q", [starts[pos] for pos in self.order]
             )
         return self._sorted_starts
+
+    def numpy_view(self, np: Any) -> Tuple[Any, Any, Any, Any]:
+        """``(starts, ends, order, sorted_starts)`` as numpy ``int64``
+        arrays, memoised like :attr:`order` / :attr:`sorted_starts`.
+
+        The endpoint views are zero-copy (``np.frombuffer`` over the
+        ``array('q')`` buffers); the start-sorted permutation is a
+        stable argsort, so ties keep storage order exactly like the
+        pure-Python :attr:`order` — not that parity depends on it: the
+        kernels' match *set* is permutation-independent and the final
+        encoded sort fixes the emission order.
+        """
+        view = self._np_view
+        if view is None:
+            starts = np.frombuffer(self.starts, dtype=np.int64)
+            ends = np.frombuffer(self.ends, dtype=np.int64)
+            order = np.argsort(starts, kind="stable")
+            view = (starts, ends, order, starts[order])
+            self._np_view = view
+        return view
 
 
 # ----------------------------------------------------------------------
@@ -250,11 +326,160 @@ def sweep_matches(outer: DecodedRun, inner: DecodedRun) -> List[int]:
     return hits
 
 
-#: Kernel implementations by name.
+# ----------------------------------------------------------------------
+# The numpy tier.  numpy is an *optional* dependency: everything below
+# degrades to the sweep kernel when it is absent, and the import is
+# routed through one monkeypatchable hook so the kernel-absent tests can
+# simulate an environment without numpy.
+# ----------------------------------------------------------------------
+
+
+def _import_numpy() -> Any:
+    """Import hook of the numpy tier (the single point the kernel-absent
+    tests monkeypatch to raise :class:`ImportError`)."""
+    import numpy
+
+    return numpy
+
+
+def numpy_available() -> bool:
+    """True when the numpy kernel can actually run in this process."""
+    try:
+        _import_numpy()
+    except ImportError:
+        return False
+    return True
+
+
+def numpy_matches(outer: DecodedRun, inner: DecodedRun) -> List[int]:
+    """Vectorized overlap join of one partition pair.
+
+    Small pairs (``candidates <= NUMPY_BROADCAST_CELLS``) are joined
+    with one broadcasted comparison matrix ``(outer.start <= inner.end)
+    & (inner.start <= outer.end)`` of shape ``(n_inner, n_outer)``;
+    ``flatnonzero`` of that matrix *is* the ascending
+    ``inner_pos * n_outer + outer_pos`` encoding, so no re-sort is
+    needed.
+
+    Larger pairs use ``searchsorted`` range pruning.  The overlap pairs
+    decompose exactly into two disjoint families, split on where the
+    inner tuple starts relative to the outer tuple:
+
+    1. ``outer.start <= inner.start <= outer.end`` — the inner tuple
+       starts inside the outer one, so it overlaps by construction.
+       Per outer tuple this is the contiguous start-sorted inner range
+       ``[searchsorted(left, outer.start), searchsorted(right,
+       outer.end))``.
+    2. ``inner.start < outer.start <= inner.end`` — the outer tuple
+       starts strictly inside the inner one.  Per inner tuple this is
+       the contiguous start-sorted outer range ``[searchsorted(right,
+       inner.start), searchsorted(right, inner.end))``.
+
+    Every overlapping pair satisfies exactly one of the two (split on
+    ``inner.start >= outer.start``), and every pair in either family
+    overlaps, so concatenating the two expanded range families and
+    sorting the encoded positions reproduces the sequential emission
+    order exactly — same ints, same order, as ``naive`` and ``sweep``.
+
+    Raises :class:`RuntimeError` when numpy is not importable; callers
+    resolve through :func:`kernel_function`, which substitutes the sweep
+    kernel instead of ever reaching this raise.
+    """
+    try:
+        np = _import_numpy()
+    except ImportError:
+        raise RuntimeError(
+            "the numpy kernel requires numpy; resolve kernels through "
+            "kernel_function() for the sweep fallback"
+        )
+    n_outer = outer.length
+    n_inner = inner.length
+    if not n_outer or not n_inner:
+        return []
+    outer_starts, outer_ends, outer_order, outer_sorted = outer.numpy_view(np)
+    inner_starts, inner_ends, inner_order, inner_sorted = inner.numpy_view(np)
+    if n_outer * n_inner <= NUMPY_BROADCAST_CELLS:
+        mask = (outer_starts[None, :] <= inner_ends[:, None]) & (
+            inner_starts[:, None] <= outer_ends[None, :]
+        )
+        return np.flatnonzero(mask).tolist()
+
+    # Family 1: inner starts inside [outer.start, outer.end].
+    lo1 = np.searchsorted(inner_sorted, outer_starts, side="left")
+    hi1 = np.searchsorted(inner_sorted, outer_ends, side="right")
+    counts1 = hi1 - lo1
+    total1 = int(counts1.sum())
+    if total1:
+        outer_pos = np.repeat(np.arange(n_outer), counts1)
+        offsets = np.arange(total1) - np.repeat(
+            np.cumsum(counts1) - counts1, counts1
+        )
+        inner_pos = inner_order[np.repeat(lo1, counts1) + offsets]
+        encoded1 = inner_pos * n_outer + outer_pos
+    else:
+        encoded1 = None
+
+    # Family 2: outer starts strictly inside (inner.start, inner.end].
+    lo2 = np.searchsorted(outer_sorted, inner_starts, side="right")
+    hi2 = np.searchsorted(outer_sorted, inner_ends, side="right")
+    counts2 = hi2 - lo2
+    total2 = int(counts2.sum())
+    if total2:
+        inner_pos = np.repeat(np.arange(n_inner), counts2)
+        offsets = np.arange(total2) - np.repeat(
+            np.cumsum(counts2) - counts2, counts2
+        )
+        outer_pos = outer_order[np.repeat(lo2, counts2) + offsets]
+        encoded2 = inner_pos * n_outer + outer_pos
+    else:
+        encoded2 = None
+
+    if encoded1 is None and encoded2 is None:
+        return []
+    if encoded1 is None:
+        encoded = encoded2
+    elif encoded2 is None:
+        encoded = encoded1
+    else:
+        encoded = np.concatenate((encoded1, encoded2))
+    encoded.sort()
+    return encoded.tolist()
+
+
+#: Kernel implementations by name.  ``"numpy"`` is registered whether or
+#: not numpy is importable — resolve through :func:`kernel_function`
+#: (not a raw dict lookup) to get the sweep fallback in numpy-less
+#: environments.
 KERNEL_FUNCS: Dict[str, Callable[[DecodedRun, DecodedRun], List[int]]] = {
     "naive": naive_matches,
     "sweep": sweep_matches,
+    "numpy": numpy_matches,
 }
+
+
+def kernel_function(
+    kernel: str,
+) -> Callable[[DecodedRun, DecodedRun], List[int]]:
+    """The callable implementing *kernel* **in this process**.
+
+    This is the execution-time companion of :func:`resolve_kernel`:
+    selection picks a name, this maps the name to code, substituting
+    :func:`sweep_matches` for ``"numpy"`` when numpy is not importable
+    here.  Both the sequential probe loop and the parallel workers
+    resolve through it — process-backend workers call it in the worker
+    process, so a driver that shipped ``"numpy"`` to a pool whose
+    workers cannot import numpy still completes (bit-identically, since
+    every kernel computes the same matches).
+    """
+    try:
+        fn = KERNEL_FUNCS[kernel]
+    except KeyError:
+        raise ValueError(
+            f"unknown join kernel {kernel!r}; choose from {KERNELS}"
+        )
+    if fn is numpy_matches and not numpy_available():
+        return sweep_matches
+    return fn
 
 
 # ----------------------------------------------------------------------
@@ -279,25 +504,60 @@ def estimate_candidates(outer: Any, inner: Any) -> float:
     return outer.cardinality * inner.cardinality * coverage
 
 
-def choose_kernel(outer: Any, inner: Any) -> str:
-    """Statistics-driven kernel choice: the sweep kernel once the
-    estimated candidate count amortises its sort/bisect bookkeeping,
-    the naive loop below that."""
-    if estimate_candidates(outer, inner) >= AUTO_SWEEP_CANDIDATES:
+def choose_kernel(outer: Any, inner: Any, cache_enabled: bool = True) -> str:
+    """Statistics-driven three-way kernel choice.
+
+    The estimated candidate count decides the tier: the ``naive`` loop
+    below :data:`AUTO_SWEEP_CANDIDATES` (sort/bisect bookkeeping is not
+    amortised), the forward-scan ``sweep`` between the thresholds, and
+    the vectorized ``numpy`` kernel from :data:`AUTO_NUMPY_CANDIDATES`
+    up — but only when numpy is importable; otherwise the sweep tier
+    extends upward (graceful fallback).
+
+    ``cache_enabled=False`` (the caller pinned ``decode_cache_size=0``)
+    forces ``naive``: the sorted-column kernels amortise their
+    per-partition start sort through the decoded-run cache, and with
+    the cache off that sort would be re-paid on every one of the many
+    visits an inner partition receives (Lemma 5), invalidating the
+    estimate that justifies them.  Explicitly *pinned* kernels are
+    honoured regardless — this guard only constrains what ``"auto"``
+    recommends, so the planner never recommends a cache-dependent plan
+    it can't execute.
+    """
+    if not cache_enabled:
+        return "naive"
+    estimated = estimate_candidates(outer, inner)
+    if estimated >= AUTO_NUMPY_CANDIDATES and numpy_available():
+        return "numpy"
+    if estimated >= AUTO_SWEEP_CANDIDATES:
         return "sweep"
     return "naive"
 
 
-def resolve_kernel(kernel: Optional[str], outer: Any, inner: Any) -> str:
+def resolve_kernel(
+    kernel: Optional[str],
+    outer: Any,
+    inner: Any,
+    cache_enabled: bool = True,
+) -> str:
     """Resolve a kernel keyword (``None``/``"auto"``/explicit name) for
-    one join of *outer* and *inner*."""
+    one join of *outer* and *inner*.
+
+    An explicit ``"numpy"`` in a numpy-less environment resolves to
+    ``"sweep"`` — the documented graceful fallback (callers surface the
+    substitution in their result details).  ``cache_enabled`` threads
+    the decoded-run-cache state into the ``"auto"`` choice; see
+    :func:`choose_kernel`.
+    """
     if kernel is None or kernel == "auto":
-        return choose_kernel(outer, inner)
+        return choose_kernel(outer, inner, cache_enabled=cache_enabled)
     if kernel not in KERNELS:
         raise ValueError(
             f"unknown join kernel {kernel!r}; choose from "
             f"{KERNELS + ('auto',)}"
         )
+    if kernel == "numpy" and not numpy_available():
+        return "sweep"
     return kernel
 
 

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
 from .interval import Interval
 from .relation import TemporalRelation, TemporalTuple
@@ -102,6 +102,23 @@ class OIPConfiguration:
         """Lemma 1: partition ``p_{i,j}`` is relevant for query indices
         ``(s, e)`` iff ``i <= e`` and ``j >= s``."""
         return i <= e and j >= s
+
+    def clamped_query_indices(self, query: Interval) -> Optional[Tuple[int, int]]:
+        """Lemma 1 indices of *query*, clamped to the grid ``[0, k-1]``.
+
+        :meth:`query_indices` trusts the caller to stay inside the
+        partitioned range; an arbitrary query window (the batched
+        executor's per-query windows) may start before ``o`` or end past
+        the last granule.  Granules outside the grid hold no partitions,
+        so clamping the indices preserves Lemma 1's guarantee; a window
+        entirely outside the range is relevant to no partition at all and
+        yields ``None``.
+        """
+        s = self.granule_index(query.start)
+        e = self.granule_index(query.end)
+        if e < 0 or s >= self.k:
+            return None
+        return (max(s, 0), min(e, self.k - 1))
 
     # -- derived quantities -------------------------------------------------------
 

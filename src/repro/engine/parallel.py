@@ -117,10 +117,10 @@ from typing import Any, List, Mapping, NamedTuple, Optional, Sequence, Tuple
 
 from ..core.base import JoinPair
 from ..core.kernels import (
-    KERNEL_FUNCS,
     DecodedRun,
     DecodedRunCache,
     decode_columns,
+    kernel_function,
 )
 from ..core.lazy_list import LazyPartitionList
 from ..storage.faults import (
@@ -491,7 +491,11 @@ def _run_probe_chunk(
     injector = (
         FaultInjector(fault_policy) if fault_policy is not None else None
     )
-    kernel_fn = KERNEL_FUNCS[kernel]
+    # Resolved here — in the worker process for the process backend — so
+    # a "numpy" kernel name degrades to the sweep kernel wherever numpy
+    # cannot be imported, without the driver having to know (the two are
+    # bit-identical in matches, so mixed resolution is harmless).
+    kernel_fn = kernel_function(kernel)
     # Tasks within a chunk are contiguous, so the read chain of the first
     # task seeds the whole chunk.
     last_read = tasks[0].last_read_in

@@ -20,11 +20,19 @@ set (the partition-pair scheduler of :mod:`repro.engine.parallel`) once
 that estimate crosses ``parallel_threshold``.  Small joins stay
 sequential: spinning up a worker pool costs more than it saves below
 the threshold.  The same estimate picks the partition-pair kernel
-(:mod:`repro.core.kernels`): the forward-scan ``sweep`` kernel once the
-candidate count amortises its sort/bisect bookkeeping
-(:data:`~repro.core.kernels.AUTO_SWEEP_CANDIDATES`), the ``naive`` loop
-below that — a pure physical-execution choice, since every kernel is
-bit-identical in pairs and counters.
+(:mod:`repro.core.kernels`) in a three-way split: the ``naive`` loop
+below :data:`~repro.core.kernels.AUTO_SWEEP_CANDIDATES`, the
+forward-scan ``sweep`` kernel once the candidate count amortises its
+sort/bisect bookkeeping, and the vectorized ``numpy`` kernel from
+:data:`~repro.core.kernels.AUTO_NUMPY_CANDIDATES` up (when numpy is
+importable; without it the sweep tier extends upward).  A pure
+physical-execution choice, since every kernel is bit-identical in pairs
+and counters.  One constraint overrides the estimate: with the
+decoded-run cache explicitly disabled (``decode_cache_size=0``) the
+planner keeps auto selection on ``naive`` — the sorted-column kernels
+amortise their per-partition start sort through that cache, so the
+planner must never recommend a cache-dependent plan the join can't
+execute.
 
 The chosen algorithm and the reasoning are exposed on the returned
 :class:`JoinPlan` so applications can log plan decisions.  Reasoning
@@ -40,7 +48,12 @@ from typing import Callable, Optional, Union
 
 from ..core.base import JoinResult, OverlapJoinAlgorithm
 from ..core.join import OIPJoin
-from ..core.kernels import AUTO_SWEEP_CANDIDATES, KERNELS
+from ..core.kernels import (
+    AUTO_NUMPY_CANDIDATES,
+    AUTO_SWEEP_CANDIDATES,
+    KERNELS,
+    choose_kernel,
+)
 from ..core.relation import TemporalRelation
 from ..baselines.sort_merge import SortMergeJoin
 from ..storage.buffer import BufferPool
@@ -125,8 +138,17 @@ class JoinPlanner:
     disable parallel planning entirely.
 
     ``kernel`` pins the OIPJOIN's partition-pair join kernel; the
-    default ``"auto"`` lets the candidate estimate decide (sweep above
-    :data:`~repro.core.kernels.AUTO_SWEEP_CANDIDATES`, naive below).
+    default ``"auto"`` lets the candidate estimate decide (naive below
+    :data:`~repro.core.kernels.AUTO_SWEEP_CANDIDATES`, sweep between
+    the thresholds, numpy above
+    :data:`~repro.core.kernels.AUTO_NUMPY_CANDIDATES` when importable).
+
+    ``decode_cache_size`` pins the OIPJOIN's decoded-run cache capacity
+    (``None``: the library default).  ``0`` disables the cache, which
+    also constrains ``"auto"`` kernel selection to ``naive`` — the
+    sorted-column kernels depend on the cache to amortise their start
+    sort, and the planner must not recommend a plan whose estimate
+    assumes an amortisation the join can't perform.
     """
 
     def __init__(
@@ -138,6 +160,7 @@ class JoinPlanner:
         workers: Optional[int] = None,
         parallel_backend: str = "thread",
         kernel: str = "auto",
+        decode_cache_size: Optional[int] = None,
         tracer=None,
         metrics=None,
         collect_report: bool = False,
@@ -157,6 +180,11 @@ class JoinPlanner:
                 f"unknown join kernel {kernel!r}; choose from "
                 f"{('auto',) + KERNELS}"
             )
+        if decode_cache_size is not None and decode_cache_size < 0:
+            raise ValueError(
+                f"decode_cache_size must be >= 0 (0 disables the "
+                f"cache), got {decode_cache_size}"
+            )
         self.device = device
         self.buffer_pool = buffer_pool
         self.point_threshold = point_threshold
@@ -164,6 +192,7 @@ class JoinPlanner:
         self.workers = workers
         self.parallel_backend = parallel_backend
         self.kernel = kernel
+        self.decode_cache_size = decode_cache_size
         self.tracer = tracer
         self.metrics = metrics
         self.collect_report = collect_report
@@ -307,11 +336,15 @@ class JoinPlanner:
             # The same candidate estimate picks the partition-pair
             # kernel; pinned explicitly (rather than left "auto") so the
             # plan's reasoning matches exactly what the join will run.
+            # choose_kernel is the single source of truth for the
+            # three-way thresholds, numpy availability and the
+            # cache-disabled constraint.
+            cache_enabled = (
+                self.decode_cache_size is None or self.decode_cache_size > 0
+            )
             if self.kernel == "auto":
-                kernel = (
-                    "sweep"
-                    if estimated >= AUTO_SWEEP_CANDIDATES
-                    else "naive"
+                kernel = choose_kernel(
+                    outer, inner, cache_enabled=cache_enabled
                 )
             else:
                 kernel = self.kernel
@@ -321,6 +354,7 @@ class JoinPlanner:
                 parallelism=parallelism,
                 parallel_backend=self.parallel_backend,
                 kernel=kernel,
+                decode_cache_size=self.decode_cache_size,
                 budget=budget,
                 tracer=self.tracer,
                 metrics=self.metrics,
@@ -343,6 +377,18 @@ class JoinPlanner:
                     )
                 if self.kernel != "auto":
                     base += f"; {kernel} kernel (pinned)"
+                elif not cache_enabled:
+                    base += (
+                        "; naive kernel (decode cache disabled: the "
+                        "sorted-column kernels need it to amortise "
+                        "their start sort)"
+                    )
+                elif kernel == "numpy":
+                    base += (
+                        f"; ~{estimated:.2e} estimated candidates "
+                        f">= {AUTO_NUMPY_CANDIDATES:.0e}: "
+                        "vectorized numpy kernel"
+                    )
                 elif kernel == "sweep":
                     base += (
                         f"; ~{estimated:.2e} estimated candidates "

@@ -19,6 +19,7 @@ import pytest
 
 from repro.core.interval import Interval
 from repro.core.join import OIPJoin
+from repro.core import kernels
 from repro.core.kernels import (
     AUTO_SWEEP_CANDIDATES,
     DecodedRun,
@@ -139,10 +140,34 @@ class TestKernelSelection:
         big = long_lived_mixture(
             1_000, 0.5, Interval(1, 2**20), seed=7, name="big"
         )
-        assert choose_kernel(big, big) == "sweep"
-        assert resolve_kernel("auto", big, big) == "sweep"
+        # Above both thresholds: the vectorized tier when numpy is
+        # importable, the sweep tier otherwise.
+        top = "numpy" if kernels.numpy_available() else "sweep"
+        assert choose_kernel(big, big) == top
+        assert resolve_kernel("auto", big, big) == top
         assert resolve_kernel(None, small, small) == "naive"
         assert resolve_kernel("naive", big, big) == "naive"
+        # Between the sweep and numpy thresholds: always the sweep.
+        mid = long_lived_mixture(
+            700, 0.5, Interval(1, 2**20), seed=7, name="mid"
+        )
+        assert (
+            kernels.AUTO_SWEEP_CANDIDATES
+            <= kernels.estimate_candidates(mid, mid)
+            < kernels.AUTO_NUMPY_CANDIDATES
+        )
+        assert choose_kernel(mid, mid) == "sweep"
+
+    def test_auto_respects_disabled_decode_cache(self):
+        # The sorted-column kernels amortise their start sort through
+        # the decoded-run cache; with the cache pinned off, "auto" must
+        # not recommend them (an explicit pin is still honoured).
+        big = long_lived_mixture(
+            1_000, 0.5, Interval(1, 2**20), seed=7, name="big"
+        )
+        assert choose_kernel(big, big, cache_enabled=False) == "naive"
+        assert resolve_kernel("auto", big, big, cache_enabled=False) == "naive"
+        assert resolve_kernel("sweep", big, big, cache_enabled=False) == "sweep"
 
 
 # ---------------------------------------------------------------------------
@@ -384,11 +409,40 @@ class TestConfiguration:
 
     def test_join_validates_cache_size(self):
         with pytest.raises(ValueError, match="decode_cache_size"):
-            OIPJoin(decode_cache_size=0)
+            OIPJoin(decode_cache_size=-1)
+
+    def test_cache_size_zero_disables_cache(self):
+        # decode_cache_size=0 is an explicit "no cache": the join runs
+        # (bit-identically), reports no kernel_cache details, and auto
+        # kernel selection stays on the cache-independent naive loop.
+        outer, inner = WORKLOADS["mixed"]
+        cached = OIPJoin(kernel="naive").join(outer, inner)
+        uncached = OIPJoin(decode_cache_size=0).join(outer, inner)
+        assert uncached.details["kernel"] == "naive"
+        assert "kernel_cache" not in uncached.details
+        assert fingerprint(uncached) == fingerprint(cached)
 
     def test_planner_validates_kernel(self):
         with pytest.raises(ValueError, match="kernel"):
             JoinPlanner(kernel="bogus")
+
+    def test_planner_validates_cache_size(self):
+        with pytest.raises(ValueError, match="decode_cache_size"):
+            JoinPlanner(decode_cache_size=-1)
+
+    def test_planner_respects_disabled_cache(self):
+        # The bugfix pinned by this test: a planner whose decode cache
+        # is pinned off must not recommend a sorted-column kernel, no
+        # matter how large the candidate estimate is.
+        big = long_lived_mixture(
+            1_000, 0.5, Interval(1, 2**20), seed=7, name="big"
+        )
+        planner = JoinPlanner(decode_cache_size=0)
+        plan = planner.plan(big, big)
+        assert plan.estimated_candidates >= AUTO_SWEEP_CANDIDATES
+        assert plan.algorithm.kernel == "naive"
+        assert plan.algorithm.decode_cache_size == 0
+        assert "decode cache disabled" in plan.reason
 
     def test_planner_pins_kernel(self):
         outer, inner = WORKLOADS["uniform"]
@@ -399,12 +453,9 @@ class TestConfiguration:
     def test_planner_auto_threshold(self):
         outer, inner = WORKLOADS["uniform"]
         plan = JoinPlanner().plan(outer, inner)
-        expected = (
-            "sweep"
-            if plan.estimated_candidates >= AUTO_SWEEP_CANDIDATES
-            else "naive"
-        )
-        assert plan.algorithm.kernel == expected
+        # The planner must pin exactly what choose_kernel would pick —
+        # one source of truth for the three-way threshold.
+        assert plan.algorithm.kernel == choose_kernel(outer, inner)
         assert "kernel" in plan.reason
 
     def test_metrics_and_histogram_published(self):
