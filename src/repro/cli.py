@@ -13,6 +13,11 @@ inspect datasets without writing code.
     python -m repro derive-k --outer 10000000 --inner 100000000 \\
         --lambda-outer 0.0001 --lambda-inner 0.0005
     python -m repro datasets
+    python -m repro save-index --workload mixture --cardinality 2000 \\
+        --long-fraction 0.5 --out run.oip
+    python -m repro fsck run.oip
+    python -m repro join --workload mixture --cardinality 2000 \\
+        --long-fraction 0.5 --index run.oip
 """
 
 from __future__ import annotations
@@ -397,6 +402,15 @@ def _make_algorithm(
                 f"--kernel is only supported by the oip algorithm, "
                 f"not {name!r}"
             )
+    index = getattr(args, "index", None)
+    if index is not None:
+        if name == "oip":
+            kwargs["index_path"] = index
+        elif not ignore_workers:
+            raise SystemExit(
+                f"--index is only supported by the oip algorithm, "
+                f"not {name!r}"
+            )
     workers = getattr(args, "workers", None)
     if workers is not None and not ignore_workers:
         if workers < 1:
@@ -483,6 +497,7 @@ def _run_batch(args: argparse.Namespace) -> int:
             ("--checkpoint", getattr(args, "checkpoint", None)),
             ("--checkpoint-every", getattr(args, "checkpoint_every", None)),
             ("--resume-from", getattr(args, "resume_from", None)),
+            ("--index", getattr(args, "index", None)),
         )
         if value is not None
     ]
@@ -748,6 +763,91 @@ def _run_datasets(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_save_index(args: argparse.Namespace) -> int:
+    """The ``save-index`` path: build both OIP partitionings for a
+    workload pair and persist them as an atomic snapshot."""
+    from .engine.governor import QueryCancelledError
+    from .storage.snapshot import save_index
+
+    outer = _make_relation(args, args.seed, "outer")
+    inner = _make_relation(args, args.seed + 1, "inner")
+    token = CancellationToken()
+    previous = _install_cancel_handlers(token)
+    started = time.perf_counter()
+    try:
+        info = save_index(
+            args.out,
+            outer,
+            inner,
+            k=args.k,
+            k_outer=args.k_outer,
+            k_inner=args.k_inner,
+            store_payloads=not args.no_payloads,
+            cancellation=token,
+            pre_rename_delay_s=(args.write_delay_ms or 0.0) / 1000.0,
+        )
+    except QueryCancelledError:
+        # atomic_commit removed the temp file on the way out — an
+        # interrupted save leaves no *.tmp litter.
+        print("save-index: interrupted; no snapshot written")
+        return 130
+    except ValueError as error:
+        raise SystemExit(str(error))
+    finally:
+        _restore_handlers(previous)
+    elapsed = (time.perf_counter() - started) * 1e3
+    print(
+        f"saved {info['path']}: {info['bytes']:,} bytes, "
+        f"generation {info['generation']}, "
+        f"k_outer={info['k_outer']}, k_inner={info['k_inner']} "
+        f"({info['outer_partitions']}+{info['inner_partitions']} "
+        f"partitions) in {elapsed:.1f} ms"
+    )
+    if not info["payloads_stored"]:
+        print(
+            "  note: payloads not stored (unstable types or "
+            "--no-payloads); journaled maintenance is unavailable"
+        )
+    return 0
+
+
+def _run_fsck(args: argparse.Namespace) -> int:
+    """The ``fsck`` path: validate a snapshot (and its journal), repair
+    what is safely repairable, and report a machine-readable verdict.
+
+    Exit codes: 0 the index is loadable (after any repairs), 1 it is
+    corrupt beyond repair (a join would degrade to a rebuild), 2 there
+    is no snapshot at the path.
+    """
+    from .storage.snapshot import fsck_index
+
+    verdict = fsck_index(
+        args.path, repair=not args.no_repair, deep=not args.no_deep
+    )
+    if args.json:
+        import json
+
+        sys.stdout.write(json.dumps(verdict, indent=2, sort_keys=True) + "\n")
+    else:
+        state = (
+            "missing"
+            if not verdict["exists"]
+            else "ok"
+            if verdict["ok"]
+            else "corrupt"
+        )
+        print(f"{args.path}: {state}")
+        if verdict["generation"] is not None:
+            print(f"  generation: {verdict['generation']}")
+        for problem in verdict["problems"]:
+            print(f"  problem: {problem}")
+        for repair in verdict["repairs"]:
+            print(f"  repaired: {repair}")
+    if not verdict["exists"]:
+        return 2
+    return 0 if verdict["ok"] else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -776,6 +876,17 @@ def build_parser() -> argparse.ArgumentParser:
             "against a single shared OIP partitioning (one OIPCREATE, "
             "one decode cache); prints one summary line per query, and "
             "--report PATH writes per-query reports to PATH.qN"
+        ),
+    )
+    join_parser.add_argument(
+        "--index",
+        default=None,
+        metavar="PATH",
+        help=(
+            "load the OIP partitionings from a persisted snapshot "
+            "(written by save-index) instead of re-partitioning; a "
+            "missing or corrupt snapshot degrades to an in-memory "
+            "rebuild with identical results (oip only)"
         ),
     )
     _add_parallel_arguments(join_parser)
@@ -842,6 +953,65 @@ def build_parser() -> argparse.ArgumentParser:
     datasets_parser.add_argument("--cardinality", type=int, default=2_000)
     datasets_parser.add_argument("--seed", type=int, default=0)
     datasets_parser.set_defaults(handler=_run_datasets)
+
+    save_parser = commands.add_parser(
+        "save-index",
+        help=(
+            "build both OIP partitionings for a workload pair and "
+            "persist them as an atomic, checksummed snapshot"
+        ),
+    )
+    _add_workload_arguments(save_parser)
+    save_parser.add_argument(
+        "--out", required=True, metavar="PATH", help="snapshot destination"
+    )
+    save_parser.add_argument(
+        "--k", type=int, default=None, help="pin one k for both relations"
+    )
+    save_parser.add_argument(
+        "--k-outer", type=int, default=None, help="pin the outer relation's k"
+    )
+    save_parser.add_argument(
+        "--k-inner", type=int, default=None, help="pin the inner relation's k"
+    )
+    save_parser.add_argument(
+        "--no-payloads",
+        action="store_true",
+        help=(
+            "omit tuple payloads from the snapshot (smaller file; "
+            "journaled maintenance becomes unavailable)"
+        ),
+    )
+    save_parser.add_argument(
+        "--write-delay-ms",
+        type=float,
+        default=None,
+        help=argparse.SUPPRESS,  # crash-window hook for recovery tests
+    )
+    save_parser.set_defaults(handler=_run_save_index)
+
+    fsck_parser = commands.add_parser(
+        "fsck",
+        help=(
+            "validate an index snapshot and its maintenance journal, "
+            "repairing what is safely repairable"
+        ),
+    )
+    fsck_parser.add_argument("path", help="snapshot path to check")
+    fsck_parser.add_argument(
+        "--json", action="store_true", help="emit the verdict as JSON"
+    )
+    fsck_parser.add_argument(
+        "--no-repair",
+        action="store_true",
+        help="report only; leave stale temp files and torn journal tails",
+    )
+    fsck_parser.add_argument(
+        "--no-deep",
+        action="store_true",
+        help="skip the per-tuple grid-position validation pass",
+    )
+    fsck_parser.set_defaults(handler=_run_fsck)
 
     return parser
 

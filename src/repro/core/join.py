@@ -157,6 +157,20 @@ class OIPJoin(OverlapJoinAlgorithm):
         consulted before using the worker pool and fed the execution
         outcome afterwards; while open, the probe runs on the
         sequential path (``parallel_fallback: "circuit_open"``).
+    index_path:
+        Path of a persisted OIP index written by
+        :func:`repro.storage.snapshot.save_index` (CLI:
+        ``save-index``).  When the snapshot is valid *and* matches this
+        join's relations and configuration, both partition lists are
+        restored from it — bit-identical to an in-memory build, pairs
+        and counters included — and the ``derive_k``/``oipcreate``
+        phases are skipped.  A missing, corrupt, version-mismatched or
+        foreign snapshot **degrades gracefully**: an
+        ``index.recovery.degraded`` metric and tracing event record the
+        structured reason, and the join falls back to the normal
+        OIPCREATE rebuild.  Either way the result is the same; only the
+        build cost differs.  ``details["index"]`` reports what
+        happened.
     tracer, metrics, collect_report:
         Observability configuration; see :class:`OverlapJoinAlgorithm`.
         Spans cover ``derive_k``, both ``oipcreate`` sides, Lemma-1
@@ -199,6 +213,7 @@ class OIPJoin(OverlapJoinAlgorithm):
         checkpoint_every: Optional[int] = None,
         resume_from: Optional[str] = None,
         circuit_breaker: Optional[Any] = None,
+        index_path: Optional[str] = None,
         tracer: Optional[Any] = None,
         metrics: Optional[Any] = None,
         collect_report: bool = False,
@@ -282,6 +297,7 @@ class OIPJoin(OverlapJoinAlgorithm):
         )
         self.resume_from = resume_from
         self.circuit_breaker = circuit_breaker
+        self.index_path = index_path
 
     @staticmethod
     def _validate_parallel_keywords(
@@ -408,6 +424,76 @@ class OIPJoin(OverlapJoinAlgorithm):
             )
         return derive_k(model, use_exact_root=self.use_exact_root)
 
+    def _index_expectation(self) -> dict:
+        """What a snapshot must have been built with to be structurally
+        interchangeable with the index this join would build itself."""
+        if self.fixed_k is not None:
+            mode = "fixed"
+        elif self.fixed_k_outer is not None:
+            mode = "per_side"
+        else:
+            mode = "derived"
+        weights = (
+            self.weights if self.weights is not None else self.device.weights
+        )
+        return {
+            "tuples_per_block": self.device.tuples_per_block,
+            "k_mode": mode,
+            "k": self.fixed_k,
+            "k_outer": self.fixed_k_outer,
+            "k_inner": self.fixed_k_inner,
+            "use_exact_root": self.use_exact_root,
+            "use_histogram_statistics": self.use_histogram_statistics,
+            "weights": (weights.cpu, weights.io),
+        }
+
+    def _load_index(self, outer, inner, storage, tracer):
+        """Try to restore both partition lists from ``index_path``.
+
+        Returns ``(LoadedIndex | None, details)``.  Every failure mode —
+        missing file, corrupt container, version or configuration
+        mismatch, foreign relations — degrades to ``None`` with an
+        ``index.recovery.degraded`` metric and a structured reason; the
+        caller rebuilds in memory and the run is bit-identical either
+        way.  Validation happens before any block is materialised, so a
+        degrade leaves *storage* (and the counters) untouched.
+        """
+        from ..storage.snapshot import SnapshotError, load_index
+
+        path = self.index_path
+        with tracer.span("index.load", path=path) as span:
+            try:
+                loaded = load_index(
+                    path,
+                    outer,
+                    inner,
+                    storage=storage,
+                    expected=self._index_expectation(),
+                )
+            except SnapshotError as error:
+                reason = error.reason
+            except OSError as error:  # pragma: no cover - racing unlink
+                reason = "unreadable"
+            else:
+                span.set("loaded", True)
+                span.set("generation", loaded.generation)
+                if self.metrics is not None:
+                    self.metrics.counter("index.recovery.loaded").inc(1)
+                return loaded, {
+                    "path": path,
+                    "loaded": True,
+                    "generation": loaded.generation,
+                }
+            span.set("loaded", False)
+            span.set("reason", reason)
+        tracer.event("index.degraded", path=path, reason=reason)
+        if self.metrics is not None:
+            self.metrics.counter("index.recovery.degraded").inc(1)
+            self.metrics.counter(
+                f"index.recovery.degraded.{reason}"
+            ).inc(1)
+        return None, {"path": path, "loaded": False, "reason": reason}
+
     def _governed_run(self):
         """The per-run governor (None when no lifecycle feature is on)."""
         if (
@@ -454,21 +540,49 @@ class OIPJoin(OverlapJoinAlgorithm):
             else None
         )
 
-        with tracer.span("derive_k") as k_span:
-            derivation = self._derive_k(outer, inner)
-            if derivation is not None:
-                k_outer = k_inner = derivation.k
-            elif self.fixed_k is not None:
-                k_outer = k_inner = self.fixed_k
-            else:
-                k_outer, k_inner = self.fixed_k_outer, self.fixed_k_inner
-            # More granules than time points cannot reduce false hits
-            # further (d is already 1); cap to keep index arithmetic small.
-            k_outer = max(1, min(k_outer, outer.time_range_duration))
-            k_inner = max(1, min(k_inner, inner.time_range_duration))
-            k_span.set("k_outer", k_outer)
-            k_span.set("k_inner", k_inner)
-            k_span.set("self_adjusting", derivation is not None)
+        # Storage precedes the (optional) snapshot load: construction
+        # makes no charges, so a degraded load hands the rebuild an
+        # untouched manager and the counters stay bit-identical.
+        storage = self._storage(counters)
+        loaded = None
+        index_details = None
+        prior_cache = self._kernel_cache
+        if self.index_path is not None:
+            loaded, index_details = self._load_index(
+                outer, inner, storage, tracer
+            )
+
+        if loaded is not None:
+            # The snapshot recorded the same derivation this join would
+            # run (the load validated that), caps included.
+            k_outer, k_inner = loaded.k_outer, loaded.k_inner
+            derivation = None
+            self_adjusting = loaded.meta.get("k_mode") == "derived"
+            k_steps = loaded.meta.get("k_steps")
+            k_oscillated = loaded.meta.get("k_oscillated")
+        else:
+            with tracer.span("derive_k") as k_span:
+                derivation = self._derive_k(outer, inner)
+                if derivation is not None:
+                    k_outer = k_inner = derivation.k
+                elif self.fixed_k is not None:
+                    k_outer = k_inner = self.fixed_k
+                else:
+                    k_outer, k_inner = (
+                        self.fixed_k_outer, self.fixed_k_inner
+                    )
+                # More granules than time points cannot reduce false hits
+                # further (d is already 1); cap to keep index arithmetic small.
+                k_outer = max(1, min(k_outer, outer.time_range_duration))
+                k_inner = max(1, min(k_inner, inner.time_range_duration))
+                k_span.set("k_outer", k_outer)
+                k_span.set("k_inner", k_inner)
+                k_span.set("self_adjusting", derivation is not None)
+            self_adjusting = derivation is not None
+            k_steps = derivation.steps if derivation is not None else None
+            k_oscillated = (
+                derivation.oscillated if derivation is not None else None
+            )
 
         # Kernel choice is statistics-driven ("auto") or pinned by the
         # caller/planner; every kernel is bit-identical in pairs and
@@ -482,6 +596,16 @@ class OIPJoin(OverlapJoinAlgorithm):
         decode_cache = (
             DecodedRunCache(self.decode_cache_size) if cache_enabled else None
         )
+        if self.index_path is not None and prior_cache is not None:
+            # An index (re)load starts a new snapshot generation with
+            # fresh block ids: any decode a previous run of this
+            # instance cached could be served stale.  Purge the old
+            # cache and surface the purge under this run's
+            # kernel.cache.invalidations metric.  (Degraded loads count
+            # too — the rebuild also re-numbers the blocks.)
+            purged = prior_cache.invalidate_all()
+            if purged and decode_cache is not None:
+                decode_cache.invalidations += purged
         self._kernel_cache = decode_cache
         candidate_histogram = (
             self.metrics.histogram("join.kernel.candidates")
@@ -489,15 +613,20 @@ class OIPJoin(OverlapJoinAlgorithm):
             else None
         )
 
-        config_r = OIPConfiguration.for_relation(outer, k_outer)
-        config_s = OIPConfiguration.for_relation(inner, k_inner)
-        storage = self._storage(counters)
-        with tracer.span("oipcreate", side="outer") as create_span:
-            outer_list = oip_create(outer, config_r, storage)
-            create_span.set("partitions", outer_list.partition_count)
-        with tracer.span("oipcreate", side="inner") as create_span:
-            inner_list = oip_create(inner, config_s, storage)
-            create_span.set("partitions", inner_list.partition_count)
+        if loaded is not None:
+            outer_list = loaded.outer_list
+            inner_list = loaded.inner_list
+            config_r = outer_list.config
+            config_s = inner_list.config
+        else:
+            config_r = OIPConfiguration.for_relation(outer, k_outer)
+            config_s = OIPConfiguration.for_relation(inner, k_inner)
+            with tracer.span("oipcreate", side="outer") as create_span:
+                outer_list = oip_create(outer, config_r, storage)
+                create_span.set("partitions", outer_list.partition_count)
+            with tracer.span("oipcreate", side="inner") as create_span:
+                inner_list = oip_create(inner, config_s, storage)
+                create_span.set("partitions", inner_list.partition_count)
         if self.metrics is not None:
             # Deterministic distribution of partition sizes (in blocks):
             # same input and k ⇒ identical exported histogram.
@@ -634,9 +763,11 @@ class OIPJoin(OverlapJoinAlgorithm):
             "granule_duration_inner": config_s.d,
             "outer_partitions": outer_list.partition_count,
             "inner_partitions": inner_list.partition_count,
-            "self_adjusting": derivation is not None,
+            "self_adjusting": self_adjusting,
             "kernel": kernel,
         }
+        if index_details is not None:
+            details["index"] = index_details
         if self.kernel not in ("auto", kernel):
             # An explicitly pinned kernel that could not run here (the
             # numpy tier without numpy) — record the substitution.
@@ -648,9 +779,9 @@ class OIPJoin(OverlapJoinAlgorithm):
             # scheduling.
             details["kernel_cache"] = decode_cache.snapshot()
         details.update(parallel_details)
-        if derivation is not None:
-            details["k_derivation_steps"] = derivation.steps
-            details["k_oscillated"] = derivation.oscillated
+        if k_steps is not None:
+            details["k_derivation_steps"] = k_steps
+            details["k_oscillated"] = k_oscillated
         if governor is not None:
             details["partitions_completed"] = partitions_done
             if start_at:

@@ -504,8 +504,18 @@ def estimate_candidates(outer: Any, inner: Any) -> float:
     return outer.cardinality * inner.cardinality * coverage
 
 
-def choose_kernel(outer: Any, inner: Any, cache_enabled: bool = True) -> str:
+def choose_kernel(
+    outer: Any,
+    inner: Any,
+    cache_enabled: bool = True,
+    estimated: Optional[float] = None,
+) -> str:
     """Statistics-driven three-way kernel choice.
+
+    ``estimated`` overrides the candidate estimate (the planner passes
+    the figure it derived from persisted index statistics so the kernel
+    tier and the parallelism decision never disagree on the estimate);
+    ``None`` computes it from the relations.
 
     The estimated candidate count decides the tier: the ``naive`` loop
     below :data:`AUTO_SWEEP_CANDIDATES` (sort/bisect bookkeeping is not
@@ -526,7 +536,8 @@ def choose_kernel(outer: Any, inner: Any, cache_enabled: bool = True) -> str:
     """
     if not cache_enabled:
         return "naive"
-    estimated = estimate_candidates(outer, inner)
+    if estimated is None:
+        estimated = estimate_candidates(outer, inner)
     if estimated >= AUTO_NUMPY_CANDIDATES and numpy_available():
         return "numpy"
     if estimated >= AUTO_SWEEP_CANDIDATES:
@@ -654,6 +665,19 @@ class DecodedRunCache:
                 return False
             self.invalidations += 1
             return True
+
+    def invalidate_all(self) -> int:
+        """Drop every entry, counting each under ``invalidations``.
+
+        Used when an index is (re)loaded from disk: decodes keyed on a
+        prior snapshot generation's block ids must never be served
+        against the new one.  Returns the number of entries purged
+        (unlike :meth:`clear`, which is bookkeeping-free reset)."""
+        with self._lock:
+            purged = len(self._entries)
+            self._entries.clear()
+            self.invalidations += purged
+            return purged
 
     def clear(self) -> None:
         with self._lock:

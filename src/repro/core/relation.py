@@ -95,7 +95,7 @@ class TemporalRelation:
     statistics are computed once and reused by the cost model.
     """
 
-    __slots__ = ("name", "_tuples", "_time_range", "_max_duration")
+    __slots__ = ("name", "_tuples", "_time_range", "_max_duration", "_digests")
 
     def __init__(
         self,
@@ -104,6 +104,11 @@ class TemporalRelation:
     ) -> None:
         self.name = name
         self._tuples: List[TemporalTuple] = list(tuples)
+        #: Lazily-populated content-fingerprint cache (see
+        #: :mod:`repro.storage.snapshot`).  Sound because the relation is
+        #: immutable after construction: every derived operation returns
+        #: a new relation.
+        self._digests: Optional[dict] = None
         self._time_range: Optional[Interval] = None
         self._max_duration: Optional[int] = None
         if self._tuples:

@@ -34,6 +34,15 @@ amortise their per-partition start sort through that cache, so the
 planner must never recommend a cache-dependent plan the join can't
 execute.
 
+``plan(..., index_path=...)`` points the planner at a persisted index
+snapshot (:func:`repro.storage.save_index`): the snapshot's ``stats``
+section supplies the duration fractions and cardinalities for all of
+the above decisions without scanning the relations, and the path is
+threaded into the planned OIPJOIN so execution loads the snapshot
+instead of re-partitioning.  A missing or corrupt snapshot costs only
+the statistics shortcut — the planner falls back to relation
+statistics, and the join itself degrades to an in-memory rebuild.
+
 The chosen algorithm and the reasoning are exposed on the returned
 :class:`JoinPlan` so applications can log plan decisions.  Reasoning
 strings are built lazily on first access of :attr:`JoinPlan.reason` —
@@ -280,11 +289,32 @@ class JoinPlanner:
                     f"max_cost={budget.max_cost}"
                 )
 
+    @staticmethod
+    def _index_statistics(index_path: str):
+        """Read the planner-relevant statistics persisted in an index
+        snapshot.  Returns ``(stats, None)`` on success or ``(None,
+        reason_slug)`` when the snapshot is missing/corrupt/malformed —
+        the planner then falls back to relation statistics and the
+        planned OIPJOIN's own degrade path handles the snapshot."""
+        from ..storage.snapshot import SnapshotError, read_statistics
+
+        try:
+            stats = read_statistics(index_path)["stats"]
+            for side in ("outer", "inner"):
+                float(stats[side]["duration_fraction"])
+                int(stats[side]["cardinality"])
+        except SnapshotError as error:
+            return None, error.reason
+        except (OSError, KeyError, TypeError, ValueError):
+            return None, "inconsistent"
+        return stats, None
+
     def plan(
         self,
         outer: TemporalRelation,
         inner: TemporalRelation,
         budget=None,
+        index_path: Optional[str] = None,
     ) -> JoinPlan:
         """Choose the algorithm for ``outer JOIN inner``.
 
@@ -293,14 +323,45 @@ class JoinPlanner:
         exceeds the budget (raising :class:`~repro.engine.governor
         .BudgetExceededError` before any work), then threads the budget
         into the planned OIPJOIN for cooperative runtime enforcement.
+
+        ``index_path`` names a persisted index snapshot (see
+        :func:`repro.storage.save_index`).  Its ``stats`` section —
+        duration fractions and cardinalities recorded at save time —
+        replaces the relation scan in the algorithm/parallelism/kernel
+        decisions, and the path is threaded into the planned OIPJOIN so
+        execution loads the snapshot instead of re-partitioning (with
+        graceful degradation to a rebuild if the snapshot is corrupt).
+        A missing or unreadable snapshot only costs the statistics
+        shortcut: the planner falls back to relation statistics and
+        notes the reason.
         """
-        outer_lambda = (
-            outer.duration_fraction if not outer.is_empty else 0.0
-        )
-        inner_lambda = (
-            inner.duration_fraction if not inner.is_empty else 0.0
-        )
-        estimated = self.estimate_candidates(outer, inner)
+        index_stats = None
+        index_note = ""
+        if index_path is not None:
+            index_stats, index_error = self._index_statistics(index_path)
+            if index_stats is None:
+                index_note = (
+                    f"; index statistics unavailable ({index_error}): "
+                    "planned from relation statistics"
+                )
+        if index_stats is not None:
+            outer_lambda = float(index_stats["outer"]["duration_fraction"])
+            inner_lambda = float(index_stats["inner"]["duration_fraction"])
+            coverage = min(1.0, outer_lambda + inner_lambda)
+            estimated = (
+                int(index_stats["outer"]["cardinality"])
+                * int(index_stats["inner"]["cardinality"])
+                * coverage
+            )
+            index_note = "; planned from persisted index statistics"
+        else:
+            outer_lambda = (
+                outer.duration_fraction if not outer.is_empty else 0.0
+            )
+            inner_lambda = (
+                inner.duration_fraction if not inner.is_empty else 0.0
+            )
+            estimated = self.estimate_candidates(outer, inner)
         if budget is not None:
             self._check_budget(budget, outer, inner, estimated)
         if (
@@ -316,13 +377,20 @@ class JoinPlanner:
             )
 
             def reason() -> str:
-                return (
+                base = (
                     "both inputs are (near-)point data "
                     f"(lambda_r={outer_lambda:.2e}, "
                     f"lambda_s={inner_lambda:.2e} "
                     f"<= {self.point_threshold:.0e}): sort-merge join "
                     "wins on short tuples"
                 )
+                base += index_note
+                if index_path is not None:
+                    base += (
+                        "; persisted OIP snapshot left unused "
+                        "(sort-merge plan)"
+                    )
+                return base
 
         else:
             workers = self._resolve_workers()
@@ -344,7 +412,12 @@ class JoinPlanner:
             )
             if self.kernel == "auto":
                 kernel = choose_kernel(
-                    outer, inner, cache_enabled=cache_enabled
+                    outer,
+                    inner,
+                    cache_enabled=cache_enabled,
+                    estimated=(
+                        estimated if index_stats is not None else None
+                    ),
                 )
             else:
                 kernel = self.kernel
@@ -359,6 +432,7 @@ class JoinPlanner:
                 tracer=self.tracer,
                 metrics=self.metrics,
                 collect_report=self.collect_report,
+                index_path=index_path,
             )
 
             def reason() -> str:
@@ -397,6 +471,11 @@ class JoinPlanner:
                     )
                 else:
                     base += "; naive kernel below the sweep threshold"
+                base += index_note
+                if index_path is not None and index_note.endswith(
+                    "persisted index statistics"
+                ):
+                    base += "; execution loads the snapshot"
                 return base
 
         return JoinPlan(
@@ -412,6 +491,8 @@ class JoinPlanner:
         outer: TemporalRelation,
         inner: TemporalRelation,
         budget=None,
+        index_path: Optional[str] = None,
     ) -> JoinResult:
         """Plan and execute in one call."""
-        return self.plan(outer, inner, budget=budget).execute(outer, inner)
+        plan = self.plan(outer, inner, budget=budget, index_path=index_path)
+        return plan.execute(outer, inner)

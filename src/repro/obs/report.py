@@ -151,6 +151,12 @@ def build_report(
         ),
         "governor": _jsonable(governor) if governor is not None else None,
         "metrics": _jsonable(metrics) if metrics is not None else None,
+        "index": (
+            _jsonable(result.details["index"])
+            if isinstance(getattr(result, "details", None), dict)
+            and "index" in result.details
+            else None
+        ),
     }
 
 

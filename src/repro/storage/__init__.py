@@ -25,13 +25,29 @@ from .faults import (
     FaultKind,
     FaultPolicy,
     ReadRetriesExceededError,
+    SimulatedCrashError,
     StorageFaultError,
     TransientReadError,
+    WriteFault,
+    WriteFaultKind,
+    WriteFaultPolicy,
     fault_profile,
     perform_read,
 )
 from .manager import StorageManager
 from .metrics import CostCounters, CostWeights, ResilienceCounters
+from .snapshot import (
+    MaintainedIndex,
+    MaintenanceJournal,
+    SnapshotError,
+    SnapshotFormatError,
+    SnapshotMismatchError,
+    SnapshotVersionError,
+    fsck_index,
+    load_index,
+    read_statistics,
+    save_index,
+)
 
 __all__ = [
     "Block",
@@ -55,8 +71,22 @@ __all__ = [
     "TransientReadError",
     "fault_profile",
     "perform_read",
+    "SimulatedCrashError",
+    "WriteFault",
+    "WriteFaultKind",
+    "WriteFaultPolicy",
     "StorageManager",
     "CostCounters",
     "CostWeights",
     "ResilienceCounters",
+    "MaintainedIndex",
+    "MaintenanceJournal",
+    "SnapshotError",
+    "SnapshotFormatError",
+    "SnapshotMismatchError",
+    "SnapshotVersionError",
+    "fsck_index",
+    "load_index",
+    "read_statistics",
+    "save_index",
 ]

@@ -96,6 +96,77 @@ class Block:
         self._stored_checksum = tuple_checksum(tup, self._stored_checksum)
         self._dirty = True
 
+    @classmethod
+    def from_stored(
+        cls,
+        block_id: int,
+        capacity: int,
+        tuples: Sequence[TemporalTuple],
+        stored_checksum: "int | None" = None,
+    ) -> "Block":
+        """Rebuild a block from persisted content in one shot.
+
+        *stored_checksum* is the checksum recorded at original write
+        time; passing it skips the per-tuple CRC fold (the bulk-load
+        fast path).  ``None`` folds the checksum from *tuples*, exactly
+        as repeated :meth:`append` calls would.  The block starts dirty
+        either way, so the first :meth:`verify` recomputes from content
+        and an adopted checksum that does not match is detected, not
+        trusted.
+        """
+        if len(tuples) > capacity:
+            raise OverflowError(
+                f"{len(tuples)} tuples exceed block capacity {capacity}"
+            )
+        block = cls(block_id, capacity)
+        block._tuples.extend(tuples)
+        if stored_checksum is None:
+            crc = 0
+            for tup in tuples:
+                crc = tuple_checksum(tup, crc)
+            stored_checksum = crc
+        block._stored_checksum = stored_checksum
+        block._dirty = True
+        return block
+
+    @classmethod
+    def restore_chunks(
+        cls,
+        run: "BlockRun",
+        tuples: Sequence[TemporalTuple],
+        capacity: int,
+        first_id: int,
+        checksums: Sequence[int],
+    ) -> int:
+        """Bulk-restore *tuples* into consecutive blocks appended to *run*.
+
+        The snapshot-load fast path: behaviourally identical to one
+        :meth:`from_stored` call per ``capacity``-sized chunk with its
+        recorded checksum — consecutive ids from *first_id*, blocks
+        starting dirty so adopted checksums are verified on first read —
+        but with the per-block constructor overhead flattened into one
+        loop.  Returns the number of blocks appended.
+        """
+        if capacity < 1:
+            raise ValueError(f"block capacity must be >= 1, got {capacity}")
+        if type(tuples) is not list:
+            tuples = list(tuples)
+        blocks = run._blocks
+        chunk = 0
+        for start in range(0, len(tuples), capacity):
+            block = cls.__new__(cls)
+            block.block_id = first_id + chunk
+            block.capacity = capacity
+            block._tuples = tuples[start : start + capacity]
+            block._stored_checksum = checksums[chunk]
+            block._computed_checksum = 0
+            block._dirty = True
+            block._delivery_corrupt = False
+            block._media_corrupt = False
+            blocks.append(block)
+            chunk += 1
+        return chunk
+
     # -- integrity ----------------------------------------------------------
 
     @property

@@ -38,6 +38,29 @@ Fault taxonomy
   returning partial results.
 * **latency spike** — the read succeeds but is recorded as slow; no
   retry, visible in the resilience counters.
+
+Write-path faults
+-----------------
+
+The persistent index (:mod:`repro.storage.snapshot`) commits files
+atomically (temp file + fsync + rename).  :class:`WriteFaultPolicy`
+injects the crash modes that protocol must survive, seeded through the
+same avalanche-hash draw as the read faults (the "block id" is a CRC of
+the target file name, so every commit of one path draws the same fate
+for one seed):
+
+* **torn write** — the process dies mid-write: the temp file is
+  truncated at a byte offset and :class:`SimulatedCrashError` is raised
+  with the temp file left behind (rename never happened).
+* **dropped fsync** — the rename completes but the data never reached
+  the platters before the crash: the *final* file is truncated at an
+  offset after the rename (the classic rename-without-fsync bug).
+* **failed rename** — the temp file is complete and durable but the
+  rename itself never executed; the target (old snapshot, or nothing)
+  is untouched.
+* **post-write bit-flip** — the commit succeeds, but one bit of the
+  written file flips afterwards (silent bit-rot); no crash is raised,
+  detection is the section checksums' job.
 """
 
 from __future__ import annotations
@@ -60,6 +83,10 @@ __all__ = [
     "FAULT_PROFILES",
     "fault_profile",
     "perform_read",
+    "WriteFaultKind",
+    "WriteFault",
+    "WriteFaultPolicy",
+    "SimulatedCrashError",
 ]
 
 
@@ -423,3 +450,172 @@ def perform_read(
                 corrupt=corrupt,
             )
         attempt += 1
+
+
+# ----------------------------------------------------------------------
+# Write-path faults (crash injection for atomic file commits).
+# ----------------------------------------------------------------------
+
+
+class WriteFaultKind(enum.Enum):
+    """Fate of one atomic file commit."""
+
+    OK = "ok"
+    TORN_WRITE = "torn_write"
+    DROPPED_FSYNC = "dropped_fsync"
+    FAILED_RENAME = "failed_rename"
+    BIT_FLIP = "bit_flip"
+
+
+class SimulatedCrashError(RuntimeError):
+    """The injected crash: the process "died" at *stage* of a commit.
+
+    The on-disk state at raise time is exactly what a real crash at that
+    point would leave (torn temp file, renamed-but-unsynced target,
+    orphaned complete temp file); callers must not clean it up — the
+    recovery machinery is what is under test.
+    """
+
+    def __init__(self, path: str, stage: str, offset: Optional[int] = None) -> None:
+        detail = f" at byte {offset}" if offset is not None else ""
+        super().__init__(
+            f"simulated crash during {stage} of {path!r}{detail}"
+        )
+        self.path = path
+        self.stage = stage
+        self.offset = offset
+
+
+@dataclass(frozen=True)
+class WriteFault:
+    """One commit decision: what happens, and at which byte offset."""
+
+    kind: WriteFaultKind
+    offset: Optional[int] = None
+
+
+def _path_key(name: str) -> int:
+    """Stable integer identity of a commit target (plays the role the
+    block id plays for read faults)."""
+    return zlib.crc32(name.encode("utf-8", "replace"))
+
+
+@dataclass(frozen=True)
+class WriteFaultPolicy:
+    """Seeded, deterministic crash schedule for atomic file commits.
+
+    Explicit pins (``torn_write_at``, ``drop_fsync``, ``fail_rename``,
+    ``bitflip_at``) force the fault on the commit whose zero-based
+    sequence number equals ``at_commit`` (every commit when
+    ``at_commit`` is ``None``); the ``*_probability`` fields draw one
+    deterministic :func:`_unit_draw` per ``(seed, path, commit)``
+    instead.  Precedence when several faults fire on one commit: torn
+    write, then failed rename, then dropped fsync, then bit-flip —
+    mirroring the order the stages happen in time (the earliest crash
+    wins).
+
+    Offsets are clamped to the written payload, so sweeping
+    ``torn_write_at`` over ``range(size)`` exercises every byte
+    boundary without knowing the exact file size up front.
+    """
+
+    seed: int = 0
+    torn_write_at: Optional[int] = None
+    torn_write_probability: float = 0.0
+    drop_fsync: bool = False
+    drop_fsync_probability: float = 0.0
+    fail_rename: bool = False
+    fail_rename_probability: float = 0.0
+    bitflip_at: Optional[int] = None
+    bitflip_probability: float = 0.0
+    #: Zero-based commit sequence number the pinned faults apply to
+    #: (``None``: every commit).  Probabilistic faults always draw per
+    #: commit.
+    at_commit: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for name in (
+            "torn_write_probability",
+            "drop_fsync_probability",
+            "fail_rename_probability",
+            "bitflip_probability",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(
+                    f"{name} must be within [0, 1], got {value}"
+                )
+        for name in ("torn_write_at", "bitflip_at"):
+            value = getattr(self, name)
+            if value is not None and value < 0:
+                raise ValueError(f"{name} must be >= 0, got {value}")
+
+    @property
+    def injects_faults(self) -> bool:
+        return bool(
+            self.torn_write_at is not None
+            or self.torn_write_probability
+            or self.drop_fsync
+            or self.drop_fsync_probability
+            or self.fail_rename
+            or self.fail_rename_probability
+            or self.bitflip_at is not None
+            or self.bitflip_probability
+        )
+
+    def _pinned(self, commit: int) -> bool:
+        return self.at_commit is None or commit == self.at_commit
+
+    def _draw(self, salt: str, name: str, commit: int) -> float:
+        return _unit_draw(self.seed, salt, _path_key(name), commit)
+
+    def _offset(self, salt: str, name: str, commit: int, size: int) -> int:
+        if size <= 0:
+            return 0
+        return int(self._draw(salt + ".at", name, commit) * size)
+
+    def decide_commit(self, name: str, size: int, commit: int = 0) -> WriteFault:
+        """The fate of commit number *commit* of *size* bytes to *name*."""
+        pinned = self._pinned(commit)
+        if pinned and self.torn_write_at is not None:
+            return WriteFault(
+                WriteFaultKind.TORN_WRITE,
+                min(self.torn_write_at, max(size - 1, 0)),
+            )
+        if self.torn_write_probability and (
+            self._draw("write.torn", name, commit)
+            < self.torn_write_probability
+        ):
+            return WriteFault(
+                WriteFaultKind.TORN_WRITE,
+                self._offset("write.torn", name, commit, size),
+            )
+        if (pinned and self.fail_rename) or (
+            self.fail_rename_probability
+            and self._draw("write.rename", name, commit)
+            < self.fail_rename_probability
+        ):
+            return WriteFault(WriteFaultKind.FAILED_RENAME)
+        if (pinned and self.drop_fsync) or (
+            self.drop_fsync_probability
+            and self._draw("write.fsync", name, commit)
+            < self.drop_fsync_probability
+        ):
+            return WriteFault(
+                WriteFaultKind.DROPPED_FSYNC,
+                self._offset("write.fsync", name, commit, size),
+            )
+        if pinned and self.bitflip_at is not None:
+            return WriteFault(
+                WriteFaultKind.BIT_FLIP,
+                min(self.bitflip_at, max(size - 1, 0)),
+            )
+        if self.bitflip_probability and (
+            self._draw("write.bitflip", name, commit)
+            < self.bitflip_probability
+        ):
+            return WriteFault(
+                WriteFaultKind.BIT_FLIP,
+                self._offset("write.bitflip", name, commit, size),
+            )
+        return WriteFault(WriteFaultKind.OK)

@@ -200,3 +200,66 @@ class TestExecution:
 
         result = JoinPlanner().join(TemporalRelation([]), paper_s)
         assert result.pairs == []
+
+
+class TestIndexStatistics:
+    """Planning from a persisted snapshot's statistics section."""
+
+    @pytest.fixture
+    def indexed(self, tmp_path):
+        from repro.storage import save_index
+
+        outer = long_lived_mixture(300, 0.3, Interval(1, 20_000), seed=71)
+        inner = long_lived_mixture(300, 0.3, Interval(1, 20_000), seed=72)
+        path = str(tmp_path / "plan.oip")
+        save_index(path, outer, inner)
+        return path, outer, inner
+
+    def test_same_decision_as_relation_statistics(self, indexed):
+        path, outer, inner = indexed
+        planner = JoinPlanner()
+        base = planner.plan(outer, inner)
+        plan = planner.plan(outer, inner, index_path=path)
+        # Persisted statistics were recorded from these relations, so
+        # every decision input matches the relation-scan path.
+        assert plan.outer_duration_fraction == base.outer_duration_fraction
+        assert plan.inner_duration_fraction == base.inner_duration_fraction
+        assert plan.estimated_candidates == base.estimated_candidates
+        assert type(plan.algorithm) is type(base.algorithm)
+        assert plan.algorithm.index_path == path
+        assert "persisted index statistics" in plan.reason
+
+    def test_execution_loads_snapshot(self, indexed):
+        path, outer, inner = indexed
+        plan = JoinPlanner().plan(outer, inner, index_path=path)
+        result = plan.execute(outer, inner)
+        assert result.details["index"]["loaded"] is True
+        baseline = JoinPlanner().join(outer, inner)
+        assert result.pairs == baseline.pairs
+        assert result.counters.snapshot() == baseline.counters.snapshot()
+
+    def test_missing_snapshot_falls_back(self, indexed, tmp_path):
+        path, outer, inner = indexed
+        missing = str(tmp_path / "missing.oip")
+        planner = JoinPlanner()
+        plan = planner.plan(outer, inner, index_path=missing)
+        base = planner.plan(outer, inner)
+        assert plan.estimated_candidates == base.estimated_candidates
+        assert "index statistics unavailable (missing)" in plan.reason
+        # Execution still answers, through the join's degrade path.
+        result = plan.execute(outer, inner)
+        assert result.details["index"]["loaded"] is False
+        assert result.pairs == planner.join(outer, inner).pairs
+
+    def test_point_data_plan_ignores_index(self, indexed, tmp_path):
+        path, _, _ = indexed
+        outer = point_relation(80, seed=73)
+        inner = point_relation(80, seed=74)
+        # Index statistics describe mixture data, so the planner will
+        # not pick sort-merge from them; without them it does.  Use a
+        # corrupt path to force relation statistics.
+        plan = JoinPlanner().plan(
+            outer, inner, index_path=str(tmp_path / "gone.oip")
+        )
+        assert "sort-merge" in plan.reason
+        assert "left unused" in plan.reason
