@@ -592,12 +592,47 @@ def _run_batch(args: argparse.Namespace) -> int:
     return 0 if result.completed else 130
 
 
+def _index_preflight(args: argparse.Namespace) -> Optional[int]:
+    """The strict ``join --index`` contract: without ``--index-fallback``
+    an unusable snapshot is an error, not a silent rebuild.  Returns the
+    exit code — 66 (EX_NOINPUT) when the snapshot is missing, 65
+    (EX_DATAERR) when it exists but cannot load — or ``None`` when the
+    snapshot parsed cleanly (config mismatches surface after the join)."""
+    if getattr(args, "index", None) is None or getattr(
+        args, "index_fallback", False
+    ):
+        return None
+    # Usage errors outrank file-state errors: non-oip algorithms and
+    # --batch reject --index with a SystemExit of their own.
+    if getattr(args, "algorithm", "oip") != "oip":
+        return None
+    if getattr(args, "batch", None) is not None:
+        return None
+    from .storage.snapshot import ParsedSnapshot, SnapshotError
+
+    try:
+        ParsedSnapshot.read(args.index)
+    except SnapshotError as error:
+        code = 66 if error.reason == "missing" else 65
+        print(
+            f"join: index snapshot {args.index}: {error} "
+            f"[reason={error.reason}]; pass --index-fallback to rebuild "
+            "in memory instead",
+            file=sys.stderr,
+        )
+        return code
+    return None
+
+
 def _run_single(args: argparse.Namespace) -> int:
     if args.algorithm not in ALGORITHMS:
         raise SystemExit(
             f"unknown algorithm {args.algorithm!r}; "
             f"choose from {', '.join(sorted(ALGORITHMS))}"
         )
+    strict_index = _index_preflight(args)
+    if strict_index is not None:
+        return strict_index
     if getattr(args, "batch", None) is not None:
         return _run_batch(args)
     outer = _make_relation(args, args.seed, "outer")
@@ -636,6 +671,21 @@ def _run_single(args: argparse.Namespace) -> int:
         if sink is not None:
             sink.close()
     _write_obs_artifacts(args, result)
+    if (
+        getattr(args, "index", None) is not None
+        and not getattr(args, "index_fallback", False)
+        and not (result.details.get("index") or {}).get("loaded", False)
+    ):
+        # The snapshot parsed in preflight but was rejected at load time
+        # (fingerprint or configuration mismatch) and the join fell back
+        # to an in-memory rebuild — strict mode makes that an error.
+        detail = (result.details.get("index") or {}).get("reason", "mismatch")
+        print(
+            f"join: index snapshot {args.index} was not used: {detail}; "
+            "pass --index-fallback to accept the in-memory rebuild",
+            file=sys.stderr,
+        )
+        return 65  # EX_DATAERR
     if getattr(args, "json", False):
         from .obs.report import dumps_report
 
@@ -824,9 +874,11 @@ def _run_fsck(args: argparse.Namespace) -> int:
     verdict = fsck_index(
         args.path, repair=not args.no_repair, deep=not args.no_deep
     )
+    exit_code = 2 if not verdict["exists"] else (0 if verdict["ok"] else 1)
     if args.json:
         import json
 
+        verdict = dict(verdict, exit_code=exit_code)
         sys.stdout.write(json.dumps(verdict, indent=2, sort_keys=True) + "\n")
     else:
         state = (
@@ -843,9 +895,107 @@ def _run_fsck(args: argparse.Namespace) -> int:
             print(f"  problem: {problem}")
         for repair in verdict["repairs"]:
             print(f"  repaired: {repair}")
-    if not verdict["exists"]:
-        return 2
-    return 0 if verdict["ok"] else 1
+    return exit_code
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    """The ``serve`` path: a long-lived query service over one snapshot.
+
+    Speaks the line-delimited JSON protocol over TCP (default; an
+    ephemeral port is announced in the ``ready`` event) or over
+    stdin/stdout with ``--stdio``.  SIGTERM/SIGINT drain gracefully;
+    SIGHUP triggers a hot snapshot refresh.  Exit codes: 0 clean stop,
+    66 the snapshot is missing, 65 it exists but cannot serve.
+    """
+    import json
+    import os
+
+    from .service import JoinService, ServiceServer, serve_stdio
+    from .service.protocol import encode_message
+    from .storage.snapshot import SnapshotError
+
+    service = JoinService(
+        args.index,
+        max_active=args.max_active,
+        max_queued=args.max_queued,
+        admit_timeout_s=args.admit_timeout_ms / 1e3,
+        default_deadline_ms=args.default_deadline_ms,
+        kernel=args.kernel,
+    )
+    try:
+        generation = service.start()
+    except SnapshotError as error:
+        print(
+            f"serve: cannot load snapshot {args.index}: {error} "
+            f"[reason={error.reason}]",
+            file=sys.stderr,
+        )
+        return 66 if error.reason == "missing" else 65
+    ready = {
+        "event": "ready",
+        "pid": os.getpid(),
+        "generation": generation,
+        "path": args.index,
+    }
+    if args.stdio:
+        sys.stdout.buffer.write(encode_message(ready))
+        sys.stdout.buffer.flush()
+        serve_stdio(service, sys.stdin.buffer, sys.stdout.buffer)
+        if service.status != "stopped":
+            service.drain(
+                timeout_s=args.drain_timeout_s,
+                hard_stop_timeout_s=args.hard_stop_timeout_s,
+            )
+        return 0
+    server = ServiceServer(
+        service,
+        host=args.host,
+        port=args.port,
+        drain_timeout_s=args.drain_timeout_s,
+        hard_stop_timeout_s=args.hard_stop_timeout_s,
+    ).start()
+    ready["host"] = server.host
+    ready["port"] = server.port
+    print(json.dumps(ready, sort_keys=True), flush=True)
+
+    def _drain(_signum, _frame):
+        server.initiate_shutdown()
+
+    def _refresh(_signum, _frame):
+        import threading
+
+        threading.Thread(
+            target=lambda: _swallow_refresh(service), daemon=True
+        ).start()
+
+    previous: dict = {}
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            previous[sig] = signal.signal(sig, _drain)
+        except (ValueError, OSError):  # pragma: no cover - non-main thread
+            pass
+    hup = getattr(signal, "SIGHUP", None)
+    if hup is not None:
+        try:
+            previous[hup] = signal.signal(hup, _refresh)
+        except (ValueError, OSError):  # pragma: no cover
+            pass
+    try:
+        while not server.wait(timeout=0.5):
+            pass
+    finally:
+        _restore_handlers(previous)
+    return 0
+
+
+def _swallow_refresh(service) -> None:
+    """SIGHUP refresh: a rejected swap must never kill the server."""
+    from .service.errors import ServiceError
+
+    try:
+        service.refresh()
+    except ServiceError:
+        pass
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -884,9 +1034,19 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help=(
             "load the OIP partitionings from a persisted snapshot "
-            "(written by save-index) instead of re-partitioning; a "
-            "missing or corrupt snapshot degrades to an in-memory "
-            "rebuild with identical results (oip only)"
+            "(written by save-index) instead of re-partitioning (oip "
+            "only); an unusable snapshot is an error with a distinct "
+            "exit code: 66 when the snapshot is missing, 65 when it is "
+            "corrupt or does not match the requested configuration"
+        ),
+    )
+    join_parser.add_argument(
+        "--index-fallback",
+        action="store_true",
+        help=(
+            "with --index: degrade a missing/corrupt/mismatched "
+            "snapshot to an in-memory rebuild with identical results "
+            "(exit 0) instead of failing with exit 66/65"
         ),
     )
     _add_parallel_arguments(join_parser)
@@ -1012,6 +1172,79 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the per-tuple grid-position validation pass",
     )
     fsck_parser.set_defaults(handler=_run_fsck)
+
+    serve_parser = commands.add_parser(
+        "serve",
+        help=(
+            "run a long-lived, fault-tolerant query service over a "
+            "persisted snapshot (line-delimited JSON over TCP or stdio)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--index",
+        required=True,
+        metavar="PATH",
+        help="snapshot to serve (written by save-index, with payloads)",
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default %(default)s)"
+    )
+    serve_parser.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port; 0 picks an ephemeral port announced in the ready event",
+    )
+    serve_parser.add_argument(
+        "--stdio",
+        action="store_true",
+        help="speak the protocol over stdin/stdout instead of TCP",
+    )
+    serve_parser.add_argument(
+        "--max-active",
+        type=int,
+        default=4,
+        help="concurrent query slots (default %(default)s)",
+    )
+    serve_parser.add_argument(
+        "--max-queued",
+        type=int,
+        default=16,
+        help="admission queue depth before shedding (default %(default)s)",
+    )
+    serve_parser.add_argument(
+        "--admit-timeout-ms",
+        type=float,
+        default=5000.0,
+        help="max queue wait before a query is shed (default %(default)s)",
+    )
+    serve_parser.add_argument(
+        "--default-deadline-ms",
+        type=float,
+        default=None,
+        help="per-query deadline applied when a request sets none",
+    )
+    serve_parser.add_argument(
+        "--drain-timeout-s",
+        type=float,
+        default=30.0,
+        help=(
+            "graceful-drain window on SIGTERM/shutdown before in-flight "
+            "queries are hard-stopped (default %(default)s)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--hard-stop-timeout-s",
+        type=float,
+        default=5.0,
+        help="wait after cancelling stragglers (default %(default)s)",
+    )
+    serve_parser.add_argument(
+        "--kernel",
+        default="auto",
+        help="partition-pair join kernel for served queries",
+    )
+    serve_parser.set_defaults(handler=_run_serve)
 
     return parser
 

@@ -214,6 +214,7 @@ class OIPJoin(OverlapJoinAlgorithm):
         resume_from: Optional[str] = None,
         circuit_breaker: Optional[Any] = None,
         index_path: Optional[str] = None,
+        index_provider: Optional[Any] = None,
         tracer: Optional[Any] = None,
         metrics: Optional[Any] = None,
         collect_report: bool = False,
@@ -296,8 +297,25 @@ class OIPJoin(OverlapJoinAlgorithm):
             else checkpoint_every
         )
         self.resume_from = resume_from
+        if index_path is not None and index_provider is not None:
+            raise ValueError(
+                "pass either index_path (restore from a file) or "
+                "index_provider (restore from pinned sections), not both"
+            )
+        if index_provider is not None and not callable(index_provider):
+            raise ValueError(
+                "index_provider must be callable as "
+                "provider(outer, inner, storage=..., expected=...)"
+            )
         self.circuit_breaker = circuit_breaker
         self.index_path = index_path
+        #: A callable ``(outer, inner, *, storage, expected) ->
+        #: LoadedIndex`` restoring from already-parsed snapshot sections
+        #: (see :class:`repro.storage.snapshot.ParsedSnapshot`); the
+        #: serving layer uses it to pin a generation in memory while the
+        #: file on disk moves on.  Failures degrade to a rebuild exactly
+        #: like a failed ``index_path`` load.
+        self.index_provider = index_provider
 
     @staticmethod
     def _validate_parallel_keywords(
@@ -447,8 +465,13 @@ class OIPJoin(OverlapJoinAlgorithm):
             "weights": (weights.cpu, weights.io),
         }
 
+    @property
+    def _uses_index(self) -> bool:
+        return self.index_path is not None or self.index_provider is not None
+
     def _load_index(self, outer, inner, storage, tracer):
-        """Try to restore both partition lists from ``index_path``.
+        """Try to restore both partition lists from ``index_path`` (or
+        the pinned-section ``index_provider``).
 
         Returns ``(LoadedIndex | None, details)``.  Every failure mode —
         missing file, corrupt container, version or configuration
@@ -460,16 +483,29 @@ class OIPJoin(OverlapJoinAlgorithm):
         """
         from ..storage.snapshot import SnapshotError, load_index
 
-        path = self.index_path
+        provider = self.index_provider
+        path = (
+            self.index_path
+            if provider is None
+            else getattr(provider, "path", "<provider>")
+        )
         with tracer.span("index.load", path=path) as span:
             try:
-                loaded = load_index(
-                    path,
-                    outer,
-                    inner,
-                    storage=storage,
-                    expected=self._index_expectation(),
-                )
+                if provider is not None:
+                    loaded = provider(
+                        outer,
+                        inner,
+                        storage=storage,
+                        expected=self._index_expectation(),
+                    )
+                else:
+                    loaded = load_index(
+                        path,
+                        outer,
+                        inner,
+                        storage=storage,
+                        expected=self._index_expectation(),
+                    )
             except SnapshotError as error:
                 reason = error.reason
             except OSError as error:  # pragma: no cover - racing unlink
@@ -547,7 +583,7 @@ class OIPJoin(OverlapJoinAlgorithm):
         loaded = None
         index_details = None
         prior_cache = self._kernel_cache
-        if self.index_path is not None:
+        if self._uses_index:
             loaded, index_details = self._load_index(
                 outer, inner, storage, tracer
             )
@@ -596,7 +632,7 @@ class OIPJoin(OverlapJoinAlgorithm):
         decode_cache = (
             DecodedRunCache(self.decode_cache_size) if cache_enabled else None
         )
-        if self.index_path is not None and prior_cache is not None:
+        if self._uses_index and prior_cache is not None:
             # An index (re)load starts a new snapshot generation with
             # fresh block ids: any decode a previous run of this
             # instance cached could be served stale.  Purge the old

@@ -1,0 +1,43 @@
+"""Fault-tolerant concurrent query service over persistent OIP
+snapshots.
+
+Layering (each module usable on its own):
+
+* :mod:`~repro.service.errors` — structured, wire-ready error taxonomy.
+* :mod:`~repro.service.snapshots` — generation pinning and the
+  load-validate-swap-drop hot-refresh protocol.
+* :mod:`~repro.service.service` — :class:`JoinService`: admission,
+  deadlines, retries, breaker, drain, ``service.*`` metrics.
+* :mod:`~repro.service.protocol` / :mod:`~repro.service.server` /
+  :mod:`~repro.service.client` — line-delimited JSON over TCP or stdio.
+"""
+
+from .client import RemoteServiceError, ServiceClient
+from .errors import (
+    BadRequestError,
+    ServiceError,
+    ServiceOverloadError,
+    ServiceUnavailableError,
+    SnapshotSwapRejectedError,
+)
+from .server import ServiceServer, serve_stdio
+from .service import JoinService, offline_query, summarize_result
+from .snapshots import ServingGeneration, SnapshotManager, join_kwargs_from_meta
+
+__all__ = [
+    "JoinService",
+    "ServiceServer",
+    "ServiceClient",
+    "RemoteServiceError",
+    "ServingGeneration",
+    "SnapshotManager",
+    "join_kwargs_from_meta",
+    "offline_query",
+    "summarize_result",
+    "serve_stdio",
+    "ServiceError",
+    "ServiceOverloadError",
+    "ServiceUnavailableError",
+    "SnapshotSwapRejectedError",
+    "BadRequestError",
+]

@@ -1,0 +1,145 @@
+"""Blocking stdlib client for the line-delimited JSON protocol.
+
+:class:`ServiceClient` wraps one TCP connection; each request gets a
+monotonically increasing ``id`` and the reply is matched against it.
+Remote failures re-raise as :class:`RemoteServiceError` carrying the
+structured ``code``/``retriable``/``detail`` fields from the wire, so a
+caller can implement the same backoff policy against a remote service
+as against an in-process one.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Dict, Optional, Sequence
+
+from .errors import ServiceError
+from .protocol import MAX_LINE_BYTES, encode_message
+
+__all__ = ["ServiceClient", "RemoteServiceError"]
+
+
+class RemoteServiceError(ServiceError):
+    """A structured error response from the remote service."""
+
+    @classmethod
+    def from_wire(cls, error: Dict[str, Any]) -> "RemoteServiceError":
+        return cls(
+            str(error.get("message", "remote service error")),
+            code=str(error.get("code", "internal")),
+            retriable=bool(error.get("retriable", False)),
+            detail=dict(error.get("detail") or {}),
+        )
+
+
+class ServiceClient:
+    """``with ServiceClient(host, port) as client: client.join()``"""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        timeout_s: Optional[float] = 30.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self._sock = socket.create_connection((host, port), timeout=timeout_s)
+        self._rfile = self._sock.makefile("rb")
+        self._next_id = 0
+
+    # -- plumbing ------------------------------------------------------------
+
+    def request(self, op: str, **fields: Any) -> Dict[str, Any]:
+        """Send one request and block for its response body."""
+        self._next_id += 1
+        request_id = self._next_id
+        message = {"op": op, "id": request_id}
+        message.update(
+            {key: value for key, value in fields.items() if value is not None}
+        )
+        self._sock.sendall(encode_message(message))
+        line = self._rfile.readline(MAX_LINE_BYTES + 1)
+        if not line:
+            raise ServiceError(
+                f"connection to {self.host}:{self.port} closed before a "
+                f"response to {op!r} arrived",
+                code="disconnected",
+                retriable=True,
+            )
+        import json
+
+        response = json.loads(line.decode("utf-8"))
+        if response.get("id") not in (request_id, None):
+            raise ServiceError(
+                f"response id {response.get('id')!r} does not match "
+                f"request id {request_id}",
+                code="protocol",
+            )
+        if not response.get("ok"):
+            raise RemoteServiceError.from_wire(response.get("error") or {})
+        return response
+
+    def close(self) -> None:
+        try:
+            self._rfile.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- ops -----------------------------------------------------------------
+
+    def ping(self) -> Dict[str, Any]:
+        return self.request("ping")
+
+    def join(
+        self,
+        *,
+        deadline_ms: Optional[float] = None,
+        kernel: Optional[str] = None,
+        include_pairs: bool = False,
+        max_pairs: int = 1000,
+    ) -> Dict[str, Any]:
+        return self.request(
+            "join",
+            deadline_ms=deadline_ms,
+            kernel=kernel,
+            include_pairs=include_pairs or None,
+            max_pairs=max_pairs,
+        )
+
+    def lookup(
+        self,
+        window: Sequence[int],
+        *,
+        deadline_ms: Optional[float] = None,
+        kernel: Optional[str] = None,
+        include_pairs: bool = False,
+        max_pairs: int = 1000,
+    ) -> Dict[str, Any]:
+        return self.request(
+            "lookup",
+            window=list(window),
+            deadline_ms=deadline_ms,
+            kernel=kernel,
+            include_pairs=include_pairs or None,
+            max_pairs=max_pairs,
+        )
+
+    def health(self) -> Dict[str, Any]:
+        return self.request("health")
+
+    def metrics(self) -> Dict[str, Any]:
+        return self.request("metrics")["metrics"]
+
+    def refresh(self, *, force: bool = False) -> Dict[str, Any]:
+        return self.request("refresh", force=force or None)
+
+    def shutdown(self) -> Dict[str, Any]:
+        """Ask the server to drain and stop (acknowledged immediately)."""
+        return self.request("shutdown")

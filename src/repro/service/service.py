@@ -1,0 +1,709 @@
+"""The long-lived, thread-safe overlap-join query service.
+
+:class:`JoinService` is the composition point of six PRs of machinery:
+snapshot persistence provides the data (:mod:`repro.storage.snapshot`,
+pinned per generation by :class:`~repro.service.snapshots
+.SnapshotManager`), the governor provides the request lifecycle
+(:class:`~repro.engine.governor.AdmissionController` bounds concurrency
+and sheds overload, :class:`~repro.engine.governor.QueryBudget` turns a
+per-request deadline into a cooperative abort,
+:class:`~repro.engine.governor.CircuitBreaker` makes pool degradation
+persistent across queries), and the observability layer reports it all
+(``service.*`` metric families in a
+:class:`~repro.obs.MetricsRegistry`).
+
+Correctness contract: a service query restores partition lists from the
+pinned generation through the ``index_provider`` hook and is therefore
+**bit-identical** — pairs, counters, fingerprints — to an offline
+``OIPJoin(index_path=...)`` run against the same generation (see
+:func:`offline_query`, which the chaos suite uses as its oracle).
+
+Request lifecycle (every ``query()``)::
+
+    submitted ──▶ state gate (serving?) ──▶ admission (slots/queue)
+        │                │ draining/stopped        │ full
+        │                ▼                         ▼
+        │         ServiceUnavailableError   ServiceOverloadError
+        ▼
+    pin generation ──▶ budget+cancel+breaker join ──▶ release pin
+        │                    │ deadline / fault / cancel
+        ▼                    ▼
+    response            structured ServiceError (stable ``code``)
+
+Graceful shutdown: :meth:`drain` stops admitting, waits for in-flight
+queries up to a timeout, then hard-stops stragglers by cancelling their
+cooperative tokens — zero queries are lost silently; every admitted
+query either completes or receives a structured ``cancelled`` error.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import zlib
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.join import OIPJoin
+from ..engine.governor import (
+    AdmissionController,
+    AdmissionRejectedError,
+    BudgetExceededError,
+    CancellationToken,
+    CircuitBreaker,
+    QueryBudget,
+)
+from ..obs.registry import DEFAULT_LATENCY_BUCKETS_MS, MetricsRegistry
+from ..storage.faults import StorageFaultError
+from .errors import (
+    BadRequestError,
+    ServiceError,
+    ServiceOverloadError,
+    ServiceUnavailableError,
+    SnapshotSwapRejectedError,
+)
+from .snapshots import ServingGeneration, SnapshotManager
+
+__all__ = [
+    "JoinService",
+    "offline_query",
+    "STARTING",
+    "SERVING",
+    "DRAINING",
+    "STOPPED",
+]
+
+STARTING = "starting"
+SERVING = "serving"
+DRAINING = "draining"
+STOPPED = "stopped"
+
+_STATE_VALUES = {STARTING: 0, SERVING: 1, DRAINING: 2, STOPPED: 3}
+_BREAKER_VALUES = {
+    CircuitBreaker.CLOSED: 0,
+    CircuitBreaker.HALF_OPEN: 1,
+    CircuitBreaker.OPEN: 2,
+}
+_OPS = ("join", "lookup")
+
+
+def _window_matches(pair: Tuple[Any, Any], ts: int, te: int) -> bool:
+    """A pair matches window ``[ts, te]`` iff all three intervals share
+    a point (the :class:`~repro.engine.batch.BatchJoin` convention)."""
+    outer, inner = pair
+    return max(outer.start, inner.start, ts) <= min(
+        outer.end, inner.end, te
+    )
+
+
+def _check_window(window: Any) -> Tuple[int, int]:
+    try:
+        ts, te = int(window[0]), int(window[1])
+    except (TypeError, ValueError, IndexError, KeyError):
+        raise BadRequestError(
+            f"window must be a [start, end] integer pair, got {window!r}"
+        ) from None
+    if te < ts:
+        raise BadRequestError(
+            f"window end {te} precedes window start {ts}"
+        )
+    return ts, te
+
+
+def summarize_result(
+    result: Any,
+    *,
+    op: str,
+    window: Optional[Tuple[int, int]],
+    generation: Optional[int],
+    include_pairs: bool = False,
+    max_pairs: int = 1000,
+) -> Dict[str, Any]:
+    """The query-response body shared by the service and its offline
+    oracle: windowed filtering, canonical fingerprint, counters.
+
+    ``fingerprint`` is an order-independent 48-bit sum of per-pair
+    CRC32s over the canonical pair key, so two runs agree exactly when
+    they produced the same result multiset — cheap to ship over the
+    wire, stable across processes, and computed in one pass without
+    sorting the (potentially huge) result."""
+    pairs = result.pairs
+    if op == "lookup":
+        ts, te = window if window is not None else (None, None)
+        pairs = [pair for pair in pairs if _window_matches(pair, ts, te)]
+    fingerprint = 0
+    for outer, inner in pairs:
+        key = (
+            f"{outer.start}|{outer.end}|{outer.payload!r}|"
+            f"{inner.start}|{inner.end}|{inner.payload!r}"
+        )
+        fingerprint = (
+            fingerprint + zlib.crc32(key.encode("utf-8"))
+        ) & 0xFFFFFFFFFFFF
+    body: Dict[str, Any] = {
+        "op": op,
+        "generation": generation,
+        "window": None if window is None else list(window),
+        "pairs": len(pairs),
+        "fingerprint": fingerprint,
+        "completed": bool(result.completed),
+        "elapsed_ms": result.elapsed_ms,
+        "counters": result.counters.snapshot(),
+        "index": result.details.get("index"),
+    }
+    if include_pairs:
+        body["results"] = [
+            [
+                [outer.start, outer.end, outer.payload],
+                [inner.start, inner.end, inner.payload],
+            ]
+            for outer, inner in pairs[: max(0, int(max_pairs))]
+        ]
+        body["results_truncated"] = len(pairs) > max(0, int(max_pairs))
+    return body
+
+
+def offline_query(
+    index_path: str,
+    *,
+    op: str = "join",
+    window: Optional[Sequence[int]] = None,
+    kernel: str = "auto",
+    include_pairs: bool = False,
+    max_pairs: int = 1000,
+    join_options: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """One-shot offline execution of a service request: reconstruct the
+    relations from the snapshot, run ``OIPJoin(index_path=...)`` through
+    the *file* load path, and summarise with the same helper the service
+    uses.  This is the differential oracle the chaos suite compares the
+    long-lived service against, bit for bit."""
+    if op not in _OPS:
+        raise BadRequestError(f"unknown op {op!r}; choose from {_OPS}")
+    checked = _check_window(window) if op == "lookup" else None
+    generation = ServingGeneration.load(index_path)
+    kwargs = generation.join_kwargs()
+    if join_options:
+        kwargs.update(join_options)
+    join = OIPJoin(index_path=index_path, kernel=kernel, **kwargs)
+    result = join.join(generation.outer, generation.inner)
+    return summarize_result(
+        result,
+        op=op,
+        window=checked,
+        generation=generation.generation,
+        include_pairs=include_pairs,
+        max_pairs=max_pairs,
+    )
+
+
+class JoinService:
+    """A bounded-concurrency overlap-join service over one snapshot
+    path, surviving refreshes, corruption, overload, and shutdown.
+
+    Thread-safe: any number of threads may call :meth:`query`,
+    :meth:`refresh`, :meth:`health`, and :meth:`drain` concurrently.
+    """
+
+    def __init__(
+        self,
+        index_path: str,
+        *,
+        max_active: int = 4,
+        max_queued: int = 16,
+        admit_timeout_s: Optional[float] = 5.0,
+        default_deadline_ms: Optional[float] = None,
+        kernel: str = "auto",
+        max_retries: int = 1,
+        retry_backoff_s: float = 0.02,
+        breaker: Optional[CircuitBreaker] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        join_options: Optional[Dict[str, Any]] = None,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if retry_backoff_s < 0:
+            raise ValueError(
+                f"retry_backoff_s must be >= 0, got {retry_backoff_s}"
+            )
+        self.index_path = index_path
+        self.kernel = kernel
+        self.max_retries = max_retries
+        self.retry_backoff_s = retry_backoff_s
+        self.admit_timeout_s = admit_timeout_s
+        self.default_deadline_ms = default_deadline_ms
+        self._clock = clock
+        self._sleep = sleep
+        self._snapshots = SnapshotManager(index_path, clock=clock)
+        self._admission = AdmissionController(
+            max_active=max_active, max_queued=max_queued
+        )
+        self._breaker = (
+            breaker if breaker is not None else CircuitBreaker()
+        )
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: Extra ``OIPJoin`` keywords applied to every query (fault
+        #: policies, parallelism, chaos hooks); mutate through
+        #: :meth:`set_join_option` only.
+        self._join_options: Dict[str, Any] = dict(join_options or {})
+        self._lock = threading.Lock()
+        self._idle = threading.Condition(self._lock)
+        self._status = STARTING
+        self._inflight = 0
+        self._tokens: set = set()
+        self._obs_lock = threading.Lock()
+        self.started_at: Optional[float] = None
+
+    # -- configuration -------------------------------------------------------
+
+    def set_join_option(self, key: str, value: Any) -> None:
+        """Set (or, with ``value=None``... no: remove via
+        :meth:`clear_join_option`) one per-query join keyword."""
+        with self._lock:
+            self._join_options[key] = value
+
+    def clear_join_option(self, key: str) -> None:
+        with self._lock:
+            self._join_options.pop(key, None)
+
+    # -- observability plumbing ----------------------------------------------
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        with self._obs_lock:
+            self.metrics.counter(name).inc(amount)
+
+    def _gauge(self, name: str, value: float) -> None:
+        with self._obs_lock:
+            self.metrics.gauge(name).set(value)
+
+    def _observe(self, name: str, value: float) -> None:
+        with self._obs_lock:
+            self.metrics.histogram(
+                name, buckets=DEFAULT_LATENCY_BUCKETS_MS
+            ).observe(value)
+
+    def publish_metrics(self) -> Dict[str, Any]:
+        """Refresh every gauge from live state and return the whole
+        registry snapshot (the ``metrics`` protocol op)."""
+        described = self._snapshots.describe()
+        with self._lock:
+            status = self._status
+            inflight = self._inflight
+        with self._obs_lock:
+            registry = self.metrics
+            registry.gauge("service.state").set(_STATE_VALUES[status])
+            registry.gauge("service.inflight").set(inflight)
+            registry.gauge("service.queue_depth").set(
+                self._admission.queued
+            )
+            if described["generation"] is not None:
+                registry.gauge("service.generation").set(
+                    described["generation"]
+                )
+                registry.gauge("service.generation.age_s").set(
+                    described["generation_age_s"]
+                )
+            registry.gauge("service.retired_generations").set(
+                described["retired_generations"]
+            )
+            registry.gauge("service.breaker.state").set(
+                _BREAKER_VALUES[self._breaker.state]
+            )
+            self._admission.publish_metrics(registry)
+            self._breaker.publish_metrics(registry)
+            return registry.snapshot()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def status(self) -> str:
+        return self._status
+
+    @property
+    def breaker(self) -> CircuitBreaker:
+        return self._breaker
+
+    @property
+    def admission(self) -> AdmissionController:
+        return self._admission
+
+    @property
+    def snapshots(self) -> SnapshotManager:
+        return self._snapshots
+
+    def start(self) -> int:
+        """Load the initial generation and begin serving.  Raises
+        :class:`~repro.storage.snapshot.SnapshotError` when the snapshot
+        cannot serve (there is no older generation to degrade to)."""
+        with self._lock:
+            if self._status != STARTING:
+                raise ServiceUnavailableError(
+                    f"cannot start from state {self._status!r}",
+                    status=self._status,
+                )
+        generation = self._snapshots.load()
+        with self._lock:
+            self._status = SERVING
+            self.started_at = self._clock()
+        self._gauge("service.state", _STATE_VALUES[SERVING])
+        self._gauge("service.generation", generation.generation)
+        return generation.generation
+
+    def refresh(self, *, force: bool = False) -> Dict[str, Any]:
+        """Hot-swap to the snapshot currently on disk (no downtime; see
+        :class:`~repro.service.snapshots.SnapshotManager`)."""
+        try:
+            report = self._snapshots.refresh(force=force)
+        except SnapshotSwapRejectedError as error:
+            self._count("service.swap.rejected")
+            self._count(f"service.swap.rejected.{error.reason}")
+            raise
+        if report["swapped"]:
+            self._count("service.swap.count")
+            self._observe("service.swap.latency_ms", report["elapsed_ms"])
+            self._gauge("service.generation", report["generation"])
+        else:
+            self._count("service.swap.unchanged")
+        return report
+
+    def health(self) -> Dict[str, Any]:
+        """Liveness + readiness probe material."""
+        with self._lock:
+            status = self._status
+            inflight = self._inflight
+        described = self._snapshots.describe()
+        return {
+            "status": status,
+            "ready": status == SERVING
+            and described["generation"] is not None,
+            "generation": described["generation"],
+            "generation_age_s": described["generation_age_s"],
+            "queries_served": described["queries_served"],
+            "retired_generations": described["retired_generations"],
+            "swaps": described["swaps"],
+            "swaps_rejected": described["swaps_rejected"],
+            "inflight": inflight,
+            "queue_depth": self._admission.queued,
+            "admission": self._admission.stats.snapshot(),
+            "breaker": self._breaker.snapshot(),
+            "uptime_s": (
+                None
+                if self.started_at is None
+                else max(0.0, self._clock() - self.started_at)
+            ),
+        }
+
+    def drain(
+        self,
+        timeout_s: float = 30.0,
+        hard_stop_timeout_s: float = 5.0,
+    ) -> Dict[str, Any]:
+        """Graceful shutdown: stop admitting, wait for in-flight queries
+        (including queued ones already submitted), then cancel whatever
+        outlived *timeout_s* through the cooperative tokens.
+
+        Zero-loss contract: every query admitted before the drain began
+        either completes normally or unwinds into a structured
+        ``cancelled`` error — none vanish.
+        """
+        started = self._clock()
+        with self._lock:
+            already = self._status in (DRAINING, STOPPED)
+            self._status = DRAINING if not already else self._status
+        if already:
+            return {"drained": True, "cancelled": 0, "waited_ms": 0.0}
+        self._gauge("service.state", _STATE_VALUES[DRAINING])
+        deadline = started + max(0.0, timeout_s)
+        with self._lock:
+            while self._inflight > 0:
+                remaining = deadline - self._clock()
+                if remaining <= 0:
+                    break
+                self._idle.wait(remaining)
+            drained = self._inflight == 0
+        cancelled = 0
+        if not drained:
+            with self._lock:
+                victims = list(self._tokens)
+            for token in victims:
+                token.cancel()
+                cancelled += 1
+            self._count("service.drain.cancelled", cancelled)
+            hard_deadline = self._clock() + max(0.0, hard_stop_timeout_s)
+            with self._lock:
+                while self._inflight > 0:
+                    remaining = hard_deadline - self._clock()
+                    if remaining <= 0:
+                        break
+                    self._idle.wait(remaining)
+                drained = self._inflight == 0
+        with self._lock:
+            self._status = STOPPED
+        self._gauge("service.state", _STATE_VALUES[STOPPED])
+        return {
+            "drained": drained,
+            "cancelled": cancelled,
+            "waited_ms": (self._clock() - started) * 1e3,
+        }
+
+    # -- queries -------------------------------------------------------------
+
+    def query(
+        self,
+        op: str = "join",
+        *,
+        window: Optional[Sequence[int]] = None,
+        deadline_ms: Optional[float] = None,
+        kernel: Optional[str] = None,
+        include_pairs: bool = False,
+        max_pairs: int = 1000,
+    ) -> Dict[str, Any]:
+        """Execute one overlap join (or windowed lookup) against the
+        pinned current generation.  Raises a :class:`ServiceError`
+        subclass with a stable ``code`` on any failure."""
+        if op not in _OPS:
+            raise BadRequestError(
+                f"unknown op {op!r}; choose from {_OPS}"
+            )
+        checked_window = _check_window(window) if op == "lookup" else None
+        if deadline_ms is None:
+            deadline_ms = self.default_deadline_ms
+        if deadline_ms is not None and deadline_ms <= 0:
+            raise BadRequestError(
+                f"deadline_ms must be positive, got {deadline_ms}"
+            )
+        submitted = self._clock()
+        with self._lock:
+            if self._status != SERVING:
+                raise ServiceUnavailableError(
+                    f"service is {self._status}; not accepting queries",
+                    status=self._status,
+                )
+            self._inflight += 1
+        self._count("service.queries.submitted")
+        self._gauge("service.inflight", self._inflight)
+        try:
+            return self._admitted_query(
+                op,
+                checked_window,
+                deadline_ms,
+                kernel,
+                include_pairs,
+                max_pairs,
+                submitted,
+            )
+        except ServiceError as error:
+            self._count("service.queries.failed")
+            self._count(f"service.queries.failed.{error.code}")
+            raise
+        finally:
+            with self._lock:
+                self._inflight -= 1
+                if self._inflight == 0:
+                    self._idle.notify_all()
+            self._gauge("service.inflight", self._inflight)
+
+    def _admitted_query(
+        self,
+        op: str,
+        window: Optional[Tuple[int, int]],
+        deadline_ms: Optional[float],
+        kernel: Optional[str],
+        include_pairs: bool,
+        max_pairs: int,
+        submitted: float,
+    ) -> Dict[str, Any]:
+        admit_timeout = self.admit_timeout_s
+        if deadline_ms is not None:
+            budget_window = deadline_ms / 1e3
+            admit_timeout = (
+                budget_window
+                if admit_timeout is None
+                else min(admit_timeout, budget_window)
+            )
+        try:
+            with self._admission.admit(timeout=admit_timeout):
+                self._count("service.queries.admitted")
+                generation = self._snapshots.acquire()
+                try:
+                    return self._execute(
+                        generation,
+                        op,
+                        window,
+                        deadline_ms,
+                        kernel,
+                        include_pairs,
+                        max_pairs,
+                        submitted,
+                    )
+                finally:
+                    self._snapshots.release(generation)
+        except AdmissionRejectedError as error:
+            self._count("service.queries.shed")
+            raise ServiceOverloadError(
+                f"service overloaded: {error}",
+                active=error.active,
+                queued=error.queued,
+                max_active=error.max_active,
+                max_queued=error.max_queued,
+                timed_out=error.timed_out,
+                retry_after_ms=(self.admit_timeout_s or 1.0) * 1e3,
+            ) from error
+
+    def _execute(
+        self,
+        generation: ServingGeneration,
+        op: str,
+        window: Optional[Tuple[int, int]],
+        deadline_ms: Optional[float],
+        kernel: Optional[str],
+        include_pairs: bool,
+        max_pairs: int,
+        submitted: float,
+    ) -> Dict[str, Any]:
+        token = CancellationToken()
+        with self._lock:
+            self._tokens.add(token)
+            options = dict(self._join_options)
+        try:
+            attempts = 0
+            while True:
+                budget = None
+                if deadline_ms is not None:
+                    remaining_ms = deadline_ms - (
+                        (self._clock() - submitted) * 1e3
+                    )
+                    if remaining_ms <= 0:
+                        raise ServiceError(
+                            f"deadline of {deadline_ms:.0f} ms exhausted "
+                            "before execution",
+                            code="deadline",
+                            retriable=True,
+                        )
+                    budget = QueryBudget(deadline_ms=remaining_ms)
+                kwargs = generation.join_kwargs()
+                kwargs.update(options)
+                join = OIPJoin(
+                    index_provider=generation,
+                    kernel=kernel if kernel is not None else self.kernel,
+                    budget=budget,
+                    cancellation=token,
+                    circuit_breaker=self._breaker,
+                    **kwargs,
+                )
+                try:
+                    result = join.join(generation.outer, generation.inner)
+                    break
+                except BudgetExceededError as error:
+                    raise ServiceError(
+                        f"deadline exceeded ({error.reason}) after "
+                        f"{error.elapsed_ms:.1f} ms and "
+                        f"{error.partitions_completed} partitions",
+                        code="deadline",
+                        retriable=True,
+                        detail={
+                            "reason": error.reason,
+                            "partitions_completed": (
+                                error.partitions_completed
+                            ),
+                        },
+                    ) from error
+                except StorageFaultError as error:
+                    attempts += 1
+                    if attempts > self.max_retries:
+                        raise ServiceError(
+                            f"storage fault after {attempts} attempt(s): "
+                            f"{error}",
+                            code="storage_fault",
+                            retriable=True,
+                            detail={"attempts": attempts},
+                        ) from error
+                    self._count("service.queries.retried")
+                    if self.retry_backoff_s:
+                        self._sleep(
+                            self.retry_backoff_s * (2 ** (attempts - 1))
+                        )
+            if not result.completed:
+                # Hard-stopped mid-drain (or externally cancelled): the
+                # partial result is discarded, the client gets a
+                # structured error — never silent data loss.
+                self._count("service.queries.cancelled")
+                raise ServiceError(
+                    f"query cancelled after {result.elapsed_ms:.1f} ms "
+                    f"with {result.cardinality} partial pairs",
+                    code="cancelled",
+                    retriable=True,
+                    detail={"partial_pairs": result.cardinality},
+                )
+            body = summarize_result(
+                result,
+                op=op,
+                window=window,
+                generation=generation.generation,
+                include_pairs=include_pairs,
+                max_pairs=max_pairs,
+            )
+            body["attempts"] = attempts + 1
+            self._count("service.queries.completed")
+            self._observe(
+                "service.query.latency_ms",
+                (self._clock() - submitted) * 1e3,
+            )
+            return body
+        finally:
+            with self._lock:
+                self._tokens.discard(token)
+
+    # -- protocol dispatch ---------------------------------------------------
+
+    def handle_request(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Dict-in/dict-out protocol entry (shared by the TCP server,
+        the stdio loop, and in-process tests).  Never raises: every
+        failure becomes a structured error response."""
+        request_id = None
+        try:
+            if not isinstance(request, dict):
+                raise BadRequestError(
+                    f"request must be a JSON object, got "
+                    f"{type(request).__name__}"
+                )
+            request_id = request.get("id")
+            op = request.get("op")
+            if op in _OPS:
+                body = self.query(
+                    op,
+                    window=request.get("window"),
+                    deadline_ms=request.get("deadline_ms"),
+                    kernel=request.get("kernel"),
+                    include_pairs=bool(request.get("include_pairs")),
+                    max_pairs=int(request.get("max_pairs", 1000)),
+                )
+            elif op == "health":
+                body = self.health()
+            elif op == "metrics":
+                body = {"metrics": self.publish_metrics()}
+            elif op == "refresh":
+                body = self.refresh(
+                    force=bool(request.get("force", False))
+                )
+            elif op == "ping":
+                body = {"pong": True}
+            else:
+                raise BadRequestError(f"unknown op {op!r}")
+        except ServiceError as error:
+            return {"id": request_id, "ok": False, "error": error.to_wire()}
+        except Exception as error:  # noqa: BLE001 - protocol boundary
+            return {
+                "id": request_id,
+                "ok": False,
+                "error": {
+                    "code": "internal",
+                    "message": f"{type(error).__name__}: {error}",
+                    "retriable": False,
+                    "detail": {},
+                },
+            }
+        response = {"id": request_id, "ok": True}
+        response.update(body)
+        return response

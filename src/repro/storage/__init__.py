@@ -37,8 +37,10 @@ from .faults import (
 from .manager import StorageManager
 from .metrics import CostCounters, CostWeights, ResilienceCounters
 from .snapshot import (
+    JournalReplayError,
     MaintainedIndex,
     MaintenanceJournal,
+    ParsedSnapshot,
     SnapshotError,
     SnapshotFormatError,
     SnapshotMismatchError,
@@ -79,8 +81,10 @@ __all__ = [
     "CostCounters",
     "CostWeights",
     "ResilienceCounters",
+    "JournalReplayError",
     "MaintainedIndex",
     "MaintenanceJournal",
+    "ParsedSnapshot",
     "SnapshotError",
     "SnapshotFormatError",
     "SnapshotMismatchError",

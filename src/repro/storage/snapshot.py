@@ -104,7 +104,9 @@ __all__ = [
     "SnapshotFormatError",
     "SnapshotVersionError",
     "SnapshotMismatchError",
+    "JournalReplayError",
     "LoadedIndex",
+    "ParsedSnapshot",
     "JournalState",
     "MaintenanceJournal",
     "MaintainedIndex",
@@ -175,6 +177,32 @@ class SnapshotMismatchError(SnapshotError):
     relations, different configuration)."""
 
     reason = "mismatch"
+
+
+class JournalReplayError(SnapshotError):
+    """A scanned journal record (a whole, CRC-valid frame) could not be
+    applied to the snapshot it is based on.
+
+    Carries the record's zero-based ``record_index`` and the byte
+    ``offset`` of its frame within the journal file, so an operator can
+    inspect or trim the exact record instead of guessing which delta is
+    poisoned.
+    """
+
+    reason = "journal_replay"
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        record_index: int,
+        offset: Optional[int],
+        path: Optional[str] = None,
+    ) -> None:
+        super().__init__(message, reason="journal_replay")
+        self.record_index = record_index
+        self.offset = offset
+        self.path = path
 
 
 # ----------------------------------------------------------------------
@@ -1066,6 +1094,188 @@ def _restore_side(
     return partition_list
 
 
+@dataclass
+class ParsedSnapshot:
+    """A snapshot container parsed (section table and CRCs verified)
+    into memory, split from restoration.
+
+    Parsing touches only the file; restoration touches only the parsed
+    bytes.  A long-lived service uses the split to *pin* one
+    generation's sections in memory and keep restoring partition lists
+    from them — bit-identically to :func:`load_index` — while the file
+    on disk is atomically replaced by the next generation.
+    """
+
+    path: str
+    sections: Dict[str, bytes]
+    meta: Dict[str, Any]
+    stats: Any
+    fingerprints: Any
+
+    @classmethod
+    def read(cls, path: str) -> "ParsedSnapshot":
+        """Parse the snapshot at *path* (shared advisory lock)."""
+        with advisory_lock(path, exclusive=False):
+            blob = _read_snapshot_bytes(path)
+        return cls.parse(path, blob)
+
+    @classmethod
+    def parse(cls, path: str, blob: bytes) -> "ParsedSnapshot":
+        """Parse an already-read container blob."""
+        sections = _parse_sections(blob)
+        meta = _require_meta(sections)
+        return cls(
+            path=path,
+            sections=sections,
+            meta=meta,
+            stats=_json_section(sections, "stats"),
+            fingerprints=_json_section(sections, "fingerprints"),
+        )
+
+    @property
+    def generation(self) -> int:
+        return int(self.meta["generation"])
+
+    @property
+    def payloads_stored(self) -> bool:
+        return bool(self.meta.get("payloads_stored"))
+
+    def reconstruct_side(self, side: str) -> List[Any]:
+        """Rebuild one side's tuples in *relation order* from the
+        columnar sections alone (requires stored payloads) — how
+        :class:`MaintainedIndex` and the query service obtain relations
+        without the original workload in hand."""
+        from ..core.relation import TemporalTuple
+
+        byteorder = self.meta["byteorder"]
+        sections = self.sections
+        positions = _array_section(sections, f"pos_{side}", byteorder)
+        starts = _array_section(sections, f"starts_{side}", byteorder)
+        ends = _array_section(sections, f"ends_{side}", byteorder)
+        payloads = _json_section(sections, f"payloads_{side}")
+        count = len(positions)
+        if not (
+            len(starts) == len(ends) == count
+            and isinstance(payloads, list)
+            and len(payloads) == count
+        ):
+            raise SnapshotFormatError(
+                f"{side} column lengths disagree", reason="inconsistent"
+            )
+        relation_order: List[Any] = [None] * count
+        for at in range(count):
+            position = positions[at]
+            if not 0 <= position < count or (
+                relation_order[position] is not None
+            ):
+                raise SnapshotFormatError(
+                    f"{side} positions are not a permutation",
+                    reason="inconsistent",
+                )
+            # starts/ends/positions are creation-order columns; the
+            # payload list is stored in relation order.
+            relation_order[position] = TemporalTuple(
+                starts[at], ends[at], payloads[position]
+            )
+        return relation_order
+
+    def reconstruct_relations(self) -> Tuple[Any, Any]:
+        """Rebuild both source relations from the snapshot's columns.
+
+        Raises :class:`SnapshotError` (``reason="no_payloads"``) for
+        snapshots saved without stored payloads — without them the
+        original tuples cannot be reproduced.
+        """
+        from ..core.relation import TemporalRelation
+
+        if not self.payloads_stored:
+            raise SnapshotError(
+                "relation reconstruction requires a snapshot saved with "
+                "stored payloads (store_payloads=True and JSON-stable "
+                "payloads)",
+                reason="no_payloads",
+            )
+        relations = []
+        for side in _SIDES:
+            relations.append(
+                TemporalRelation(
+                    self.reconstruct_side(side),
+                    name=str(self.meta.get(f"{side}_name", side)),
+                )
+            )
+        return tuple(relations)
+
+    def restore(
+        self,
+        outer: Any,
+        inner: Any,
+        *,
+        storage: Any,
+        expected: Optional[Dict[str, Any]] = None,
+    ) -> LoadedIndex:
+        """Restore both partition lists from the parsed sections into
+        *storage*, indexing into the caller's relations.
+
+        Raises :class:`SnapshotError` (with a stable ``reason`` slug)
+        when the snapshot was built under a different configuration or
+        from different relations — the caller degrades to an in-memory
+        rebuild.  All validation happens before the first block is
+        materialised, so a failed restore leaves *storage* untouched.
+        """
+        from ..core.oip import OIPConfiguration
+
+        sections, meta, stats = self.sections, self.meta, self.stats
+        if expected is not None:
+            _check_expected(meta, expected)
+        _check_fingerprints(self.fingerprints, outer, inner)
+
+        configs = {}
+        decoded = {}
+        for side, relation in (("outer", outer), ("inner", inner)):
+            recorded = meta[f"config_{side}"]
+            try:
+                config = OIPConfiguration(
+                    k=recorded["k"], d=recorded["d"], o=recorded["o"]
+                )
+            except (TypeError, KeyError, ValueError) as error:
+                raise SnapshotFormatError(
+                    f"invalid {side} configuration: {error}",
+                    reason="section_json",
+                ) from None
+            if config != OIPConfiguration.for_relation(
+                relation, meta[f"k_{side}"]
+            ):
+                raise SnapshotMismatchError(
+                    f"{side} configuration {recorded} does not match the "
+                    "relation's time range",
+                    reason="config_mismatch",
+                )
+            configs[side] = config
+            decoded[side] = _decode_side(
+                sections, side, meta, stats, relation
+            )
+
+        # Build order (outer first) matches oip_create's, so block ids —
+        # and therefore the whole downstream fault/cost schedule — line
+        # up.
+        outer_list = _restore_side(
+            outer, configs["outer"], *decoded["outer"], storage
+        )
+        inner_list = _restore_side(
+            inner, configs["inner"], *decoded["inner"], storage
+        )
+        return LoadedIndex(
+            path=self.path,
+            generation=self.generation,
+            k_outer=int(meta["k_outer"]),
+            k_inner=int(meta["k_inner"]),
+            outer_list=outer_list,
+            inner_list=inner_list,
+            meta=meta,
+            stats=stats,
+        )
+
+
 def load_index(
     path: str,
     outer: Any,
@@ -1083,59 +1293,8 @@ def load_index(
     validation happens before the first block is materialised, so a
     failed load leaves *storage* untouched.
     """
-    from ..core.oip import OIPConfiguration
-
-    with advisory_lock(path, exclusive=False):
-        blob = _read_snapshot_bytes(path)
-    sections = _parse_sections(blob)
-    meta = _require_meta(sections)
-    stats = _json_section(sections, "stats")
-    fingerprints = _json_section(sections, "fingerprints")
-    if expected is not None:
-        _check_expected(meta, expected)
-    _check_fingerprints(fingerprints, outer, inner)
-
-    configs = {}
-    decoded = {}
-    for side, relation in (("outer", outer), ("inner", inner)):
-        recorded = meta[f"config_{side}"]
-        try:
-            config = OIPConfiguration(
-                k=recorded["k"], d=recorded["d"], o=recorded["o"]
-            )
-        except (TypeError, KeyError, ValueError) as error:
-            raise SnapshotFormatError(
-                f"invalid {side} configuration: {error}",
-                reason="section_json",
-            ) from None
-        if config != OIPConfiguration.for_relation(
-            relation, meta[f"k_{side}"]
-        ):
-            raise SnapshotMismatchError(
-                f"{side} configuration {recorded} does not match the "
-                "relation's time range",
-                reason="config_mismatch",
-            )
-        configs[side] = config
-        decoded[side] = _decode_side(sections, side, meta, stats, relation)
-
-    # Build order (outer first) matches oip_create's, so block ids —
-    # and therefore the whole downstream fault/cost schedule — line up.
-    outer_list = _restore_side(
-        outer, configs["outer"], *decoded["outer"], storage
-    )
-    inner_list = _restore_side(
-        inner, configs["inner"], *decoded["inner"], storage
-    )
-    return LoadedIndex(
-        path=path,
-        generation=int(meta["generation"]),
-        k_outer=int(meta["k_outer"]),
-        k_inner=int(meta["k_inner"]),
-        outer_list=outer_list,
-        inner_list=inner_list,
-        meta=meta,
-        stats=stats,
+    return ParsedSnapshot.read(path).restore(
+        outer, inner, storage=storage, expected=expected
     )
 
 
@@ -1192,6 +1351,9 @@ class JournalState:
     header_ok: bool = False
     generation: Optional[int] = None
     records: List[Dict[str, Any]] = field(default_factory=list)
+    #: Byte offset of each record's frame within the file (parallel to
+    #: ``records``) — how a replay failure names the offending record.
+    offsets: List[int] = field(default_factory=list)
     #: Byte length of the valid prefix — truncating here repairs a torn
     #: tail.
     good_length: int = 0
@@ -1324,6 +1486,7 @@ class MaintenanceJournal:
                 state.torn = True
                 break
             state.records.append(record)
+            state.offsets.append(cursor)
             cursor = start + length
         state.good_length = cursor if state.torn else len(blob)
         return state
@@ -1392,16 +1555,15 @@ class MaintainedIndex:
         """
         from ..core.incremental import IncrementalOIP
         from ..core.oip import OIPConfiguration
-        from ..core.relation import TemporalTuple
         from .device import DeviceProfile
 
         if device is None:
             device = DeviceProfile.main_memory()
         with advisory_lock(path, exclusive=True):
             blob = _read_snapshot_bytes(path)
-        sections = _parse_sections(blob)
-        meta = _require_meta(sections)
-        if not meta.get("payloads_stored"):
+        parsed = ParsedSnapshot.parse(path, blob)
+        meta = parsed.meta
+        if not parsed.payloads_stored:
             raise SnapshotError(
                 "maintenance requires a snapshot saved with stored "
                 "payloads (store_payloads=True and JSON-stable payloads)",
@@ -1413,38 +1575,10 @@ class MaintainedIndex:
                 f"block; the snapshot used {meta['tuples_per_block']}",
                 reason="config_mismatch",
             )
-        byteorder = meta["byteorder"]
         tuples: Dict[str, List[Any]] = {}
         incremental: Dict[str, Any] = {}
         for side in _SIDES:
-            positions = _array_section(sections, f"pos_{side}", byteorder)
-            starts = _array_section(sections, f"starts_{side}", byteorder)
-            ends = _array_section(sections, f"ends_{side}", byteorder)
-            payloads = _json_section(sections, f"payloads_{side}")
-            count = len(positions)
-            if not (
-                len(starts) == len(ends) == count
-                and isinstance(payloads, list)
-                and len(payloads) == count
-            ):
-                raise SnapshotFormatError(
-                    f"{side} column lengths disagree", reason="inconsistent"
-                )
-            relation_order: List[Any] = [None] * count
-            for at in range(count):
-                position = positions[at]
-                if not 0 <= position < count or (
-                    relation_order[position] is not None
-                ):
-                    raise SnapshotFormatError(
-                        f"{side} positions are not a permutation",
-                        reason="inconsistent",
-                    )
-                # starts/ends/positions are creation-order columns; the
-                # payload list is stored in relation order.
-                relation_order[position] = TemporalTuple(
-                    starts[at], ends[at], payloads[position]
-                )
+            relation_order = parsed.reconstruct_side(side)
             recorded = meta[f"config_{side}"]
             structure = IncrementalOIP(
                 OIPConfiguration(
@@ -1481,8 +1615,26 @@ class MaintainedIndex:
             journal=journal,
             pending=0,
         )
-        for record in state.records:
-            index._apply(record)
+        for position, record in enumerate(state.records):
+            try:
+                index._apply(record)
+            except (SnapshotError, KeyError, TypeError, ValueError) as error:
+                # A CRC-valid frame whose *content* cannot be applied.
+                # Name the exact record and its byte offset: replay must
+                # never half-apply a journal and leave the operator
+                # guessing which delta is poisoned.
+                offset = (
+                    state.offsets[position]
+                    if position < len(state.offsets)
+                    else None
+                )
+                raise JournalReplayError(
+                    f"cannot replay journal record {position} at byte "
+                    f"offset {offset} of {journal.path!r}: {error}",
+                    record_index=position,
+                    offset=offset,
+                    path=journal.path,
+                ) from error
             index._pending += 1
         return index
 

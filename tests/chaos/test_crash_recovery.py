@@ -12,6 +12,7 @@ a still-valid snapshot or by degrading to an in-memory rebuild.  And
 degrade-to-rebuild.
 """
 
+import json
 import os
 
 import pytest
@@ -164,9 +165,59 @@ class TestRecoveryCli:
             handle.write(bytes([byte[0] ^ 0xFF]))
         assert main(["fsck", index]) == 1  # unrecoverable body damage
         capsys.readouterr()
-        # The join still answers by degrading to a rebuild.
-        assert main(["join", *self.WORKLOAD, "--index", index]) == 0
+        # Strict by default: a corrupt snapshot is EX_DATAERR ...
+        assert main(["join", *self.WORKLOAD, "--index", index]) == 65
+        capsys.readouterr()
+        # ... and with --index-fallback the join still answers by
+        # degrading to a rebuild.
+        assert main([
+            "join", *self.WORKLOAD, "--index", index, "--index-fallback",
+        ]) == 0
         assert "'loaded': False" in capsys.readouterr().out
+
+    def test_strict_index_exit_codes(self, tmp_path, capsys):
+        """Satellite contract: distinct, documented exit codes for a
+        missing (66, EX_NOINPUT) vs corrupt/mismatched (65, EX_DATAERR)
+        snapshot when --index-fallback is not given."""
+        index = str(tmp_path / "strict.oip")
+        assert main(["join", *self.WORKLOAD, "--index", index]) == 66
+        assert "reason=missing" in capsys.readouterr().err
+        assert main(["save-index", *self.WORKLOAD, "--out", index]) == 0
+        with open(index, "r+b") as handle:
+            handle.seek(80)
+            byte = handle.read(1)
+            handle.seek(-1, os.SEEK_CUR)
+            handle.write(bytes([byte[0] ^ 0xFF]))
+        assert main(["join", *self.WORKLOAD, "--index", index]) == 65
+        capsys.readouterr()
+        # A healthy snapshot for a different workload parses in the
+        # preflight but is rejected at load time: still EX_DATAERR.
+        other = [
+            "--workload", "mixture", "--cardinality", "250",
+            "--long-fraction", "0.3", "--seed", "62",
+        ]
+        assert main(["save-index", *self.WORKLOAD, "--out", index]) == 0
+        assert main(["join", *other, "--index", index]) == 65
+        assert "fingerprint_mismatch" in capsys.readouterr().err
+        # --index-fallback restores the degrade-to-rebuild behaviour.
+        assert main([
+            "join", *other, "--index", index, "--index-fallback",
+        ]) == 0
+
+    def test_fsck_json_verdict_is_machine_consumable(self, tmp_path, capsys):
+        index = str(tmp_path / "verdict.oip")
+        assert main(["save-index", *self.WORKLOAD, "--out", index]) == 0
+        capsys.readouterr()  # drop the save banner
+        assert main(["fsck", index, "--json"]) == 0
+        verdict = json.loads(capsys.readouterr().out)
+        assert verdict["ok"] is True
+        assert verdict["exit_code"] == 0
+        assert verdict["loadable"] is True
+        assert verdict["generation"] == 0
+        assert main(["fsck", str(tmp_path / "gone.oip"), "--json"]) == 2
+        missing = json.loads(capsys.readouterr().out)
+        assert missing["exit_code"] == 2
+        assert missing["exists"] is False
 
     def test_index_rejected_for_baselines_and_batch(self, tmp_path):
         index = str(tmp_path / "reject.oip")

@@ -1,0 +1,326 @@
+"""Service chaos suite: concurrent clients × fault profiles × mid-swap
+crashes.
+
+Acceptance properties (ISSUE 8):
+
+* Every response a client ever receives is **bit-identical** (pairs,
+  fingerprint, cost counters) to an offline ``OIPJoin(index_path=...)``
+  run against the generation that served it — under storage fault
+  injection, under hot swaps, and with the on-disk snapshot corrupt.
+* A SIGKILL mid-refresh (complete ``*.tmp`` beside the old snapshot)
+  leaves the old generation serving and the path fsck-clean.
+* A graceful drain completes every admitted query and sheds the rest
+  with structured errors — zero queries lost silently.
+"""
+
+import json
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.core.interval import Interval
+from repro.service import JoinService, offline_query
+from repro.service.errors import ServiceError, SnapshotSwapRejectedError
+from repro.storage import fault_profile, save_index, fsck_index
+from repro.workloads import long_lived_mixture
+
+
+def _relations(seed):
+    outer = long_lived_mixture(
+        300, 0.3, Interval(1, 20_000), seed=seed, name="outer"
+    )
+    inner = long_lived_mixture(
+        300, 0.3, Interval(1, 20_000), seed=seed + 1, name="inner"
+    )
+    return outer, inner
+
+
+@pytest.fixture
+def snapshot(tmp_path):
+    path = str(tmp_path / "serve.oip")
+    outer, inner = _relations(51)
+    save_index(path, outer, inner)
+    return path
+
+
+def _flip_byte(path, offset=140):
+    with open(path, "r+b") as handle:
+        handle.seek(offset)
+        byte = handle.read(1)
+        handle.seek(-1, os.SEEK_CUR)
+        handle.write(bytes([byte[0] ^ 0xFF]))
+
+
+class TestFaultProfilesBitIdentical:
+    @pytest.mark.parametrize("profile", ["transient", "latency"])
+    def test_concurrent_clients_match_offline_oracle(
+        self, snapshot, profile
+    ):
+        """Seeded storage chaos on every served query: recovered faults
+        must not perturb a single pair or counter.  The oracle runs
+        offline under the *same* seeded policy, so even the retry
+        charges must agree bit for bit."""
+        chaos_options = {
+            "fault_policy": fault_profile(profile, seed=13),
+            "max_read_retries": 8,
+        }
+        oracle = offline_query(snapshot, join_options=chaos_options)
+        clean = offline_query(snapshot)
+        assert oracle["fingerprint"] == clean["fingerprint"]
+        assert oracle["pairs"] == clean["pairs"]
+        svc = JoinService(
+            snapshot,
+            max_active=4,
+            max_queued=8,
+            join_options=chaos_options,
+        )
+        svc.start()
+        responses, errors = [], []
+        lock = threading.Lock()
+
+        def client(queries):
+            for _ in range(queries):
+                try:
+                    response = svc.query("join")
+                except ServiceError as error:  # pragma: no cover
+                    with lock:
+                        errors.append(error)
+                else:
+                    with lock:
+                        responses.append(response)
+
+        threads = [
+            threading.Thread(target=client, args=(2,)) for _ in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert len(responses) == 12
+        for response in responses:
+            assert response["pairs"] == oracle["pairs"]
+            assert response["fingerprint"] == oracle["fingerprint"]
+            assert response["counters"] == oracle["counters"]
+        svc.drain(timeout_s=5.0)
+
+
+class TestHotSwapUnderLoad:
+    def test_swap_corruption_and_sigkill_mid_refresh(
+        self, snapshot, tmp_path
+    ):
+        """The full hostile lifecycle against one live service:
+        SIGKILL during a snapshot rewrite, corruption on disk, then a
+        real generation swap — with client threads querying throughout
+        and every response checked against the per-generation oracle."""
+        oracle = {0: offline_query(snapshot)["fingerprint"]}
+        keep = str(tmp_path / "gen0.keep")
+        shutil.copy(snapshot, keep)
+
+        svc = JoinService(snapshot, max_active=4, max_queued=16)
+        svc.start()
+        stop = threading.Event()
+        seen, errors = [], []
+        lock = threading.Lock()
+
+        def client():
+            while not stop.is_set():
+                try:
+                    response = svc.query("join")
+                except ServiceError as error:
+                    with lock:
+                        errors.append(error)
+                    return
+                with lock:
+                    seen.append(
+                        (response["generation"], response["fingerprint"])
+                    )
+
+        threads = [threading.Thread(target=client) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        try:
+            # -- 1. SIGKILL mid-save: a complete *.tmp lands beside the
+            #       old generation; refresh is a no-op, fsck repairs.
+            writer = subprocess.Popen(
+                [
+                    sys.executable, "-m", "repro", "save-index",
+                    "--workload", "mixture", "--cardinality", "300",
+                    "--long-fraction", "0.3", "--seed", "51",
+                    "--out", snapshot, "--write-delay-ms", "10000",
+                ],
+                env={**os.environ, "PYTHONPATH": "src"},
+                stdout=subprocess.DEVNULL,
+                stderr=subprocess.DEVNULL,
+            )
+            tmp_file = snapshot + ".tmp"
+            deadline = time.monotonic() + 30.0
+            while not os.path.exists(tmp_file):
+                assert time.monotonic() < deadline, "tmp never appeared"
+                assert writer.poll() is None, "writer died early"
+                time.sleep(0.01)
+            writer.kill()
+            writer.wait(timeout=30)
+            assert os.path.exists(tmp_file)
+            report = svc.refresh()  # fsck-backed: repairs the orphan
+            assert report["swapped"] is False
+            assert not os.path.exists(tmp_file)
+            verdict = fsck_index(snapshot)
+            assert verdict["ok"] and verdict["generation"] == 0
+
+            # -- 2. Corrupt the snapshot on disk: the swap is rejected,
+            #       the pinned generation keeps serving from memory.
+            _flip_byte(snapshot)
+            with pytest.raises(SnapshotSwapRejectedError):
+                svc.refresh()
+            response = svc.query("join")
+            assert response["generation"] == 0
+            assert response["fingerprint"] == oracle[0]
+
+            # -- 3. Restore and publish generation 1: zero-downtime
+            #       hot swap while the clients keep querying.
+            shutil.copy(keep, snapshot)
+            outer, inner = _relations(151)
+            save_index(snapshot, outer, inner)
+            oracle[1] = offline_query(snapshot)["fingerprint"]
+            report = svc.refresh()
+            assert report["swapped"] is True
+            assert report["generation"] == 1
+            for _ in range(3):  # guarantee post-swap responses exist
+                response = svc.query("join")
+                assert response["generation"] == 1
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=30.0)
+        assert errors == []
+        assert seen, "clients never completed a query"
+        generations = {generation for generation, _ in seen}
+        assert 0 in generations
+        for generation, fingerprint in seen:
+            assert fingerprint == oracle[generation]
+        health = svc.health()
+        assert health["swaps"] == 1
+        assert health["swaps_rejected"] == 1
+        metrics = svc.publish_metrics()
+        assert metrics["counters"]["service.swap.count"] == 1
+        assert metrics["counters"]["service.swap.rejected"] == 1
+        assert metrics["counters"].get("service.queries.failed", 0) == 0
+        svc.drain(timeout_s=10.0)
+
+
+class TestDrainUnderLoad:
+    def test_zero_loss_with_structured_shedding(self, snapshot):
+        """Overload + drain: every submitted query either completes
+        bit-identically or unwinds into a structured, coded error —
+        conservation is checked through the service metrics."""
+        oracle = offline_query(snapshot)["fingerprint"]
+        svc = JoinService(
+            snapshot, max_active=2, max_queued=2, admit_timeout_s=0.02
+        )
+        svc.start()
+        outcomes = []
+        lock = threading.Lock()
+        release = threading.Event()
+
+        def client():
+            release.wait()
+            try:
+                response = svc.query("join")
+            except ServiceError as error:
+                with lock:
+                    outcomes.append(("error", error.code))
+            else:
+                with lock:
+                    outcomes.append(("ok", response["fingerprint"]))
+
+        threads = [threading.Thread(target=client) for _ in range(10)]
+        for thread in threads:
+            thread.start()
+        release.set()
+        time.sleep(0.01)
+        report = svc.drain(timeout_s=30.0)
+        for thread in threads:
+            thread.join(timeout=30.0)
+        assert report["drained"] is True
+        assert len(outcomes) == 10
+        codes = [code for kind, code in outcomes if kind == "error"]
+        assert set(codes) <= {"overload", "unavailable", "cancelled"}
+        for kind, value in outcomes:
+            if kind == "ok":
+                assert value == oracle
+        metrics = svc.publish_metrics()
+        counters = metrics["counters"]
+        completed = counters.get("service.queries.completed", 0)
+        failed = counters.get("service.queries.failed", 0)
+        assert counters["service.queries.submitted"] == completed + failed
+        assert completed == sum(1 for kind, _ in outcomes if kind == "ok")
+
+
+class TestRealProcessSigterm:
+    def test_sigterm_drains_live_server(self, snapshot):
+        """Real-process acceptance: SIGTERM mid-traffic answers every
+        in-flight request and exits 0."""
+        from repro.service import ServiceClient
+
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--index", snapshot, "--drain-timeout-s", "30",
+            ],
+            env={**os.environ, "PYTHONPATH": "src"},
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+        )
+        try:
+            ready = json.loads(proc.stdout.readline())
+            assert ready["event"] == "ready"
+            oracle = offline_query(snapshot)["fingerprint"]
+            results, errors = [], []
+            lock = threading.Lock()
+
+            def client():
+                try:
+                    with ServiceClient(
+                        ready["host"], ready["port"]
+                    ) as remote:
+                        fingerprint = remote.join()["fingerprint"]
+                    with lock:
+                        results.append(fingerprint)
+                except (ServiceError, OSError) as error:
+                    # OSError: the listener already closed before this
+                    # client connected — a refused connection, not a
+                    # lost query.
+                    with lock:
+                        errors.append(error)
+
+            threads = [
+                threading.Thread(target=client) for _ in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            proc.send_signal(signal.SIGTERM)
+            for thread in threads:
+                thread.join(timeout=60.0)
+            proc.wait(timeout=60)
+            assert proc.returncode == 0
+            # Everything that reached the service before the drain
+            # finished bit-identically; later arrivals were refused
+            # with a structured error, never hung.
+            assert all(fingerprint == oracle for fingerprint in results)
+            for error in errors:
+                if isinstance(error, ServiceError):
+                    assert error.code in (
+                        "unavailable", "disconnected", "cancelled",
+                    )
+            assert len(results) + len(errors) == 4
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+            proc.wait(timeout=10)

@@ -1,0 +1,93 @@
+"""Wire framing and the stdio front-end."""
+
+import io
+import json
+
+import pytest
+
+from repro.core.interval import Interval
+from repro.service import JoinService, serve_stdio
+from repro.service.errors import BadRequestError
+from repro.service.protocol import (
+    MAX_LINE_BYTES,
+    decode_line,
+    encode_message,
+    read_messages,
+)
+from repro.storage import save_index
+from repro.workloads import long_lived_mixture
+
+
+class TestFraming:
+    def test_round_trip(self):
+        message = {"op": "join", "id": 3, "deadline_ms": 250.0}
+        assert decode_line(encode_message(message)) == message
+
+    def test_blank_lines_skipped(self):
+        assert decode_line(b"\n") is None
+        assert decode_line(b"   \n") is None
+
+    def test_garbage_is_structured(self):
+        with pytest.raises(BadRequestError):
+            decode_line(b"{not json\n")
+        with pytest.raises(BadRequestError):
+            decode_line(b"[1, 2, 3]\n")  # not an object
+        with pytest.raises(BadRequestError):
+            decode_line(b"x" * (MAX_LINE_BYTES + 1))
+
+    def test_read_messages_stream(self):
+        stream = io.BytesIO(
+            encode_message({"op": "ping"})
+            + b"\n"
+            + encode_message({"op": "health"})
+        )
+        ops = [message["op"] for message in read_messages(stream)]
+        assert ops == ["ping", "health"]
+
+
+@pytest.fixture(scope="module")
+def snapshot(tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("stdio") / "stdio.oip")
+    outer = long_lived_mixture(
+        120, 0.3, Interval(1, 8_000), seed=81, name="outer"
+    )
+    inner = long_lived_mixture(
+        120, 0.3, Interval(1, 8_000), seed=82, name="inner"
+    )
+    save_index(path, outer, inner)
+    return path
+
+
+class TestStdio:
+    def test_session_with_shutdown(self, snapshot):
+        service = JoinService(snapshot)
+        service.start()
+        stdin = io.BytesIO(
+            encode_message({"op": "ping", "id": 1})
+            + b"not json\n"
+            + encode_message({"op": "join", "id": 2})
+            + encode_message({"op": "shutdown", "id": 3})
+            + encode_message({"op": "ping", "id": 4})  # after shutdown
+        )
+        stdout = io.BytesIO()
+        handled = serve_stdio(service, stdin, stdout)
+        assert handled == 3  # the trailing ping was never read
+        lines = stdout.getvalue().splitlines()
+        responses = [json.loads(line) for line in lines]
+        assert responses[0] == {"id": 1, "ok": True, "pong": True}
+        assert responses[1]["ok"] is False
+        assert responses[1]["error"]["code"] == "bad_request"
+        assert responses[2]["id"] == 2 and responses[2]["pairs"] > 0
+        assert responses[3] == {"id": 3, "ok": True, "stopping": True}
+        assert service.status == "stopped"
+
+    def test_eof_ends_session_without_drain(self, snapshot):
+        service = JoinService(snapshot)
+        service.start()
+        stdout = io.BytesIO()
+        handled = serve_stdio(
+            service, io.BytesIO(encode_message({"op": "ping"})), stdout
+        )
+        assert handled == 1
+        assert service.status == "serving"
+        service.drain(timeout_s=2.0)

@@ -1,0 +1,98 @@
+"""TCP server + client round trips (in-process, real sockets)."""
+
+import threading
+
+import pytest
+
+from repro.core.interval import Interval
+from repro.service import (
+    JoinService,
+    RemoteServiceError,
+    ServiceClient,
+    ServiceServer,
+    offline_query,
+)
+from repro.storage import save_index
+from repro.workloads import long_lived_mixture
+
+
+@pytest.fixture(scope="module")
+def snapshot(tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("tcp") / "tcp.oip")
+    outer = long_lived_mixture(
+        150, 0.3, Interval(1, 9_000), seed=91, name="outer"
+    )
+    inner = long_lived_mixture(
+        150, 0.3, Interval(1, 9_000), seed=92, name="inner"
+    )
+    save_index(path, outer, inner)
+    return path
+
+
+@pytest.fixture
+def server(snapshot):
+    service = JoinService(snapshot, max_active=4, max_queued=8)
+    service.start()
+    srv = ServiceServer(
+        service, drain_timeout_s=10.0, hard_stop_timeout_s=2.0
+    ).start()
+    yield srv
+    if not srv.stopped.is_set():
+        srv.shutdown()
+
+
+class TestServerClient:
+    def test_query_ops_round_trip(self, server, snapshot):
+        oracle = offline_query(snapshot)
+        with ServiceClient("127.0.0.1", server.port) as client:
+            assert client.ping()["pong"] is True
+            joined = client.join()
+            assert joined["pairs"] == oracle["pairs"]
+            assert joined["fingerprint"] == oracle["fingerprint"]
+            assert joined["counters"] == oracle["counters"]
+            look = client.lookup([1, 400], include_pairs=True, max_pairs=3)
+            assert look["pairs"] <= joined["pairs"]
+            assert len(look.get("results", [])) <= 3
+            health = client.health()
+            assert health["status"] == "serving"
+            assert health["ready"] is True
+            metrics = client.metrics()
+            assert metrics["counters"]["service.queries.completed"] >= 2
+            refresh = client.refresh()
+            assert refresh["swapped"] is False
+
+    def test_remote_errors_carry_structure(self, server):
+        with ServiceClient("127.0.0.1", server.port) as client:
+            with pytest.raises(RemoteServiceError) as excinfo:
+                client.lookup([9, 2])
+            assert excinfo.value.code == "bad_request"
+            assert excinfo.value.retriable is False
+            with pytest.raises(RemoteServiceError) as excinfo:
+                client.request("frobnicate")
+            assert excinfo.value.code == "bad_request"
+
+    def test_concurrent_clients_agree(self, server, snapshot):
+        oracle = offline_query(snapshot)["fingerprint"]
+        fingerprints = []
+        lock = threading.Lock()
+
+        def worker():
+            with ServiceClient("127.0.0.1", server.port) as client:
+                for _ in range(2):
+                    fingerprint = client.join()["fingerprint"]
+                    with lock:
+                        fingerprints.append(fingerprint)
+
+        threads = [threading.Thread(target=worker) for _ in range(5)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(fingerprints) == 10
+        assert set(fingerprints) == {oracle}
+
+    def test_shutdown_op_drains_server(self, server):
+        with ServiceClient("127.0.0.1", server.port) as client:
+            assert client.shutdown()["stopping"] is True
+        assert server.wait(10.0)
+        assert server.service.status == "stopped"

@@ -147,3 +147,58 @@ class TestMaintainedIndex:
         index.insert("outer", 10, 400, "x")
         assert os.path.exists(journal_path(path))
         assert journal_path(path) == path + ".journal"
+
+
+class TestJournalReplayErrors:
+    """Satellite contract: a journal record that cannot be replayed
+    surfaces as a structured :class:`JournalReplayError` naming the
+    record index and its byte offset — not a bare KeyError buried in a
+    traceback."""
+
+    def test_unreplayable_record_names_index_and_offset(self, snapshot):
+        from repro.storage import JournalReplayError
+
+        path, _, _ = snapshot
+        index = MaintainedIndex.open(path)
+        index.insert("outer", 3, 9, "ok")  # record 0: replayable
+        journal = MaintenanceJournal(journal_path(path))
+        # Record 1: frame-valid (CRC and JSON intact) but semantically
+        # unknown — exactly what a version skew would produce.
+        journal.append({"op": "frobnicate", "side": "outer", "start": 1,
+                        "end": 2, "payload": None})
+        state = journal.scan()
+        assert len(state.records) == len(state.offsets) == 2
+        with pytest.raises(JournalReplayError) as excinfo:
+            MaintainedIndex.open(path)
+        error = excinfo.value
+        assert error.reason == "journal_replay"
+        assert error.record_index == 1
+        assert error.offset == state.offsets[1]
+        assert error.path == journal.path
+        assert "record 1" in str(error)
+        assert str(state.offsets[1]) in str(error)
+
+    def test_missing_field_is_also_structured(self, snapshot):
+        from repro.storage import JournalReplayError
+
+        path, _, _ = snapshot
+        MaintainedIndex.open(path).insert("inner", 4, 5, "x")
+        journal = MaintenanceJournal(journal_path(path))
+        journal.append({"op": "insert", "start": 1, "end": 2})  # no side
+        with pytest.raises(JournalReplayError) as excinfo:
+            MaintainedIndex.open(path)
+        assert excinfo.value.record_index == 1
+
+    def test_scan_offsets_track_frame_starts(self, tmp_path):
+        from repro.storage.snapshot import _JOURNAL_HEADER
+
+        journal = MaintenanceJournal(str(tmp_path / "offsets.journal"))
+        journal.reset(0)
+        for position in range(3):
+            journal.append({"op": "insert", "side": "outer",
+                            "start": position, "end": position + 1,
+                            "payload": "p" * position})
+        state = journal.scan()
+        assert len(state.offsets) == 3
+        assert state.offsets[0] == _JOURNAL_HEADER.size
+        assert state.offsets == sorted(set(state.offsets))
