@@ -910,10 +910,18 @@ def _run_serve(args: argparse.Namespace) -> int:
     import json
     import os
 
+    from .obs.log import QueryLog
     from .service import JoinService, ServiceServer, serve_stdio
     from .service.protocol import encode_message
     from .storage.snapshot import SnapshotError
 
+    query_log = None
+    if args.query_log:
+        query_log = QueryLog(
+            path=args.query_log,
+            sample_rate=args.log_sample_rate,
+            slow_query_ms=args.slow_query_ms,
+        )
     service = JoinService(
         args.index,
         max_active=args.max_active,
@@ -921,6 +929,8 @@ def _run_serve(args: argparse.Namespace) -> int:
         admit_timeout_s=args.admit_timeout_ms / 1e3,
         default_deadline_ms=args.default_deadline_ms,
         kernel=args.kernel,
+        tracing=args.tracing,
+        query_log=query_log,
     )
     try:
         generation = service.start()
@@ -946,6 +956,8 @@ def _run_serve(args: argparse.Namespace) -> int:
                 timeout_s=args.drain_timeout_s,
                 hard_stop_timeout_s=args.hard_stop_timeout_s,
             )
+        if query_log is not None:
+            query_log.close()
         return 0
     server = ServiceServer(
         service,
@@ -953,9 +965,12 @@ def _run_serve(args: argparse.Namespace) -> int:
         port=args.port,
         drain_timeout_s=args.drain_timeout_s,
         hard_stop_timeout_s=args.hard_stop_timeout_s,
+        metrics_port=args.metrics_port,
     ).start()
     ready["host"] = server.host
     ready["port"] = server.port
+    if server.metrics_exporter is not None:
+        ready["metrics_port"] = server.metrics_exporter.port
     print(json.dumps(ready, sort_keys=True), flush=True)
 
     def _drain(_signum, _frame):
@@ -985,6 +1000,8 @@ def _run_serve(args: argparse.Namespace) -> int:
             pass
     finally:
         _restore_handlers(previous)
+        if query_log is not None:
+            query_log.close()
     return 0
 
 
@@ -996,6 +1013,81 @@ def _swallow_refresh(service) -> None:
         service.refresh()
     except ServiceError:
         pass
+
+
+def _run_stats(args: argparse.Namespace) -> int:
+    """The ``stats`` path: fetch a running service's latency quantiles.
+
+    ``--json`` captures the raw ``service_stats`` document — the format
+    ``repro compare`` diffs against a second capture.
+    """
+    import json
+
+    from .service import ServiceClient
+
+    with ServiceClient(args.host, args.port, timeout_s=args.timeout_s) as c:
+        stats = c.stats()
+    if args.json:
+        sys.stdout.write(json.dumps(stats, indent=2, sort_keys=True) + "\n")
+        return 0
+    print(
+        f"service: {stats.get('status')} generation={stats.get('generation')} "
+        f"uptime={stats.get('uptime_s', 0.0):.1f}s "
+        f"queries={stats.get('queries_served', 0):,}"
+    )
+    for section in ("endpoints", "phases"):
+        rows = stats.get(section) or {}
+        if not rows:
+            continue
+        print(f"{section}:")
+        print(
+            f"  {'name':>24} {'count':>8} {'mean':>9} "
+            f"{'p50':>9} {'p95':>9} {'p99':>9}"
+        )
+        for name in sorted(rows):
+            row = rows[name]
+            print(
+                f"  {name:>24} {row['count']:>8,} {row['mean_ms']:>7.2f}ms "
+                f"{row['p50_ms']:>7.2f}ms {row['p95_ms']:>7.2f}ms "
+                f"{row['p99_ms']:>7.2f}ms"
+            )
+    counters = stats.get("counters") or {}
+    if counters:
+        print("counters:")
+        for name in sorted(counters):
+            print(f"  {name:>32}: {counters[name]:,}")
+    tracing = stats.get("tracing")
+    if tracing is not None:
+        traces = stats.get("traces") or {}
+        print(
+            f"tracing: {'on' if tracing else 'off'}"
+            + (
+                f" (buffered={traces.get('buffered', 0)}, "
+                f"dropped={traces.get('dropped', 0)})"
+                if tracing
+                else ""
+            )
+        )
+    log = stats.get("log")
+    if log:
+        print(
+            f"query log: emitted={log.get('emitted', 0):,} "
+            f"dropped={log.get('dropped', 0):,}"
+        )
+    return 0
+
+
+def _run_calibrate(args: argparse.Namespace) -> int:
+    """The ``calibrate`` path: fit Equation 2 cost constants from run
+    reports (``join --report``) — delegates to ``repro.obs.calibrate``."""
+    from .obs.calibrate import main as calibrate_main
+
+    forwarded = list(args.reports)
+    if args.out:
+        forwarded += ["--out", args.out]
+    if args.json:
+        forwarded.append("--json")
+    return calibrate_main(forwarded)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -1067,8 +1159,10 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="*",
         metavar="REPORT",
         help=(
-            "two run-report JSON paths (written by join --report) to "
-            "diff; with no paths, runs the algorithm comparison instead"
+            "two JSON paths to diff — either run reports (written by "
+            "join --report) or service stats captures (written by "
+            "stats --json); with no paths, runs the algorithm "
+            "comparison instead"
         ),
     )
     compare_parser.add_argument(
@@ -1244,7 +1338,105 @@ def build_parser() -> argparse.ArgumentParser:
         default="auto",
         help="partition-pair join kernel for served queries",
     )
+    serve_parser.add_argument(
+        "--tracing",
+        action="store_true",
+        help=(
+            "record per-query span trees (admission wait, snapshot pin, "
+            "join phases) in a ring buffer served by the tracedump op"
+        ),
+    )
+    serve_parser.add_argument(
+        "--query-log",
+        default=None,
+        metavar="PATH",
+        help=(
+            "append one NDJSON event per query (and lifecycle event) to "
+            "PATH; lines are written atomically under concurrency"
+        ),
+    )
+    serve_parser.add_argument(
+        "--slow-query-ms",
+        type=float,
+        default=None,
+        help=(
+            "queries at or above this latency are re-logged at warning "
+            "level with slow=true, bypassing sampling"
+        ),
+    )
+    serve_parser.add_argument(
+        "--log-sample-rate",
+        type=float,
+        default=1.0,
+        help=(
+            "deterministic per-trace sampling rate for info-level query "
+            "events (default %(default)s; warnings always pass)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        help=(
+            "also serve Prometheus text exposition on GET /metrics at "
+            "this port (0 picks an ephemeral port announced in the "
+            "ready event); TCP mode only"
+        ),
+    )
     serve_parser.set_defaults(handler=_run_serve)
+
+    stats_parser = commands.add_parser(
+        "stats",
+        help=(
+            "fetch a running service's latency quantiles (p50/p95/p99 "
+            "per endpoint and join phase) over the wire"
+        ),
+    )
+    stats_parser.add_argument(
+        "--host", default="127.0.0.1", help="service host (default %(default)s)"
+    )
+    stats_parser.add_argument(
+        "--port", type=int, required=True, help="service TCP port"
+    )
+    stats_parser.add_argument(
+        "--timeout-s",
+        type=float,
+        default=30.0,
+        help="connection/request timeout (default %(default)s)",
+    )
+    stats_parser.add_argument(
+        "--json",
+        action="store_true",
+        help=(
+            "emit the raw service_stats document (the format "
+            "'repro compare' diffs against a second capture)"
+        ),
+    )
+    stats_parser.set_defaults(handler=_run_stats)
+
+    calibrate_parser = commands.add_parser(
+        "calibrate",
+        help=(
+            "fit the Equation 2 cost constants (c_cpu, c_io in ms/op) "
+            "from run reports via least squares"
+        ),
+    )
+    calibrate_parser.add_argument(
+        "reports",
+        nargs="+",
+        metavar="REPORT",
+        help="run-report JSON paths written by join --report",
+    )
+    calibrate_parser.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write the calibration JSON (consumed by JoinPlanner)",
+    )
+    calibrate_parser.add_argument(
+        "--json", action="store_true", help="print the calibration as JSON"
+    )
+    calibrate_parser.set_defaults(handler=_run_calibrate)
 
     return parser
 

@@ -882,7 +882,15 @@ class OIPJoin(OverlapJoinAlgorithm):
         inner_range_stop = o_s + k_inner * d_s  # exclusive
         # Per-partition spans only when tracing is live — the disabled
         # path must not even construct span objects in this hot loop.
-        trace = self._run_tracer if self._run_tracer.enabled else None
+        # A depth-capped tracer (the serving path) counts as disabled
+        # here once the cap is reached: its per-partition spans would
+        # all be no-ops, so skip the calls wholesale.
+        trace = (
+            self._run_tracer
+            if self._run_tracer.enabled
+            and not getattr(self._run_tracer, "saturated", False)
+            else None
+        )
         # Hot-loop locals: these lookups used to be paid per candidate
         # pair (or per navigation test); hoisted, the loop pays them
         # once per probe instead.  kernel_function (not a raw

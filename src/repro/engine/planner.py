@@ -43,6 +43,19 @@ instead of re-partitioning.  A missing or corrupt snapshot costs only
 the statistics shortcut — the planner falls back to relation
 statistics, and the join itself degrades to an in-memory rebuild.
 
+**Measured costs.**  By default the parallelism decision guesses: it
+compares the candidate estimate against an abstract
+``parallel_threshold``.  Given a :class:`~repro.obs.calibrate
+.Calibration` (cost constants fitted from this machine's own run
+reports), the planner instead *predicts the latency* of the sequential
+plan via Equation 2 — ``est_comparisons * c_cpu + est_reads * c_io``,
+in real milliseconds — and parallelizes exactly when that prediction
+crosses ``parallel_min_predicted_ms``.  The calibrated weights are also
+threaded into the planned OIPJOIN, where they drive the paper's ``k``
+derivation (Equation 2's fixed point).  Same statistics, different
+constants, different plan — which is the point: the constants are
+measured, not assumed.
+
 The chosen algorithm and the reasoning are exposed on the returned
 :class:`JoinPlan` so applications can log plan decisions.  Reasoning
 strings are built lazily on first access of :attr:`JoinPlan.reason` —
@@ -86,6 +99,7 @@ class JoinPlan:
         "outer_duration_fraction",
         "inner_duration_fraction",
         "estimated_candidates",
+        "predicted_ms",
         "_reason",
     )
 
@@ -96,11 +110,15 @@ class JoinPlan:
         outer_duration_fraction: float,
         inner_duration_fraction: float,
         estimated_candidates: float = 0.0,
+        predicted_ms: Optional[float] = None,
     ) -> None:
         self.algorithm = algorithm
         self.outer_duration_fraction = outer_duration_fraction
         self.inner_duration_fraction = inner_duration_fraction
         self.estimated_candidates = estimated_candidates
+        #: Calibrated latency prediction (ms) for the sequential plan;
+        #: ``None`` when the planner has no calibration.
+        self.predicted_ms = predicted_ms
         self._reason = reason
 
     @property
@@ -173,6 +191,8 @@ class JoinPlanner:
         tracer=None,
         metrics=None,
         collect_report: bool = False,
+        calibration=None,
+        parallel_min_predicted_ms: Optional[float] = 50.0,
     ) -> None:
         if point_threshold <= 0:
             raise ValueError(
@@ -194,6 +214,20 @@ class JoinPlanner:
                 f"decode_cache_size must be >= 0 (0 disables the "
                 f"cache), got {decode_cache_size}"
             )
+        if calibration is not None and not hasattr(calibration, "predict_ms"):
+            raise ValueError(
+                "calibration must be a repro.obs.calibrate.Calibration "
+                f"(or expose predict_ms/to_weights), got "
+                f"{type(calibration).__name__}"
+            )
+        if (
+            parallel_min_predicted_ms is not None
+            and parallel_min_predicted_ms <= 0
+        ):
+            raise ValueError(
+                f"parallel_min_predicted_ms must be positive, got "
+                f"{parallel_min_predicted_ms}"
+            )
         self.device = device
         self.buffer_pool = buffer_pool
         self.point_threshold = point_threshold
@@ -205,8 +239,46 @@ class JoinPlanner:
         self.tracer = tracer
         self.metrics = metrics
         self.collect_report = collect_report
+        #: Measured cost constants (:class:`repro.obs.calibrate
+        #: .Calibration`); when set, parallelism is decided from the
+        #: predicted sequential latency and the fitted weights drive the
+        #: OIPJOIN ``k`` derivation.
+        self.calibration = calibration
+        self.parallel_min_predicted_ms = parallel_min_predicted_ms
 
     # ------------------------------------------------------------------
+
+    def _predict_ms(
+        self,
+        outer: TemporalRelation,
+        inner: TemporalRelation,
+        estimated: float,
+        outer_cardinality: Optional[int] = None,
+        inner_cardinality: Optional[int] = None,
+    ) -> Optional[float]:
+        """Calibrated Equation-2 latency prediction for the sequential
+        plan (``None`` without a calibration)."""
+        if self.calibration is None:
+            return None
+        device = (
+            self.device
+            if self.device is not None
+            else DeviceProfile.main_memory()
+        )
+        n_r = (
+            outer_cardinality
+            if outer_cardinality is not None
+            else outer.cardinality
+        )
+        n_s = (
+            inner_cardinality
+            if inner_cardinality is not None
+            else inner.cardinality
+        )
+        est_reads = device.blocks_for_tuples(n_r) + device.blocks_for_tuples(
+            n_s
+        )
+        return self.calibration.predict_ms(2.0 * estimated, est_reads)
 
     @staticmethod
     def estimate_candidates(
@@ -348,11 +420,9 @@ class JoinPlanner:
             outer_lambda = float(index_stats["outer"]["duration_fraction"])
             inner_lambda = float(index_stats["inner"]["duration_fraction"])
             coverage = min(1.0, outer_lambda + inner_lambda)
-            estimated = (
-                int(index_stats["outer"]["cardinality"])
-                * int(index_stats["inner"]["cardinality"])
-                * coverage
-            )
+            outer_cardinality = int(index_stats["outer"]["cardinality"])
+            inner_cardinality = int(index_stats["inner"]["cardinality"])
+            estimated = outer_cardinality * inner_cardinality * coverage
             index_note = "; planned from persisted index statistics"
         else:
             outer_lambda = (
@@ -361,7 +431,11 @@ class JoinPlanner:
             inner_lambda = (
                 inner.duration_fraction if not inner.is_empty else 0.0
             )
+            outer_cardinality = inner_cardinality = None
             estimated = self.estimate_candidates(outer, inner)
+        predicted_ms = self._predict_ms(
+            outer, inner, estimated, outer_cardinality, inner_cardinality
+        )
         if budget is not None:
             self._check_budget(budget, outer, inner, estimated)
         if (
@@ -395,7 +469,18 @@ class JoinPlanner:
         else:
             workers = self._resolve_workers()
             parallelism: Optional[int] = None
-            if (
+            if self.calibration is not None:
+                # Measured-cost rule: parallelize when the *predicted*
+                # sequential latency is long enough to amortise pool
+                # startup, regardless of the abstract candidate count.
+                if (
+                    self.parallel_min_predicted_ms is not None
+                    and workers > 1
+                    and predicted_ms is not None
+                    and predicted_ms >= self.parallel_min_predicted_ms
+                ):
+                    parallelism = workers
+            elif (
                 self.parallel_threshold is not None
                 and workers > 1
                 and estimated >= self.parallel_threshold
@@ -433,6 +518,13 @@ class JoinPlanner:
                 metrics=self.metrics,
                 collect_report=self.collect_report,
                 index_path=index_path,
+                # Calibrated constants drive the paper's k derivation in
+                # place of the device's assumed weights.
+                weights=(
+                    self.calibration.to_weights()
+                    if self.calibration is not None
+                    else None
+                ),
             )
 
             def reason() -> str:
@@ -442,7 +534,26 @@ class JoinPlanner:
                     f"lambda_s={inner_lambda:.2e}): "
                     "OIPJOIN is robust to long-lived tuples"
                 )
-                if parallelism is not None:
+                if self.calibration is not None and predicted_ms is not None:
+                    base += (
+                        f"; calibrated prediction {predicted_ms:.1f} ms "
+                        "sequential"
+                    )
+                    if parallelism is not None:
+                        base += (
+                            f" >= {self.parallel_min_predicted_ms:.0f} ms: "
+                            f"scheduling partition pairs on {parallelism} "
+                            f"{self.parallel_backend} workers"
+                        )
+                    else:
+                        base += (
+                            " (below the "
+                            f"{self.parallel_min_predicted_ms:.0f} ms "
+                            "parallel floor: sequential)"
+                            if self.parallel_min_predicted_ms is not None
+                            else " (parallel planning disabled)"
+                        )
+                elif parallelism is not None:
                     base += (
                         f"; ~{estimated:.2e} estimated candidate "
                         f"comparisons >= {self.parallel_threshold:.0e}: "
@@ -484,6 +595,7 @@ class JoinPlanner:
             outer_duration_fraction=outer_lambda,
             inner_duration_fraction=inner_lambda,
             estimated_candidates=estimated,
+            predicted_ms=predicted_ms,
         )
 
     def join(

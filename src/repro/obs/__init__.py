@@ -14,9 +14,12 @@ from .trace import (
     JsonlSink,
     NullTracer,
     Span,
+    TraceBuffer,
     TraceEvent,
     Tracer,
+    new_trace_id,
     span_tree,
+    stitch_traces,
 )
 from .registry import (
     DEFAULT_COUNT_BUCKETS,
@@ -37,7 +40,29 @@ from .report import (
     validate_report,
     write_report,
 )
-from .compare import compare_reports, format_comparison
+from .compare import (
+    compare_reports,
+    compare_stats,
+    format_comparison,
+    format_stats_comparison,
+)
+from .log import NULL_QUERY_LOG, NullQueryLog, QueryLog, read_log_lines
+from .quantiles import (
+    DEFAULT_QUANTILES,
+    bucket_quantile,
+    quantiles_from_counts,
+    summarize_latency,
+)
+from .calibrate import (
+    Calibration,
+    CalibrationError,
+    Observation,
+    calibrate_reports,
+    fit_observations,
+    load_calibration,
+    observation_from_report,
+    save_calibration,
+)
 
 __all__ = [
     "Tracer",
@@ -47,6 +72,25 @@ __all__ = [
     "TraceEvent",
     "JsonlSink",
     "span_tree",
+    "new_trace_id",
+    "TraceBuffer",
+    "stitch_traces",
+    "QueryLog",
+    "NullQueryLog",
+    "NULL_QUERY_LOG",
+    "read_log_lines",
+    "DEFAULT_QUANTILES",
+    "bucket_quantile",
+    "quantiles_from_counts",
+    "summarize_latency",
+    "Calibration",
+    "CalibrationError",
+    "Observation",
+    "observation_from_report",
+    "fit_observations",
+    "calibrate_reports",
+    "load_calibration",
+    "save_calibration",
     "Counter",
     "Gauge",
     "Histogram",
@@ -64,4 +108,6 @@ __all__ = [
     "validate_report",
     "compare_reports",
     "format_comparison",
+    "compare_stats",
+    "format_stats_comparison",
 ]

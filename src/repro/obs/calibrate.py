@@ -1,0 +1,290 @@
+"""Fit the paper's cost constants to this machine from run reports.
+
+Section 6.2 of the paper models a join as ``cost = #cpu * c_cpu +
+#io * c_io`` (Equation 2) and *assumes* constants for the two unit
+costs (0.5 ns per comparison, 10 ns per 512-byte block in the
+main-memory setting).  Figure 7 then shows the model tracking measured
+runtime.  This module closes that loop for the reproduction: every
+:func:`~repro.obs.report.build_report` artifact already records both
+sides of the equation — the ``counters`` snapshot (``cpu_comparisons``,
+``block_reads`` + ``block_writes``) and the measured ``elapsed_ms`` —
+so a corpus of reports is a regression dataset, and the constants can
+be *measured* per machine instead of guessed.
+
+The fit is ordinary least squares through the origin (the model has no
+constant term: zero work costs zero):
+
+    minimize  sum_i (cpu_i * c_cpu + io_i * c_io - elapsed_i)^2
+
+solved in closed form from the 2x2 normal equations.  Degenerate
+corpora are handled explicitly:
+
+* if the two predictors are collinear (or one never varies), the fit
+  falls back to the single informative predictor;
+* a negative fitted constant (possible when predictors correlate and
+  noise dominates) is clamped to zero and the other constant refit —
+  ``CostWeights`` requires non-negative weights.
+
+Fitted constants are in **milliseconds per operation**; only their
+ratio matters for the paper's ``k`` derivation, and their absolute
+scale is exactly what turns the planner's modelled cost into a
+predicted latency.  ``Calibration.to_weights()`` yields a
+:class:`~repro.storage.metrics.CostWeights` that
+:class:`~repro.engine.planner.JoinPlanner` and
+:class:`~repro.core.join.OIPJoin` accept directly.
+
+CLI:
+
+    python -m repro calibrate report1.json report2.json ... \
+        [--out calibration.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..storage.metrics import CostWeights
+from .report import load_report
+
+__all__ = [
+    "CALIBRATION_VERSION",
+    "Observation",
+    "Calibration",
+    "CalibrationError",
+    "observation_from_report",
+    "fit_observations",
+    "calibrate_reports",
+    "load_calibration",
+    "save_calibration",
+    "main",
+]
+
+CALIBRATION_VERSION = 1
+
+#: Determinant below this (relative to the predictor scale) is treated
+#: as collinear and triggers the single-predictor fallback.
+_SINGULAR_EPS = 1e-12
+
+
+class CalibrationError(ValueError):
+    """Raised when a corpus cannot support a fit (empty, all-zero, ...)."""
+
+
+@dataclass(frozen=True)
+class Observation:
+    """One report reduced to the cost model's regression row."""
+
+    cpu: float
+    io: float
+    elapsed_ms: float
+    source: str = ""
+
+
+def observation_from_report(
+    report: Dict[str, object], source: str = ""
+) -> Observation:
+    """Extract the Equation-2 predictors and response from a run report."""
+    counters = report.get("counters")
+    if not isinstance(counters, dict):
+        raise CalibrationError(f"report {source or '<dict>'} has no counters")
+    elapsed = report.get("elapsed_ms")
+    if not isinstance(elapsed, (int, float)):
+        raise CalibrationError(
+            f"report {source or '<dict>'} has no elapsed_ms"
+        )
+    cpu = float(counters.get("cpu_comparisons", 0))
+    io = float(counters.get("block_reads", 0)) + float(
+        counters.get("block_writes", 0)
+    )
+    return Observation(cpu=cpu, io=io, elapsed_ms=float(elapsed), source=source)
+
+
+@dataclass(frozen=True)
+class Calibration:
+    """Fitted per-machine cost constants, in milliseconds per operation."""
+
+    cpu_ms: float
+    io_ms: float
+    r_squared: float
+    samples: int
+    residual_rms_ms: float
+
+    def predict_ms(self, cpu: float, io: float) -> float:
+        """Predicted latency for a (cpu, io) workload — Equation 2."""
+        return cpu * self.cpu_ms + io * self.io_ms
+
+    def to_weights(self) -> CostWeights:
+        """The fitted constants as planner/join-ready cost weights."""
+        if self.cpu_ms <= 0.0 and self.io_ms <= 0.0:
+            raise CalibrationError(
+                "calibration fitted both constants to zero; corpus carries "
+                "no cost signal"
+            )
+        return CostWeights(cpu=self.cpu_ms, io=self.io_ms)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "kind": "cost_calibration",
+            "version": CALIBRATION_VERSION,
+            "cpu_ms": self.cpu_ms,
+            "io_ms": self.io_ms,
+            "r_squared": self.r_squared,
+            "samples": self.samples,
+            "residual_rms_ms": self.residual_rms_ms,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Calibration":
+        if data.get("kind") != "cost_calibration":
+            raise CalibrationError(
+                f"not a calibration document (kind={data.get('kind')!r})"
+            )
+        return cls(
+            cpu_ms=float(data["cpu_ms"]),  # type: ignore[arg-type]
+            io_ms=float(data["io_ms"]),  # type: ignore[arg-type]
+            r_squared=float(data.get("r_squared", 0.0)),  # type: ignore[arg-type]
+            samples=int(data.get("samples", 0)),  # type: ignore[arg-type]
+            residual_rms_ms=float(data.get("residual_rms_ms", 0.0)),  # type: ignore[arg-type]
+        )
+
+
+def _fit_single(xs: List[float], ts: List[float]) -> float:
+    """Least squares through the origin for one predictor; >= 0."""
+    sxx = sum(x * x for x in xs)
+    if sxx <= 0.0:
+        return 0.0
+    return max(0.0, sum(x * t for x, t in zip(xs, ts)) / sxx)
+
+
+def fit_observations(observations: Sequence[Observation]) -> Calibration:
+    """Solve the through-origin least-squares fit with degenerate fallbacks."""
+    rows = [o for o in observations if o.elapsed_ms >= 0.0]
+    if not rows:
+        raise CalibrationError("no usable observations (need elapsed_ms >= 0)")
+    cpus = [o.cpu for o in rows]
+    ios = [o.io for o in rows]
+    ts = [o.elapsed_ms for o in rows]
+    if max(cpus, default=0.0) <= 0.0 and max(ios, default=0.0) <= 0.0:
+        raise CalibrationError(
+            "no usable observations (all counters are zero)"
+        )
+
+    sxx = sum(c * c for c in cpus)
+    syy = sum(i * i for i in ios)
+    sxy = sum(c * i for c, i in zip(cpus, ios))
+    sxt = sum(c * t for c, t in zip(cpus, ts))
+    syt = sum(i * t for i, t in zip(ios, ts))
+
+    det = sxx * syy - sxy * sxy
+    scale = max(sxx, syy, 1.0)
+    if det <= _SINGULAR_EPS * scale * scale:
+        # Collinear or single-predictor corpus: fit whichever predictor
+        # carries variance; attribute all cost to it.
+        if sxx >= syy:
+            cpu_ms, io_ms = _fit_single(cpus, ts), 0.0
+        else:
+            cpu_ms, io_ms = 0.0, _fit_single(ios, ts)
+    else:
+        cpu_ms = (syy * sxt - sxy * syt) / det
+        io_ms = (sxx * syt - sxy * sxt) / det
+        # The model is physical: unit costs cannot be negative.  Clamp
+        # and refit the surviving predictor so residuals stay optimal
+        # within the constraint.
+        if cpu_ms < 0.0 and io_ms < 0.0:
+            cpu_ms = io_ms = 0.0
+        elif cpu_ms < 0.0:
+            cpu_ms, io_ms = 0.0, _fit_single(ios, ts)
+        elif io_ms < 0.0:
+            cpu_ms, io_ms = _fit_single(cpus, ts), 0.0
+
+    residuals = [
+        t - (c * cpu_ms + i * io_ms) for c, i, t in zip(cpus, ios, ts)
+    ]
+    ss_res = sum(r * r for r in residuals)
+    mean_t = sum(ts) / len(ts)
+    ss_tot = sum((t - mean_t) ** 2 for t in ts)
+    r_squared = 1.0 - ss_res / ss_tot if ss_tot > 0.0 else (
+        1.0 if ss_res == 0.0 else 0.0
+    )
+    rms = (ss_res / len(rows)) ** 0.5
+    return Calibration(
+        cpu_ms=cpu_ms,
+        io_ms=io_ms,
+        r_squared=r_squared,
+        samples=len(rows),
+        residual_rms_ms=rms,
+    )
+
+
+def calibrate_reports(paths: Iterable[str]) -> Calibration:
+    """Load + validate each run report and fit the corpus."""
+    observations = []
+    for path in paths:
+        observations.append(observation_from_report(load_report(path), path))
+    return fit_observations(observations)
+
+
+def save_calibration(path: str, calibration: Calibration) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(calibration.as_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_calibration(path: str) -> Calibration:
+    with open(path, "r", encoding="utf-8") as handle:
+        return Calibration.from_dict(json.load(handle))
+
+
+def format_calibration(calibration: Calibration) -> str:
+    defaults = CostWeights.main_memory()
+    lines = [
+        f"samples          : {calibration.samples}",
+        f"c_cpu            : {calibration.cpu_ms:.3e} ms/comparison",
+        f"c_io             : {calibration.io_ms:.3e} ms/block",
+        f"r^2              : {calibration.r_squared:.4f}",
+        f"residual rms     : {calibration.residual_rms_ms:.3f} ms",
+    ]
+    if calibration.io_ms > 0.0:
+        lines.append(
+            f"cpu/io ratio     : {calibration.cpu_ms / calibration.io_ms:.4f}"
+            f" (paper default {defaults.ratio:.4f})"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-calibrate",
+        description=(
+            "Fit cost-model CPU/IO constants (Equation 2) from run reports"
+        ),
+    )
+    parser.add_argument("reports", nargs="+", help="run-report JSON files")
+    parser.add_argument(
+        "--out", help="write the fitted calibration JSON here"
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="print the calibration as JSON"
+    )
+    args = parser.parse_args(argv)
+    try:
+        calibration = calibrate_reports(args.reports)
+    except (CalibrationError, OSError, ValueError) as error:
+        print(f"calibration failed: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(calibration.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(format_calibration(calibration))
+    if args.out:
+        save_calibration(args.out, calibration)
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

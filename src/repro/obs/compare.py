@@ -11,6 +11,14 @@ diff them.  The diff has three sections:
   ``regression`` flag for phases slower than *threshold* (default +10%);
 * **headline** — elapsed time, result pairs and completion flags.
 
+The same CLI also diffs **service stats** documents (the
+``kind: "service_stats"`` JSON that ``python -m repro stats --json``
+captures from a running server): per-endpoint and per-phase latency
+quantiles are compared with the same regression threshold, so a
+before/after pair of ``stats`` captures gates tail latency exactly the
+way a pair of run reports gates phase time.  The document kind is
+auto-detected; mixing a run report with a stats document is an error.
+
 The exit-code contract mirrors the rest of the CLI: comparing reports is
 informational, so :func:`main` exits 0 whenever both reports load and
 validate, regressions or not — callers that want to gate on regressions
@@ -25,7 +33,13 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from .report import load_report
 
-__all__ = ["compare_reports", "format_comparison", "main"]
+__all__ = [
+    "compare_reports",
+    "format_comparison",
+    "compare_stats",
+    "format_stats_comparison",
+    "main",
+]
 
 #: Relative phase slow-down above which the phase is flagged.
 DEFAULT_REGRESSION_THRESHOLD = 0.10
@@ -171,18 +185,161 @@ def format_comparison(comparison: Dict[str, Any]) -> str:
     return "\n".join(lines)
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
-    """Stand-alone entry point (also reachable as ``repro compare A B``)."""
-    parser = argparse.ArgumentParser(
-        prog="repro-compare", description="Diff two run reports."
+def _is_stats_document(document: Dict[str, Any]) -> bool:
+    return document.get("kind") == "service_stats"
+
+
+def _latency_deltas(
+    base: Dict[str, Any],
+    other: Dict[str, Any],
+    threshold: float,
+) -> List[Dict[str, Any]]:
+    """Per-name quantile deltas for an ``endpoints``/``phases`` section."""
+    rows: List[Dict[str, Any]] = []
+    for name in sorted(set(base) | set(other)):
+        before = base.get(name, {})
+        after = other.get(name, {})
+        row: Dict[str, Any] = {
+            "name": name,
+            "base_count": before.get("count", 0),
+            "other_count": after.get("count", 0),
+            "quantiles": [],
+            "regression": False,
+        }
+        metrics = sorted(
+            key
+            for key in set(before) | set(after)
+            if key.endswith("_ms")
+        )
+        for key in metrics:
+            b = float(before.get(key, 0.0))
+            o = float(after.get(key, 0.0))
+            ratio = ((o - b) / b) if b > 0 else None
+            regression = ratio is not None and ratio > threshold
+            row["quantiles"].append(
+                {
+                    "metric": key,
+                    "base_ms": b,
+                    "other_ms": o,
+                    "delta_ms": o - b,
+                    "ratio": ratio,
+                    "regression": regression,
+                }
+            )
+            row["regression"] = row["regression"] or regression
+        rows.append(row)
+    return rows
+
+
+def compare_stats(
+    base: Dict[str, Any],
+    other: Dict[str, Any],
+    threshold: float = DEFAULT_REGRESSION_THRESHOLD,
+) -> Dict[str, Any]:
+    """Structured diff of two ``service_stats`` documents.
+
+    Latency quantiles (every ``*_ms`` summary metric) are compared per
+    endpoint and per phase; a quantile more than *threshold* slower in
+    *other* flags that row — and the document — as a regression.
+    Counters diff exactly, as in report comparison.
+    """
+    for name, document in (("base", base), ("other", other)):
+        if not _is_stats_document(document):
+            raise ValueError(
+                f"{name} document is not service stats "
+                f"(kind={document.get('kind')!r})"
+            )
+    endpoints = _latency_deltas(
+        base.get("endpoints", {}), other.get("endpoints", {}), threshold
     )
-    parser.add_argument("base", help="baseline run-report JSON path")
-    parser.add_argument("other", help="comparison run-report JSON path")
+    phases = _latency_deltas(
+        base.get("phases", {}), other.get("phases", {}), threshold
+    )
+    return {
+        "kind": "service_stats_comparison",
+        "threshold": threshold,
+        "endpoints": endpoints,
+        "phases": phases,
+        "counters": _counter_deltas(
+            base.get("counters", {}), other.get("counters", {})
+        ),
+        "regressions": sum(
+            1 for row in endpoints + phases if row["regression"]
+        ),
+    }
+
+
+def _format_latency_section(
+    title: str, rows: List[Dict[str, Any]], lines: List[str]
+) -> None:
+    lines.append(f"{title}:")
+    if not rows:
+        lines.append("  (none)")
+        return
+    for row in rows:
+        lines.append(
+            f"  {row['name']} (count {row['base_count']} -> "
+            f"{row['other_count']})"
+        )
+        for quantile in row["quantiles"]:
+            rel = (
+                f"{quantile['ratio'] * 100.0:+.1f}%"
+                if quantile["ratio"] is not None
+                else "n/a"
+            )
+            flag = "  REGRESSION" if quantile["regression"] else ""
+            lines.append(
+                f"    {quantile['metric']:<10} "
+                f"{_fmt_ms(quantile['base_ms'])} -> "
+                f"{_fmt_ms(quantile['other_ms'])} ms ({rel}){flag}"
+            )
+
+
+def format_stats_comparison(comparison: Dict[str, Any]) -> str:
+    """Human-readable rendering of :func:`compare_stats`."""
+    lines: List[str] = [
+        "compare: service stats (threshold "
+        f"{comparison['threshold'] * 100.0:+.0f}%)"
+    ]
+    _format_latency_section("endpoints", comparison["endpoints"], lines)
+    _format_latency_section("phases", comparison["phases"], lines)
+    rows = comparison["counters"]
+    lines.append("counter deltas:")
+    if not rows:
+        lines.append("  (identical)")
+    else:
+        width = max(len(row["name"]) for row in rows)
+        for row in rows:
+            lines.append(
+                f"  {row['name']:<{width}}  "
+                f"{row['base']} -> {row['other']} ({row['delta']:+d})"
+            )
+    lines.append(f"regressions: {comparison['regressions']}")
+    return "\n".join(lines)
+
+
+def _load_json(path: str) -> Dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Stand-alone entry point (also reachable as ``repro compare A B``).
+
+    Accepts either two run reports or two ``service_stats`` captures;
+    the document kind is auto-detected.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro-compare",
+        description="Diff two run reports or two service stats captures.",
+    )
+    parser.add_argument("base", help="baseline JSON path")
+    parser.add_argument("other", help="comparison JSON path")
     parser.add_argument(
         "--threshold",
         type=float,
         default=DEFAULT_REGRESSION_THRESHOLD,
-        help="relative phase slow-down flagged as a regression "
+        help="relative slow-down flagged as a regression "
         "(default %(default)s)",
     )
     parser.add_argument(
@@ -190,13 +347,30 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    comparison = compare_reports(
-        load_report(args.base), load_report(args.other), args.threshold
-    )
+    base_raw = _load_json(args.base)
+    other_raw = _load_json(args.other)
+    base_is_stats = _is_stats_document(base_raw)
+    other_is_stats = _is_stats_document(other_raw)
+    if base_is_stats != other_is_stats:
+        print(
+            "cannot compare a run report with a service stats capture: "
+            f"{args.base} is "
+            f"{'stats' if base_is_stats else 'a report'}, {args.other} is "
+            f"{'stats' if other_is_stats else 'a report'}"
+        )
+        return 2
+    if base_is_stats:
+        comparison = compare_stats(base_raw, other_raw, args.threshold)
+        formatted = format_stats_comparison(comparison)
+    else:
+        comparison = compare_reports(
+            load_report(args.base), load_report(args.other), args.threshold
+        )
+        formatted = format_comparison(comparison)
     if args.json:
         print(json.dumps(comparison, indent=2, sort_keys=True))
     else:
-        print(format_comparison(comparison))
+        print(formatted)
     return 0
 
 

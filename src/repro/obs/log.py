@@ -1,0 +1,278 @@
+"""Structured NDJSON query log with sampling and a slow-query lane.
+
+The service emits one JSON object per line (NDJSON) describing a
+lifecycle event: a query admitted, completed, shed, retried against a
+faulty block device, a snapshot swapped, a drain finished.  The sink is
+designed for the serving hot path:
+
+* **Atomic lines.**  Each record is serialized first and written with a
+  single ``write()`` call under a lock, then flushed.  Concurrent
+  writers (query threads, the SIGHUP refresh handler, the drain path)
+  can interleave *lines* but never tear one — a reader doing
+  ``json.loads`` per line always succeeds.  Pinned by the chaos suite.
+* **Deterministic sampling.**  High-frequency events (per-query
+  completion at tens of thousands of QPS) can be downsampled.  The
+  decision hashes the record's ``trace_id`` (CRC32 against a fixed
+  threshold), so the *same* trace is either fully present or fully
+  absent — no half-logged traces — and a replay of the same trace ids
+  reproduces the same log.  Records without a trace id and records at
+  ``warning`` or above always pass.
+* **Slow-query lane.**  ``query()`` events whose ``elapsed_ms`` exceeds
+  the configured threshold are re-emitted at ``warning`` severity with
+  ``slow: true`` — they bypass sampling, so the tail is always visible
+  even when the bulk is sampled away.
+
+Events are plain dicts; severity gating follows syslog-ish levels
+``debug < info < warning < error``.  The :data:`NULL_QUERY_LOG`
+singleton swallows everything without serializing, so telemetry-off
+call sites pay one truthiness check.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+import zlib
+from typing import IO, Any, Dict, Optional
+
+__all__ = [
+    "QueryLog",
+    "NullQueryLog",
+    "NULL_QUERY_LOG",
+    "LEVELS",
+    "read_log_lines",
+]
+
+#: Severity order; gate with ``LEVELS[level] >= LEVELS[min_level]``.
+LEVELS: Dict[str, int] = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+_SAMPLE_SPACE = 1 << 32
+
+
+def _sample_passes(trace_id: str, rate: float) -> bool:
+    """Deterministic per-trace coin flip: keep iff crc32 falls under rate."""
+    if rate >= 1.0:
+        return True
+    if rate <= 0.0:
+        return False
+    digest = zlib.crc32(trace_id.encode("utf-8")) & 0xFFFFFFFF
+    return digest < int(rate * _SAMPLE_SPACE)
+
+
+class QueryLog:
+    """Append-only NDJSON event sink.
+
+    Parameters
+    ----------
+    stream:
+        Text stream to append to.  Exactly one ``write()`` call is
+        issued per record while holding the sink lock.
+    path:
+        Convenience alternative to ``stream``: open this file for
+        appending (line-buffered close on :meth:`close`).
+    min_level:
+        Drop records below this severity before serializing.
+    sample_rate:
+        Keep fraction for *sampled* events (``emit(..., sampled=True)``).
+        Hashed from the trace id, so sampling is deterministic and
+        whole-trace.  Unsampled events and ``warning``+ always pass.
+    slow_query_ms:
+        Threshold for the slow-query lane; ``None`` disables it.
+    clock:
+        Monotonic-ish timestamp source recorded as ``ts``; injectable
+        for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        stream: Optional[IO[str]] = None,
+        *,
+        path: Optional[str] = None,
+        min_level: str = "info",
+        sample_rate: float = 1.0,
+        slow_query_ms: Optional[float] = None,
+        clock=None,
+    ) -> None:
+        if (stream is None) == (path is None):
+            raise ValueError("provide exactly one of stream= or path=")
+        if min_level not in LEVELS:
+            raise ValueError(
+                f"unknown level {min_level!r}; expected one of "
+                f"{sorted(LEVELS)}"
+            )
+        if not 0.0 <= sample_rate <= 1.0:
+            raise ValueError(f"sample_rate must be in [0, 1]: {sample_rate}")
+        if slow_query_ms is not None and slow_query_ms < 0:
+            raise ValueError(f"slow_query_ms must be >= 0: {slow_query_ms}")
+        self._owns_stream = stream is None
+        self._stream: IO[str] = (
+            open(path, "a", encoding="utf-8") if stream is None else stream
+        )
+        self._lock = threading.Lock()
+        self._min_level = LEVELS[min_level]
+        self._sample_rate = sample_rate
+        self.slow_query_ms = slow_query_ms
+        if clock is None:
+            import time
+
+            clock = time.time
+        self._clock = clock
+        self.emitted = 0
+        self.dropped = 0
+
+    # -- predicates ------------------------------------------------------
+
+    def __bool__(self) -> bool:
+        return True
+
+    @property
+    def enabled(self) -> bool:
+        return True
+
+    def is_slow(self, elapsed_ms: Optional[float]) -> bool:
+        return (
+            self.slow_query_ms is not None
+            and elapsed_ms is not None
+            and elapsed_ms >= self.slow_query_ms
+        )
+
+    # -- emission --------------------------------------------------------
+
+    def emit(
+        self,
+        event: str,
+        *,
+        level: str = "info",
+        trace_id: Optional[str] = None,
+        sampled: bool = False,
+        **fields: Any,
+    ) -> bool:
+        """Append one event line; return whether it was written.
+
+        ``sampled=True`` marks the event as hot-path: it is subject to
+        the deterministic per-trace sample rate unless its severity is
+        ``warning`` or higher.
+        """
+        severity = LEVELS.get(level)
+        if severity is None:
+            raise ValueError(f"unknown level {level!r}")
+        if severity < self._min_level:
+            self.dropped += 1
+            return False
+        if (
+            sampled
+            and severity < LEVELS["warning"]
+            and trace_id is not None
+            and not _sample_passes(trace_id, self._sample_rate)
+        ):
+            self.dropped += 1
+            return False
+        record: Dict[str, Any] = {
+            "level": level,
+            "event": event,
+        }
+        if trace_id is not None:
+            record["trace_id"] = trace_id
+        record.update(fields)
+        with self._lock:
+            # The timestamp is taken under the lock so ``ts`` order
+            # always matches line order, and one write is issued per
+            # record: concurrent emitters interleave whole lines, never
+            # fragments.
+            record["ts"] = self._clock()
+            line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+            self._stream.write(line + "\n")
+            self._stream.flush()
+            self.emitted += 1
+        return True
+
+    def query_event(
+        self,
+        event: str,
+        *,
+        trace_id: Optional[str],
+        elapsed_ms: Optional[float] = None,
+        level: str = "info",
+        **fields: Any,
+    ) -> None:
+        """Emit a per-query event, promoting slow queries out of sampling.
+
+        The fast path is sampled at ``sample_rate``; a query over the
+        slow threshold is logged at ``warning`` with ``slow: true`` and
+        therefore always kept.
+        """
+        if elapsed_ms is not None:
+            fields["elapsed_ms"] = elapsed_ms
+        if self.is_slow(elapsed_ms):
+            self.emit(
+                event,
+                level="warning",
+                trace_id=trace_id,
+                sampled=False,
+                slow=True,
+                **fields,
+            )
+            return
+        self.emit(event, level=level, trace_id=trace_id, sampled=True, **fields)
+
+    def close(self) -> None:
+        if self._owns_stream:
+            self._stream.close()
+
+
+class NullQueryLog:
+    """No-op stand-in: falsy, swallows every event without serializing."""
+
+    slow_query_ms: Optional[float] = None
+    emitted = 0
+    dropped = 0
+
+    def __bool__(self) -> bool:
+        return False
+
+    @property
+    def enabled(self) -> bool:
+        return False
+
+    def is_slow(self, elapsed_ms: Optional[float]) -> bool:
+        return False
+
+    def emit(self, event: str, **fields: Any) -> bool:  # noqa: ARG002
+        return False
+
+    def query_event(self, event: str, **fields: Any) -> None:  # noqa: ARG002
+        return None
+
+    def close(self) -> None:
+        return None
+
+
+#: Shared no-op sink; call sites default to this and pay one branch.
+NULL_QUERY_LOG = NullQueryLog()
+
+
+def read_log_lines(source) -> list:
+    """Parse an NDJSON log from a path or text stream; raise on torn lines.
+
+    Used by tests and ad-hoc analysis: every non-empty line must be a
+    complete JSON object (the atomic-write guarantee).
+    """
+    if isinstance(source, (str, bytes)):
+        with open(source, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    elif isinstance(source, io.TextIOBase) or hasattr(source, "read"):
+        text = source.read()
+    else:
+        raise TypeError(f"expected path or stream, got {type(source)!r}")
+    records = []
+    for number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            records.append(json.loads(line))
+        except ValueError as error:
+            raise ValueError(
+                f"torn or invalid NDJSON at line {number}: {line[:80]!r}"
+            ) from error
+    return records

@@ -1,0 +1,134 @@
+"""Deterministic quantile estimation over fixed histogram buckets.
+
+The metrics registry's :class:`~repro.obs.registry.Histogram` stores
+observations in a fixed, strictly-increasing bucket layout (plus an
+implicit ``+Inf`` overflow bucket).  That layout is shared by every
+process that ever records the metric, which makes the histogram
+*mergeable*: summing per-bucket counts from two histograms yields
+exactly the histogram that one process observing both streams would
+have produced.  Quantiles estimated from the merged counts are then a
+pure function of the bucket layout and the counts — no sampling, no
+sketch randomness, no dependence on observation order.
+
+The estimator is the classic Prometheus-style linear interpolation
+within the target bucket:
+
+* find the first bucket whose cumulative count reaches ``rank = q * n``;
+* interpolate linearly between the bucket's lower and upper bound by
+  the rank's position inside the bucket.
+
+Determinism contract (pinned by ``tests/obs/test_quantiles.py``):
+
+* the same multiset of observations yields the same quantiles
+  regardless of observation order or of how the counts were merged;
+* an observation exactly on a bucket boundary lands in the bucket whose
+  *upper* bound it equals (matching ``Histogram.observe``'s
+  ``bisect_left``), so ``quantile(1.0)`` of a single boundary value
+  returns that value exactly;
+* ranks that fall in the overflow bucket are clamped to the highest
+  finite bound — the histogram cannot know how far past it the tail
+  goes, and a stable under-estimate beats an unstable guess.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+__all__ = [
+    "bucket_quantile",
+    "quantiles_from_counts",
+    "summarize_latency",
+    "DEFAULT_QUANTILES",
+]
+
+#: The quantiles a latency summary reports by default.
+DEFAULT_QUANTILES = (0.5, 0.95, 0.99)
+
+
+def bucket_quantile(
+    buckets: Sequence[float],
+    cumulative: Sequence[int],
+    q: float,
+) -> float:
+    """Estimate the ``q``-quantile from cumulative bucket counts.
+
+    ``buckets`` are the finite upper bounds (strictly increasing) and
+    ``cumulative`` the cumulative observation counts per bucket with one
+    extra trailing entry for the ``+Inf`` overflow bucket — exactly the
+    ``{"buckets", "counts"}`` shape of ``Histogram.snapshot()``.
+
+    Returns ``0.0`` for an empty histogram.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+    if len(cumulative) != len(buckets) + 1:
+        raise ValueError(
+            "cumulative counts must have one entry per bucket plus the "
+            f"+Inf bucket: {len(buckets)} buckets, "
+            f"{len(cumulative)} counts"
+        )
+    total = cumulative[-1] if cumulative else 0
+    if total <= 0:
+        return 0.0
+    rank = q * total
+    # The first bucket whose cumulative count reaches the rank holds the
+    # quantile.  rank == 0 (q == 0) resolves to the first non-empty
+    # bucket's lower edge via max(rank, epsilon)-free handling below.
+    for index, bound in enumerate(buckets):
+        count_here = cumulative[index]
+        if count_here >= rank and count_here > 0:
+            lower = buckets[index - 1] if index else 0.0
+            prev = cumulative[index - 1] if index else 0
+            in_bucket = count_here - prev
+            if in_bucket <= 0:
+                # Rank landed on a boundary shared with an empty bucket;
+                # the value is exactly the previous bound.
+                return lower
+            position = (rank - prev) / in_bucket
+            if position < 0.0:
+                position = 0.0
+            return lower + (bound - lower) * position
+    # Overflow bucket: clamp to the highest finite bound.
+    return buckets[-1] if buckets else 0.0
+
+
+def quantiles_from_counts(
+    buckets: Sequence[float],
+    cumulative: Sequence[int],
+    qs: Sequence[float] = DEFAULT_QUANTILES,
+) -> Dict[str, float]:
+    """Map ``p50``-style labels to estimates for each ``q`` in ``qs``."""
+    out: Dict[str, float] = {}
+    for q in qs:
+        label = f"p{q * 100:g}".replace(".", "_")
+        out[label] = bucket_quantile(buckets, cumulative, q)
+    return out
+
+
+def summarize_latency(
+    snapshot: Dict[str, object],
+    qs: Sequence[float] = DEFAULT_QUANTILES,
+) -> Dict[str, float]:
+    """Summarize a ``Histogram.snapshot()`` dict into count/mean/quantiles.
+
+    The input shape is ``{"buckets": [...], "counts": [...cumulative...],
+    "sum": float, "count": int}``; the output adds ``mean_ms`` alongside
+    the requested quantiles so ``stats`` consumers never recompute it.
+    """
+    buckets: List[float] = list(snapshot.get("buckets", ()))  # type: ignore[arg-type]
+    counts: List[int] = list(snapshot.get("counts", ()))  # type: ignore[arg-type]
+    count = int(snapshot.get("count", 0))  # type: ignore[arg-type]
+    total = float(snapshot.get("sum", 0.0))  # type: ignore[arg-type]
+    summary: Dict[str, float] = {
+        "count": count,
+        "mean_ms": (total / count) if count else 0.0,
+    }
+    summary.update(
+        {
+            f"{label}_ms": value
+            for label, value in quantiles_from_counts(
+                buckets, counts, qs
+            ).items()
+        }
+    )
+    return summary

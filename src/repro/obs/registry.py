@@ -161,6 +161,19 @@ class Histogram:
             "count": self.count,
         }
 
+    def quantile(self, q: float) -> float:
+        """Deterministic ``q``-quantile estimate from the fixed buckets.
+
+        Linear interpolation inside the target bucket (see
+        :mod:`repro.obs.quantiles`); a pure function of the bucket
+        layout and counts, so merge order and observation order cannot
+        change it.  Returns 0.0 while the histogram is empty.
+        """
+        from .quantiles import bucket_quantile
+
+        snap = self.snapshot()
+        return bucket_quantile(snap["buckets"], snap["counts"], q)
+
 
 _Metric = Union[Counter, Gauge, Histogram]
 

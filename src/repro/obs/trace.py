@@ -38,7 +38,9 @@ wall-clock measurements.
 from __future__ import annotations
 
 import json
+import threading
 import time
+import uuid
 from typing import Any, Dict, List, Optional, TextIO
 
 __all__ = [
@@ -49,7 +51,21 @@ __all__ = [
     "NULL_TRACER",
     "JsonlSink",
     "span_tree",
+    "new_trace_id",
+    "TraceBuffer",
+    "stitch_traces",
 ]
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-char request trace id.
+
+    Trace ids are opaque correlation tokens: the client stamps one on a
+    wire request, the server threads it through its span tree, the
+    query log and the response — so one id ties together everything a
+    single request touched across both processes.
+    """
+    return uuid.uuid4().hex[:16]
 
 
 class TraceEvent:
@@ -205,10 +221,19 @@ class Tracer:
         self,
         sink: Optional[JsonlSink] = None,
         clock=time.perf_counter,
+        trace_id: Optional[str] = None,
+        max_depth: Optional[int] = None,
     ) -> None:
         self._sink = sink
         self._clock = clock
         self._origin = clock()
+        #: Correlation id stamped onto every finished root span.
+        self.trace_id = trace_id
+        #: Nesting cap: ``span()`` calls at or below ``max_depth`` open
+        #: real spans, deeper calls get the shared no-op span.  A
+        #: serving-path tracer caps at phase granularity so per-partition
+        #: spans (thousands per probe) never tax a live query.
+        self.max_depth = max_depth
         self._stack: List[Span] = []
         #: Finished top-level spans, oldest first.
         self.roots: List[Span] = []
@@ -220,8 +245,23 @@ class Tracer:
     def _now_ms(self) -> float:
         return (self._clock() - self._origin) * 1000.0
 
-    def span(self, name: str, **attributes: Any) -> Span:
-        """Open a child span of the innermost open span."""
+    @property
+    def saturated(self) -> bool:
+        """True when the next ``span()`` would exceed :attr:`max_depth`.
+
+        Hot loops guard on this (alongside :attr:`enabled`) so a
+        depth-capped request trace skips per-partition instrumentation
+        at loop setup instead of paying a no-op call per partition."""
+        return (
+            self.max_depth is not None
+            and len(self._stack) >= self.max_depth
+        )
+
+    def span(self, name: str, **attributes: Any) -> Any:
+        """Open a child span of the innermost open span (or the no-op
+        span past :attr:`max_depth`)."""
+        if self.max_depth is not None and len(self._stack) >= self.max_depth:
+            return _NOOP_SPAN
         span = Span(name, attributes, self._now_ms(), self)
         self._stack.append(span)
         return span
@@ -251,6 +291,8 @@ class Tracer:
             if parent is not None:
                 parent.children.append(top)
             else:
+                if self.trace_id and "trace_id" not in top.attributes:
+                    top.attributes["trace_id"] = self.trace_id
                 self.roots.append(top)
                 if self._sink is not None:
                     self._sink.emit("span", top.as_dict())
@@ -312,10 +354,12 @@ class NullTracer:
     """
 
     enabled = False
+    saturated = False
     roots: List[Any] = []
     span_count = 0
     event_count = 0
     last_root = None
+    trace_id: Optional[str] = None
 
     __slots__ = ()
 
@@ -341,3 +385,91 @@ def span_tree(span: Optional[Span]) -> Dict[str, Any]:
     if span is None:
         return {"name": "join", "start_ms": 0.0, "duration_ms": 0.0}
     return span.as_dict()
+
+
+class TraceBuffer:
+    """Thread-safe ring of recently finished trace trees.
+
+    The service deposits each request's finished root span (as a
+    JSON-ready dict) here; the ``tracedump`` wire command reads them
+    back.  Bounded so an unwatched server never grows without limit —
+    when full, the oldest trace is evicted and counted in ``dropped``.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._traces: List[Dict[str, Any]] = []
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._traces)
+
+    def add(self, tree: Dict[str, Any]) -> None:
+        with self._lock:
+            self._traces.append(tree)
+            if len(self._traces) > self.capacity:
+                del self._traces[0]
+                self.dropped += 1
+
+    def dump(
+        self,
+        trace_id: Optional[str] = None,
+        limit: Optional[int] = None,
+    ) -> List[Dict[str, Any]]:
+        """Matching traces, oldest first (optionally only the last *limit*)."""
+        with self._lock:
+            traces = list(self._traces)
+        if trace_id is not None:
+            traces = [
+                tree
+                for tree in traces
+                if tree.get("attributes", {}).get("trace_id") == trace_id
+            ]
+        if limit is not None and limit >= 0:
+            traces = traces[-limit:]
+        return traces
+
+    def clear(self) -> None:
+        with self._lock:
+            self._traces.clear()
+
+
+def _find_trace_node(
+    tree: Dict[str, Any], trace_id: str
+) -> Optional[Dict[str, Any]]:
+    if tree.get("attributes", {}).get("trace_id") == trace_id:
+        return tree
+    for child in tree.get("children", ()):  # type: ignore[union-attr]
+        found = _find_trace_node(child, trace_id)
+        if found is not None:
+            return found
+    return None
+
+
+def stitch_traces(
+    client_tree: Dict[str, Any], server_tree: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Graft a server span tree under the client span sharing its trace id.
+
+    Both trees are JSON-ready dicts (``Span.as_dict()`` shape).  The
+    server tree is attached as a child of the client span whose
+    ``attributes.trace_id`` matches the server root's — the wire hop the
+    request travelled — producing the single end-to-end tree the
+    integration tests assert on.  Raises ``ValueError`` when the trees
+    do not share a trace id.
+    """
+    trace_id = server_tree.get("attributes", {}).get("trace_id")
+    if not trace_id:
+        raise ValueError("server trace carries no trace_id attribute")
+    merged = json.loads(json.dumps(client_tree))
+    anchor = _find_trace_node(merged, trace_id)
+    if anchor is None:
+        raise ValueError(
+            f"client trace has no span with trace_id={trace_id!r}"
+        )
+    anchor.setdefault("children", []).append(server_tree)
+    return merged

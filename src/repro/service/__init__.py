@@ -20,14 +20,23 @@ from .errors import (
     ServiceUnavailableError,
     SnapshotSwapRejectedError,
 )
-from .server import ServiceServer, serve_stdio
-from .service import JoinService, offline_query, summarize_result
+from .protocol import trace_context
+from .server import MetricsExporter, ServiceServer, serve_stdio
+from .service import (
+    STATS_VERSION,
+    JoinService,
+    offline_query,
+    summarize_result,
+)
 from .snapshots import ServingGeneration, SnapshotManager, join_kwargs_from_meta
 
 __all__ = [
     "JoinService",
     "ServiceServer",
+    "MetricsExporter",
     "ServiceClient",
+    "STATS_VERSION",
+    "trace_context",
     "RemoteServiceError",
     "ServingGeneration",
     "SnapshotManager",

@@ -6,6 +6,16 @@ Remote failures re-raise as :class:`RemoteServiceError` carrying the
 structured ``code``/``retriable``/``detail`` fields from the wire, so a
 caller can implement the same backoff policy against a remote service
 as against an in-process one.
+
+**Client-side tracing.**  Construct the client with a
+:class:`~repro.obs.Tracer` and every request opens a
+``client.request`` span stamped with a fresh ``trace_id`` that is also
+sent on the wire (the protocol's ``trace`` field).  The server threads
+the same id through its own span tree, so the client span and the
+server tree fetched via :meth:`tracedump` stitch into one end-to-end
+trace with :func:`~repro.obs.stitch_traces`.  Without a tracer no
+trace field is sent and the request bytes are identical to the
+pre-telemetry protocol.
 """
 
 from __future__ import annotations
@@ -13,6 +23,7 @@ from __future__ import annotations
 import socket
 from typing import Any, Dict, Optional, Sequence
 
+from ..obs.trace import NULL_TRACER, new_trace_id
 from .errors import ServiceError
 from .protocol import MAX_LINE_BYTES, encode_message
 
@@ -41,12 +52,16 @@ class ServiceClient:
         port: int = 0,
         *,
         timeout_s: Optional[float] = 30.0,
+        tracer: Any = NULL_TRACER,
     ) -> None:
         self.host = host
         self.port = port
         self._sock = socket.create_connection((host, port), timeout=timeout_s)
         self._rfile = self._sock.makefile("rb")
         self._next_id = 0
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: Trace id of the most recent request (None while untraced).
+        self.last_trace_id: Optional[str] = None
 
     # -- plumbing ------------------------------------------------------------
 
@@ -58,6 +73,22 @@ class ServiceClient:
         message.update(
             {key: value for key, value in fields.items() if value is not None}
         )
+        if not self.tracer.enabled:
+            return self._exchange(op, request_id, message)
+        trace_id = new_trace_id()
+        self.last_trace_id = trace_id
+        message["trace"] = {"trace_id": trace_id}
+        with self.tracer.span(
+            "client.request", op=op, trace_id=trace_id
+        ) as span:
+            response = self._exchange(op, request_id, message)
+            if "service_ms" in response:
+                span.set("server_ms", response["service_ms"])
+            return response
+
+    def _exchange(
+        self, op: str, request_id: int, message: Dict[str, Any]
+    ) -> Dict[str, Any]:
         self._sock.sendall(encode_message(message))
         line = self._rfile.readline(MAX_LINE_BYTES + 1)
         if not line:
@@ -136,6 +167,21 @@ class ServiceClient:
 
     def metrics(self) -> Dict[str, Any]:
         return self.request("metrics")["metrics"]
+
+    def stats(self) -> Dict[str, Any]:
+        """The server's ``service_stats`` document (latency quantiles)."""
+        return self.request("stats")["stats"]
+
+    def tracedump(
+        self,
+        *,
+        trace_id: Optional[str] = None,
+        limit: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """Recently finished server-side trace trees (optionally one id)."""
+        return self.request(
+            "tracedump", filter_trace_id=trace_id, limit=limit
+        )
 
     def refresh(self, *, force: bool = False) -> Dict[str, Any]:
         return self.request("refresh", force=force or None)

@@ -5,7 +5,18 @@ request is ``{"op": ..., "id": ...}`` plus op-specific fields; the
 response echoes ``id`` and carries either ``"ok": true`` plus the body
 or ``"ok": false`` plus a structured ``error`` object (see
 :mod:`repro.service.errors`).  Ops: ``join``, ``lookup``, ``health``,
-``metrics``, ``refresh``, ``ping``, ``shutdown``.
+``metrics``, ``stats``, ``tracedump``, ``refresh``, ``ping``,
+``shutdown``.
+
+**Trace propagation.**  Any request may carry a trace context,
+``"trace": {"trace_id": "<opaque token>"}`` — the client-minted
+correlation id.  The server threads the id through its span tree, its
+query log and the ``service.*`` failure details, and every response
+(success or error) echoes it as a top-level ``"trace_id"`` so the
+client can stitch its own spans to the server-side tree fetched via
+``tracedump``.  Requests without a context are assigned a server-side
+id when server telemetry is on; the field is ignored entirely when
+telemetry is off.
 
 The same framing runs over a TCP connection (``python -m repro serve``)
 and over stdin/stdout (``--stdio``), so tests and operators can drive a
@@ -24,6 +35,7 @@ __all__ = [
     "encode_message",
     "decode_line",
     "read_messages",
+    "trace_context",
 ]
 
 #: Upper bound on one protocol line; a client streaming garbage cannot
@@ -58,6 +70,22 @@ def decode_line(line: bytes) -> Optional[Dict[str, Any]]:
             f"request must be a JSON object, got {type(message).__name__}"
         )
     return message
+
+
+def trace_context(message: Dict[str, Any]) -> Optional[str]:
+    """The wire-propagated trace id of *message*, if it carries one.
+
+    Tolerant by design — a missing or malformed ``trace`` field means
+    "no context" rather than a protocol error, so telemetry can never
+    fail a request that would otherwise succeed.
+    """
+    trace = message.get("trace")
+    if not isinstance(trace, dict):
+        return None
+    trace_id = trace.get("trace_id")
+    if isinstance(trace_id, str) and trace_id:
+        return trace_id
+    return None
 
 
 def read_messages(stream: Any) -> Iterator[Dict[str, Any]]:

@@ -22,13 +22,14 @@ from __future__ import annotations
 import socket
 import socketserver
 import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional
 
 from .errors import ServiceError
 from .protocol import decode_line, encode_message
 from .service import JoinService
 
-__all__ = ["ServiceServer", "serve_stdio"]
+__all__ = ["ServiceServer", "MetricsExporter", "serve_stdio"]
 
 
 class _Handler(socketserver.StreamRequestHandler):
@@ -77,6 +78,80 @@ class _TCPServer(socketserver.ThreadingTCPServer):
     context: Optional["ServiceServer"] = None
 
 
+class _MetricsHandler(BaseHTTPRequestHandler):
+    """GET /metrics → live Prometheus exposition of the service registry."""
+
+    def do_GET(self) -> None:  # pragma: no cover - exercised via sockets
+        service: JoinService = self.server.service  # type: ignore[attr-defined]
+        if self.path.split("?", 1)[0] not in ("/metrics", "/"):
+            self.send_response(404)
+            self.end_headers()
+            return
+        try:
+            service.publish_metrics()
+            body = service.metrics.to_prometheus_text().encode("utf-8")
+        except Exception as error:  # noqa: BLE001 - exposition boundary
+            self.send_response(500)
+            self.end_headers()
+            self.wfile.write(f"# scrape failed: {error}\n".encode("utf-8"))
+            return
+        self.send_response(200)
+        self.send_header(
+            "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+        )
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args: Any) -> None:
+        """Scrapes are high-frequency; keep stderr quiet."""
+
+
+class MetricsExporter:
+    """A tiny stdlib HTTP sidecar serving ``GET /metrics``.
+
+    Prometheus scrapes pull text exposition over HTTP, not line-JSON —
+    so the exporter listens on its own port next to the wire protocol.
+    Each scrape refreshes the gauges (``publish_metrics``) and renders
+    the full registry, quantile-ready latency histograms included.
+    """
+
+    def __init__(
+        self,
+        service: JoinService,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._http = ThreadingHTTPServer((host, port), _MetricsHandler)
+        self._http.daemon_threads = True
+        self._http.service = service  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def host(self) -> str:
+        return self._http.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._http.server_address[1]
+
+    def start(self) -> "MetricsExporter":
+        self._thread = threading.Thread(
+            target=self._http.serve_forever,
+            name="oip-metrics-exporter",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._http.shutdown()
+        self._http.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+
+
 class ServiceServer:
     """Threaded TCP front-end over one :class:`JoinService`.
 
@@ -93,6 +168,7 @@ class ServiceServer:
         port: int = 0,
         drain_timeout_s: float = 30.0,
         hard_stop_timeout_s: float = 5.0,
+        metrics_port: Optional[int] = None,
     ) -> None:
         self.service = service
         self.drain_timeout_s = drain_timeout_s
@@ -102,6 +178,12 @@ class ServiceServer:
         self._thread: Optional[threading.Thread] = None
         self._stopping = threading.Event()
         self.stopped = threading.Event()
+        #: Optional Prometheus sidecar (``metrics_port=0`` → ephemeral).
+        self.metrics_exporter: Optional[MetricsExporter] = (
+            None
+            if metrics_port is None
+            else MetricsExporter(service, host=host, port=metrics_port)
+        )
 
     @property
     def host(self) -> str:
@@ -118,6 +200,8 @@ class ServiceServer:
             daemon=True,
         )
         self._thread.start()
+        if self.metrics_exporter is not None:
+            self.metrics_exporter.start()
         return self
 
     def initiate_shutdown(self) -> None:
@@ -144,6 +228,8 @@ class ServiceServer:
         self._tcp.server_close()
         if self._thread is not None:
             self._thread.join(timeout=5.0)
+        if self.metrics_exporter is not None:
+            self.metrics_exporter.stop()
         self.stopped.set()
         return report
 

@@ -52,7 +52,10 @@ from ..engine.governor import (
     CircuitBreaker,
     QueryBudget,
 )
+from ..obs.log import NULL_QUERY_LOG, QueryLog
+from ..obs.quantiles import summarize_latency
 from ..obs.registry import DEFAULT_LATENCY_BUCKETS_MS, MetricsRegistry
+from ..obs.trace import NULL_TRACER, TraceBuffer, Tracer, new_trace_id
 from ..storage.faults import StorageFaultError
 from .errors import (
     BadRequestError,
@@ -61,6 +64,7 @@ from .errors import (
     ServiceUnavailableError,
     SnapshotSwapRejectedError,
 )
+from .protocol import trace_context
 from .snapshots import ServingGeneration, SnapshotManager
 
 __all__ = [
@@ -70,7 +74,12 @@ __all__ = [
     "SERVING",
     "DRAINING",
     "STOPPED",
+    "STATS_VERSION",
 ]
+
+#: Version of the ``service_stats`` document (``stats`` op /
+#: ``repro stats``); bump on breaking shape changes.
+STATS_VERSION = 1
 
 STARTING = "starting"
 SERVING = "serving"
@@ -220,6 +229,10 @@ class JoinService:
         join_options: Optional[Dict[str, Any]] = None,
         clock: Callable[[], float] = time.monotonic,
         sleep: Callable[[float], None] = time.sleep,
+        tracing: bool = False,
+        trace_capacity: int = 256,
+        trace_max_depth: Optional[int] = 3,
+        query_log: Optional[QueryLog] = None,
     ) -> None:
         if max_retries < 0:
             raise ValueError(f"max_retries must be >= 0, got {max_retries}")
@@ -254,6 +267,21 @@ class JoinService:
         self._tokens: set = set()
         self._obs_lock = threading.Lock()
         self.started_at: Optional[float] = None
+        #: When true, each query runs under its own request
+        #: :class:`~repro.obs.Tracer` whose finished tree lands in
+        #: :attr:`traces` (the ``tracedump`` op).  Off by default — the
+        #: telemetry-off path is byte-for-byte the pre-telemetry path.
+        self.tracing = bool(tracing)
+        self.traces = TraceBuffer(trace_capacity) if self.tracing else None
+        #: Span-nesting cap for request traces.  The default (3) keeps
+        #: service.query -> phases -> join internals (index load, probe)
+        #: and drops the per-partition spans below — thousands per probe
+        #: — which would otherwise dominate the telemetry overhead
+        #: budget.  ``None`` records the full tree (offline analysis).
+        self.trace_max_depth = trace_max_depth
+        #: NDJSON event sink; :data:`~repro.obs.log.NULL_QUERY_LOG`
+        #: swallows everything when no log is configured.
+        self.query_log = query_log if query_log is not None else NULL_QUERY_LOG
 
     # -- configuration -------------------------------------------------------
 
@@ -348,23 +376,41 @@ class JoinService:
             self.started_at = self._clock()
         self._gauge("service.state", _STATE_VALUES[SERVING])
         self._gauge("service.generation", generation.generation)
+        self.query_log.emit(
+            "service.started",
+            generation=generation.generation,
+            index_path=self.index_path,
+        )
         return generation.generation
 
     def refresh(self, *, force: bool = False) -> Dict[str, Any]:
         """Hot-swap to the snapshot currently on disk (no downtime; see
         :class:`~repro.service.snapshots.SnapshotManager`)."""
+        self.query_log.emit("snapshot.refresh.started", force=force)
         try:
             report = self._snapshots.refresh(force=force)
         except SnapshotSwapRejectedError as error:
             self._count("service.swap.rejected")
             self._count(f"service.swap.rejected.{error.reason}")
+            self.query_log.emit(
+                "snapshot.swap_rejected",
+                level="error",
+                reason=error.reason,
+                message=str(error),
+            )
             raise
         if report["swapped"]:
             self._count("service.swap.count")
             self._observe("service.swap.latency_ms", report["elapsed_ms"])
             self._gauge("service.generation", report["generation"])
+            self.query_log.emit(
+                "snapshot.swapped",
+                generation=report["generation"],
+                elapsed_ms=report["elapsed_ms"],
+            )
         else:
             self._count("service.swap.unchanged")
+            self.query_log.emit("snapshot.unchanged", level="debug")
         return report
 
     def health(self) -> Dict[str, Any]:
@@ -414,6 +460,9 @@ class JoinService:
         if already:
             return {"drained": True, "cancelled": 0, "waited_ms": 0.0}
         self._gauge("service.state", _STATE_VALUES[DRAINING])
+        self.query_log.emit(
+            "drain.started", timeout_s=timeout_s, inflight=self._inflight
+        )
         deadline = started + max(0.0, timeout_s)
         with self._lock:
             while self._inflight > 0:
@@ -441,11 +490,17 @@ class JoinService:
         with self._lock:
             self._status = STOPPED
         self._gauge("service.state", _STATE_VALUES[STOPPED])
-        return {
+        report = {
             "drained": drained,
             "cancelled": cancelled,
             "waited_ms": (self._clock() - started) * 1e3,
         }
+        self.query_log.emit(
+            "drain.finished",
+            level="info" if drained else "warning",
+            **report,
+        )
+        return report
 
     # -- queries -------------------------------------------------------------
 
@@ -458,10 +513,20 @@ class JoinService:
         kernel: Optional[str] = None,
         include_pairs: bool = False,
         max_pairs: int = 1000,
+        trace_id: Optional[str] = None,
     ) -> Dict[str, Any]:
         """Execute one overlap join (or windowed lookup) against the
         pinned current generation.  Raises a :class:`ServiceError`
-        subclass with a stable ``code`` on any failure."""
+        subclass with a stable ``code`` on any failure.
+
+        ``trace_id`` is the wire-propagated correlation id (typically
+        stamped by :class:`~repro.service.client.ServiceClient`); when
+        omitted and telemetry is on, the service mints one.  Every
+        response — success or structured failure — carries the id, and
+        with :attr:`tracing` enabled the request's span tree
+        (``service.query`` → admission wait / snapshot pin / join
+        phases) lands in :attr:`traces` under the same id.
+        """
         if op not in _OPS:
             raise BadRequestError(
                 f"unknown op {op!r}; choose from {_OPS}"
@@ -473,6 +538,17 @@ class JoinService:
             raise BadRequestError(
                 f"deadline_ms must be positive, got {deadline_ms}"
             )
+        if trace_id is None and (self.tracing or self.query_log):
+            trace_id = new_trace_id()
+        tracer = (
+            Tracer(
+                clock=self._clock,
+                trace_id=trace_id,
+                max_depth=self.trace_max_depth,
+            )
+            if self.tracing
+            else NULL_TRACER
+        )
         submitted = self._clock()
         with self._lock:
             if self._status != SERVING:
@@ -484,18 +560,54 @@ class JoinService:
         self._count("service.queries.submitted")
         self._gauge("service.inflight", self._inflight)
         try:
-            return self._admitted_query(
-                op,
-                checked_window,
-                deadline_ms,
-                kernel,
-                include_pairs,
-                max_pairs,
-                submitted,
+            with tracer.span("service.query", op=op):
+                body = self._admitted_query(
+                    op,
+                    checked_window,
+                    deadline_ms,
+                    kernel,
+                    include_pairs,
+                    max_pairs,
+                    submitted,
+                    tracer,
+                    trace_id,
+                )
+            service_ms = (self._clock() - submitted) * 1e3
+            if trace_id is not None:
+                body["trace_id"] = trace_id
+            body["service_ms"] = service_ms
+            self._observe(f"service.op.{op}.latency_ms", service_ms)
+            self.query_log.query_event(
+                "query.completed",
+                trace_id=trace_id,
+                elapsed_ms=service_ms,
+                op=op,
+                generation=body.get("generation"),
+                pairs=body.get("pairs"),
+                attempts=body.get("attempts"),
             )
+            return body
         except ServiceError as error:
+            # Satellite fix: shed/deadline/unavailable responses used to
+            # leave ``elapsed_ms`` unset, making overload invisible in
+            # the log.  Every structured failure now reports how long
+            # the request held the service before being turned away.
+            service_ms = (self._clock() - submitted) * 1e3
+            error.detail.setdefault("elapsed_ms", service_ms)
+            if trace_id is not None:
+                error.detail.setdefault("trace_id", trace_id)
             self._count("service.queries.failed")
             self._count(f"service.queries.failed.{error.code}")
+            self._observe(f"service.op.{op}.latency_ms", service_ms)
+            self.query_log.emit(
+                "query.failed",
+                level="warning",
+                trace_id=trace_id,
+                op=op,
+                code=error.code,
+                retriable=error.retriable,
+                elapsed_ms=service_ms,
+            )
             raise
         finally:
             with self._lock:
@@ -503,6 +615,21 @@ class JoinService:
                 if self._inflight == 0:
                     self._idle.notify_all()
             self._gauge("service.inflight", self._inflight)
+            self._capture_trace(tracer)
+
+    def _capture_trace(self, tracer: Any) -> None:
+        """Deposit a finished request trace and observe phase latencies."""
+        if not tracer.enabled:
+            return
+        root = tracer.last_root
+        if root is None:
+            return
+        for child in root.children:
+            self._observe(
+                f"service.phase.{child.name}.latency_ms", child.duration_ms
+            )
+        if self.traces is not None:
+            self.traces.add(root.as_dict())
 
     def _admitted_query(
         self,
@@ -513,6 +640,8 @@ class JoinService:
         include_pairs: bool,
         max_pairs: int,
         submitted: float,
+        tracer: Any = NULL_TRACER,
+        trace_id: Optional[str] = None,
     ) -> Dict[str, Any]:
         admit_timeout = self.admit_timeout_s
         if deadline_ms is not None:
@@ -522,23 +651,15 @@ class JoinService:
                 if admit_timeout is None
                 else min(admit_timeout, budget_window)
             )
+        # ``admit()`` performs the slot/queue wait on __enter__, so the
+        # ``admission.wait`` span times exactly the time spent queued —
+        # a shed request dies inside it, leaving a terminal span with an
+        # ``error`` attribute in the request trace.
+        admit = self._admission.admit(timeout=admit_timeout)
         try:
-            with self._admission.admit(timeout=admit_timeout):
-                self._count("service.queries.admitted")
-                generation = self._snapshots.acquire()
-                try:
-                    return self._execute(
-                        generation,
-                        op,
-                        window,
-                        deadline_ms,
-                        kernel,
-                        include_pairs,
-                        max_pairs,
-                        submitted,
-                    )
-                finally:
-                    self._snapshots.release(generation)
+            with tracer.span("admission.wait") as wait_span:
+                admit.__enter__()
+                wait_span.set("admitted", True)
         except AdmissionRejectedError as error:
             self._count("service.queries.shed")
             raise ServiceOverloadError(
@@ -550,6 +671,28 @@ class JoinService:
                 timed_out=error.timed_out,
                 retry_after_ms=(self.admit_timeout_s or 1.0) * 1e3,
             ) from error
+        try:
+            self._count("service.queries.admitted")
+            with tracer.span("snapshot.pin") as pin_span:
+                generation = self._snapshots.acquire()
+                pin_span.set("generation", generation.generation)
+            try:
+                return self._execute(
+                    generation,
+                    op,
+                    window,
+                    deadline_ms,
+                    kernel,
+                    include_pairs,
+                    max_pairs,
+                    submitted,
+                    tracer,
+                    trace_id,
+                )
+            finally:
+                self._snapshots.release(generation)
+        finally:
+            admit.__exit__(None, None, None)
 
     def _execute(
         self,
@@ -561,6 +704,8 @@ class JoinService:
         include_pairs: bool,
         max_pairs: int,
         submitted: float,
+        tracer: Any = NULL_TRACER,
+        trace_id: Optional[str] = None,
     ) -> Dict[str, Any]:
         token = CancellationToken()
         with self._lock:
@@ -584,6 +729,10 @@ class JoinService:
                     budget = QueryBudget(deadline_ms=remaining_ms)
                 kwargs = generation.join_kwargs()
                 kwargs.update(options)
+                if tracer.enabled:
+                    # The join's own phase spans (oipcreate, probe,
+                    # kernels) nest under the open service.query span.
+                    kwargs["tracer"] = tracer
                 join = OIPJoin(
                     index_provider=generation,
                     kernel=kernel if kernel is not None else self.kernel,
@@ -620,6 +769,17 @@ class JoinService:
                             detail={"attempts": attempts},
                         ) from error
                     self._count("service.queries.retried")
+                    tracer.event(
+                        "storage.retry", attempt=attempts, error=str(error)
+                    )
+                    self.query_log.emit(
+                        "query.retry",
+                        level="warning",
+                        trace_id=trace_id,
+                        attempt=attempts,
+                        max_retries=self.max_retries,
+                        error=str(error),
+                    )
                     if self.retry_backoff_s:
                         self._sleep(
                             self.retry_backoff_s * (2 ** (attempts - 1))
@@ -655,6 +815,80 @@ class JoinService:
             with self._lock:
                 self._tokens.discard(token)
 
+    # -- telemetry views -----------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """The ``service_stats`` document: per-endpoint and per-phase
+        latency quantiles plus the ``service.*`` counters.
+
+        Quantiles are deterministic bucket interpolations (see
+        :mod:`repro.obs.quantiles`) over the fixed latency buckets, so
+        two captures of the same traffic agree exactly.  The shape is
+        versioned and diffable with ``repro compare`` — capture one
+        document before and one after a change and the quantile deltas
+        gate tail latency the way run reports gate phase time.
+        """
+        snapshot = self.publish_metrics()
+        histograms = snapshot.get("histograms", {})
+        endpoints: Dict[str, Any] = {}
+        phases: Dict[str, Any] = {}
+        for name, hist in histograms.items():
+            if name.startswith("service.op.") and name.endswith(
+                ".latency_ms"
+            ):
+                key = name[len("service.op."):-len(".latency_ms")]
+                endpoints[key] = summarize_latency(hist)
+            elif name.startswith("service.phase.") and name.endswith(
+                ".latency_ms"
+            ):
+                key = name[len("service.phase."):-len(".latency_ms")]
+                phases[key] = summarize_latency(hist)
+        counters = {
+            name: value
+            for name, value in snapshot.get("counters", {}).items()
+            if name.startswith("service.")
+        }
+        health = self.health()
+        document: Dict[str, Any] = {
+            "kind": "service_stats",
+            "version": STATS_VERSION,
+            "status": health["status"],
+            "generation": health["generation"],
+            "uptime_s": health["uptime_s"],
+            "queries_served": health["queries_served"],
+            "endpoints": endpoints,
+            "phases": phases,
+            "counters": counters,
+            "tracing": self.tracing,
+            "slow_query_ms": self.query_log.slow_query_ms,
+        }
+        if self.traces is not None:
+            document["traces"] = {
+                "buffered": len(self.traces),
+                "dropped": self.traces.dropped,
+                "capacity": self.traces.capacity,
+            }
+        if self.query_log:
+            document["log"] = {
+                "emitted": self.query_log.emitted,
+                "dropped": self.query_log.dropped,
+            }
+        return document
+
+    def tracedump(
+        self,
+        trace_id: Optional[str] = None,
+        limit: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """Recent finished request traces (the ``tracedump`` op)."""
+        if self.traces is None:
+            return {"tracing": False, "traces": [], "dropped": 0}
+        return {
+            "tracing": True,
+            "traces": self.traces.dump(trace_id=trace_id, limit=limit),
+            "dropped": self.traces.dropped,
+        }
+
     # -- protocol dispatch ---------------------------------------------------
 
     def handle_request(self, request: Dict[str, Any]) -> Dict[str, Any]:
@@ -662,6 +896,7 @@ class JoinService:
         the stdio loop, and in-process tests).  Never raises: every
         failure becomes a structured error response."""
         request_id = None
+        trace_id = None
         try:
             if not isinstance(request, dict):
                 raise BadRequestError(
@@ -669,6 +904,7 @@ class JoinService:
                     f"{type(request).__name__}"
                 )
             request_id = request.get("id")
+            trace_id = trace_context(request)
             op = request.get("op")
             if op in _OPS:
                 body = self.query(
@@ -678,11 +914,20 @@ class JoinService:
                     kernel=request.get("kernel"),
                     include_pairs=bool(request.get("include_pairs")),
                     max_pairs=int(request.get("max_pairs", 1000)),
+                    trace_id=trace_id,
                 )
             elif op == "health":
                 body = self.health()
             elif op == "metrics":
                 body = {"metrics": self.publish_metrics()}
+            elif op == "stats":
+                body = {"stats": self.stats()}
+            elif op == "tracedump":
+                limit = request.get("limit")
+                body = self.tracedump(
+                    trace_id=request.get("filter_trace_id"),
+                    limit=None if limit is None else int(limit),
+                )
             elif op == "refresh":
                 body = self.refresh(
                     force=bool(request.get("force", False))
@@ -692,9 +937,17 @@ class JoinService:
             else:
                 raise BadRequestError(f"unknown op {op!r}")
         except ServiceError as error:
-            return {"id": request_id, "ok": False, "error": error.to_wire()}
+            response = {
+                "id": request_id,
+                "ok": False,
+                "error": error.to_wire(),
+            }
+            wire_trace = error.detail.get("trace_id", trace_id)
+            if wire_trace is not None:
+                response["trace_id"] = wire_trace
+            return response
         except Exception as error:  # noqa: BLE001 - protocol boundary
-            return {
+            response = {
                 "id": request_id,
                 "ok": False,
                 "error": {
@@ -704,6 +957,11 @@ class JoinService:
                     "detail": {},
                 },
             }
+            if trace_id is not None:
+                response["trace_id"] = trace_id
+            return response
         response = {"id": request_id, "ok": True}
         response.update(body)
+        if trace_id is not None:
+            response.setdefault("trace_id", trace_id)
         return response

@@ -1,0 +1,195 @@
+"""Telemetry chaos: the query log stays a valid, well-ordered NDJSON
+stream while concurrent query threads, a SIGHUP-triggered refresh, and
+a drain all write through it at once."""
+
+import io
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.core.interval import Interval
+from repro.obs.log import QueryLog, read_log_lines
+from repro.service import JoinService
+from repro.service.errors import ServiceError
+from repro.storage import save_index
+from repro.workloads import long_lived_mixture
+
+
+@pytest.fixture
+def snapshot(tmp_path):
+    path = str(tmp_path / "tel.oip")
+    outer = long_lived_mixture(
+        200, 0.3, Interval(1, 12_000), seed=61, name="outer"
+    )
+    inner = long_lived_mixture(
+        200, 0.3, Interval(1, 12_000), seed=62, name="inner"
+    )
+    save_index(path, outer, inner)
+    return path
+
+
+class TestConcurrentLogIntegrity:
+    def test_no_torn_lines_under_query_refresh_drain_storm(self, snapshot):
+        """In-process storm: 6 query threads, repeated hot refreshes,
+        then a drain — every log line parses and events are ordered."""
+        stream = io.StringIO()
+        service = JoinService(
+            snapshot,
+            max_active=4,
+            max_queued=16,
+            query_log=QueryLog(stream, slow_query_ms=0.0),
+            tracing=True,
+        )
+        service.start()
+        stop = threading.Event()
+        errors = []
+
+        def querier():
+            while not stop.is_set():
+                try:
+                    service.query("join")
+                except ServiceError:
+                    # Shed/unavailable during the storm is acceptable —
+                    # it must still log a complete line.
+                    pass
+                except Exception as error:  # noqa: BLE001
+                    errors.append(error)
+                    return
+
+        def refresher():
+            while not stop.is_set():
+                try:
+                    service.refresh(force=True)
+                except ServiceError:
+                    pass
+                time.sleep(0.01)
+
+        threads = [threading.Thread(target=querier) for _ in range(6)]
+        threads.append(threading.Thread(target=refresher))
+        for thread in threads:
+            thread.start()
+        time.sleep(1.0)
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        report = service.drain(timeout_s=10.0)
+        assert not errors
+        assert report["drained"] is True
+
+        # read_log_lines raises on any torn or invalid line.
+        records = read_log_lines(io.StringIO(stream.getvalue()))
+        events = [record["event"] for record in records]
+        assert events[0] == "service.started"
+        assert events[-1] == "drain.finished"
+        assert events[-2] == "drain.started"
+        completed = [r for r in records if r["event"] == "query.completed"]
+        assert len(completed) > 0
+        # Every completion carries a distinct correlation id and a
+        # latency — nothing half-written.
+        assert all(r["trace_id"] for r in completed)
+        assert all(r["elapsed_ms"] >= 0.0 for r in completed)
+        assert len({r["trace_id"] for r in completed}) == len(completed)
+        # Refresh lifecycle events landed between start and drain.
+        refresh_events = [e for e in events if e.startswith("snapshot.")]
+        assert refresh_events
+        # Timestamps never go backwards: the lock serialises writes.
+        timestamps = [record["ts"] for record in records]
+        assert timestamps == sorted(timestamps)
+
+    def test_every_failed_query_logs_elapsed_ms(self, snapshot):
+        stream = io.StringIO()
+        service = JoinService(
+            snapshot,
+            max_active=1,
+            max_queued=0,
+            admit_timeout_s=0.0,
+            query_log=QueryLog(stream),
+        )
+        service.start()
+        with service.admission.admit():
+            for _ in range(3):
+                with pytest.raises(ServiceError):
+                    service.query("join")
+        service.drain(timeout_s=5.0)
+        failed = [
+            record
+            for record in read_log_lines(io.StringIO(stream.getvalue()))
+            if record["event"] == "query.failed"
+        ]
+        assert len(failed) == 3
+        for record in failed:
+            assert record["level"] == "warning"
+            assert record["code"] == "overload"
+            assert record["elapsed_ms"] >= 0.0
+
+
+class TestRealProcessSighup:
+    def test_sighup_refresh_logs_cleanly_under_live_traffic(self, snapshot):
+        """Real-process acceptance: SIGHUP mid-traffic, then SIGTERM —
+        the NDJSON file on disk parses completely and the lifecycle
+        events arrive in order."""
+        from repro.service import ServiceClient
+
+        log_path = snapshot + ".qlog"
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--index", snapshot,
+                "--query-log", log_path,
+                "--slow-query-ms", "0",
+                "--drain-timeout-s", "30",
+            ],
+            env={**os.environ, "PYTHONPATH": "src"},
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+        )
+        try:
+            ready = json.loads(proc.stdout.readline())
+            assert ready["event"] == "ready"
+            stop = threading.Event()
+
+            def client():
+                while not stop.is_set():
+                    try:
+                        with ServiceClient(
+                            ready["host"], ready["port"]
+                        ) as remote:
+                            remote.join()
+                    except (ServiceError, OSError):
+                        return
+
+            threads = [threading.Thread(target=client) for _ in range(3)]
+            for thread in threads:
+                thread.start()
+            time.sleep(0.5)
+            proc.send_signal(signal.SIGHUP)
+            time.sleep(0.5)
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=30.0)
+            proc.send_signal(signal.SIGTERM)
+            proc.wait(timeout=60)
+            assert proc.returncode == 0
+
+            records = read_log_lines(log_path)  # raises on torn lines
+            events = [record["event"] for record in records]
+            assert events[0] == "service.started"
+            assert "snapshot.refresh.started" in events
+            assert "query.completed" in events
+            assert events.index("service.started") < events.index(
+                "drain.started"
+            ) < events.index("drain.finished")
+            slow = [r for r in records if r.get("slow")]
+            assert slow and all(
+                r["level"] == "warning" for r in slow
+            )
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+            proc.wait(timeout=10)

@@ -371,3 +371,48 @@ class TestLifecycleSlow:
         )
         assert resumed.returncode == 0, resumed.stdout
         assert "result pairs" in resumed.stdout
+
+
+class TestTelemetryCommands:
+    def test_serve_parser_accepts_telemetry_flags(self):
+        args = build_parser().parse_args(
+            [
+                "serve", "--index", "x.oip", "--tracing",
+                "--query-log", "q.ndjson", "--slow-query-ms", "25",
+                "--log-sample-rate", "0.5", "--metrics-port", "0",
+            ]
+        )
+        assert args.tracing is True
+        assert args.query_log == "q.ndjson"
+        assert args.slow_query_ms == 25.0
+        assert args.log_sample_rate == 0.5
+        assert args.metrics_port == 0
+
+    def test_stats_parser_requires_port(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["stats"])
+        args = build_parser().parse_args(
+            ["stats", "--port", "1234", "--json"]
+        )
+        assert args.port == 1234 and args.json is True
+
+    def test_calibrate_round_trip(self, tmp_path, capsys):
+        report = str(tmp_path / "run.json")
+        assert (
+            main(
+                [
+                    "join", "--workload", "mixture", "--cardinality", "80",
+                    "--report", report,
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        out = str(tmp_path / "cal.json")
+        assert main(["calibrate", report, "--out", out]) == 0
+        document = json.loads(open(out).read())
+        assert document["kind"] == "cost_calibration"
+        assert document["samples"] == 1
+
+    def test_calibrate_missing_report_exits_2(self, tmp_path, capsys):
+        assert main(["calibrate", str(tmp_path / "nope.json")]) == 2

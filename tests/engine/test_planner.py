@@ -263,3 +263,89 @@ class TestIndexStatistics:
         )
         assert "sort-merge" in plan.reason
         assert "left unused" in plan.reason
+
+
+class TestCalibratedPlanning:
+    """Measured-cost planning: a calibration changes the plan choice."""
+
+    def _mixture_pair(self, n):
+        range_ = Interval(1, 2**16)
+        return (
+            long_lived_mixture(n, 0.5, range_, seed=9),
+            long_lived_mixture(n, 0.5, range_, seed=10),
+        )
+
+    def _calibration(self, cpu_ms, io_ms):
+        from repro.obs.calibrate import Calibration
+
+        return Calibration(
+            cpu_ms=cpu_ms,
+            io_ms=io_ms,
+            r_squared=1.0,
+            samples=4,
+            residual_rms_ms=0.0,
+        )
+
+    def test_uncalibrated_plan_has_no_prediction(self):
+        plan = JoinPlanner(workers=4).plan(*self._mixture_pair(100))
+        assert plan.predicted_ms is None
+
+    def test_calibration_flips_the_parallel_decision(self):
+        """The acceptance gate: identical workload and planner knobs,
+        only the measured constants differ — and the plan changes."""
+        outer, inner = self._mixture_pair(300)
+        slow_box = JoinPlanner(
+            workers=4, calibration=self._calibration(0.01, 0.5)
+        )
+        fast_box = JoinPlanner(
+            workers=4, calibration=self._calibration(1e-9, 1e-7)
+        )
+        slow_plan = slow_box.plan(outer, inner)
+        fast_plan = fast_box.plan(outer, inner)
+        assert slow_plan.predicted_ms >= 50.0
+        assert slow_plan.parallelism == 4
+        assert "calibrated prediction" in slow_plan.reason
+        assert fast_plan.predicted_ms < 50.0
+        assert fast_plan.parallelism is None
+        assert "parallel floor" in fast_plan.reason
+        # Without any calibration the same workload stays sequential
+        # under the default candidate-count threshold.
+        default_plan = JoinPlanner(workers=4).plan(outer, inner)
+        assert default_plan.parallelism is None
+
+    def test_calibrated_weights_reach_the_algorithm(self):
+        from repro.storage.metrics import CostWeights
+
+        plan = JoinPlanner(
+            calibration=self._calibration(0.01, 0.5)
+        ).plan(*self._mixture_pair(100))
+        assert plan.algorithm.name == "oip"
+        assert plan.algorithm.weights == CostWeights(cpu=0.01, io=0.5)
+
+    def test_parallel_floor_configurable(self):
+        outer, inner = self._mixture_pair(300)
+        planner = JoinPlanner(
+            workers=4,
+            calibration=self._calibration(0.01, 0.5),
+            parallel_min_predicted_ms=1e9,
+        )
+        assert planner.plan(outer, inner).parallelism is None
+
+    def test_calibrated_plan_executes_identically(self):
+        from repro.core.join import OIPJoin
+
+        outer, inner = self._mixture_pair(150)
+        baseline = OIPJoin().join(outer, inner)
+        plan = JoinPlanner(
+            calibration=self._calibration(0.01, 0.5), workers=2
+        ).plan(outer, inner)
+        result = plan.execute(outer, inner)
+        # Calibrated weights change k (and thus emission order), never
+        # the joined pair set.
+        assert sorted(result.pair_keys()) == sorted(baseline.pair_keys())
+
+    def test_invalid_calibration_rejected(self):
+        with pytest.raises(ValueError, match="calibration"):
+            JoinPlanner(calibration=object())
+        with pytest.raises(ValueError, match="parallel_min_predicted_ms"):
+            JoinPlanner(parallel_min_predicted_ms=0.0)

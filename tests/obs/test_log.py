@@ -1,0 +1,193 @@
+"""QueryLog: atomic NDJSON lines, deterministic per-trace sampling,
+severity gating, and the slow-query lane."""
+
+import io
+import threading
+
+import pytest
+
+from repro.obs.log import (
+    LEVELS,
+    NULL_QUERY_LOG,
+    NullQueryLog,
+    QueryLog,
+    _sample_passes,
+    read_log_lines,
+)
+
+
+def _log(**kwargs):
+    stream = io.StringIO()
+    return QueryLog(stream, clock=lambda: 123.0, **kwargs), stream
+
+
+class TestEmission:
+    def test_one_line_per_event_sorted_keys(self):
+        log, stream = _log()
+        assert log.emit("query.completed", trace_id="abc", elapsed_ms=4.2)
+        (record,) = read_log_lines(io.StringIO(stream.getvalue()))
+        assert record == {
+            "elapsed_ms": 4.2,
+            "event": "query.completed",
+            "level": "info",
+            "trace_id": "abc",
+            "ts": 123.0,
+        }
+        line = stream.getvalue()
+        assert line.endswith("\n") and line.count("\n") == 1
+        assert log.emitted == 1 and log.dropped == 0
+
+    def test_severity_gate(self):
+        log, stream = _log(min_level="warning")
+        assert not log.emit("noise", level="info")
+        assert log.emit("problem", level="warning")
+        events = [r["event"] for r in read_log_lines(io.StringIO(stream.getvalue()))]
+        assert events == ["problem"]
+        assert log.dropped == 1
+
+    def test_unknown_level_raises(self):
+        log, _ = _log()
+        with pytest.raises(ValueError, match="unknown level"):
+            log.emit("x", level="loud")
+        with pytest.raises(ValueError, match="unknown level"):
+            QueryLog(io.StringIO(), min_level="loud")
+
+    def test_exactly_one_of_stream_or_path(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            QueryLog()
+        with pytest.raises(ValueError, match="exactly one"):
+            QueryLog(io.StringIO(), path="/tmp/x")
+
+    def test_path_sink_round_trips(self, tmp_path):
+        path = str(tmp_path / "q.ndjson")
+        log = QueryLog(path=path)
+        log.emit("a")
+        log.emit("b")
+        log.close()
+        assert [r["event"] for r in read_log_lines(path)] == ["a", "b"]
+
+
+class TestSampling:
+    def test_sampling_is_deterministic_per_trace(self):
+        kept = {
+            tid
+            for tid in (f"trace-{i}" for i in range(200))
+            if _sample_passes(tid, 0.25)
+        }
+        # The same ids pass on every evaluation (pure hash), and the
+        # rate is roughly honoured.
+        for tid in (f"trace-{i}" for i in range(200)):
+            assert _sample_passes(tid, 0.25) == (tid in kept)
+        assert 20 <= len(kept) <= 80
+
+    def test_sampled_events_respect_rate(self):
+        log, stream = _log(sample_rate=0.0)
+        assert not log.emit("hot", trace_id="t1", sampled=True)
+        # warning+ bypasses sampling entirely.
+        assert log.emit("hot", trace_id="t1", sampled=True, level="warning")
+        # No trace id -> nothing to hash -> always kept.
+        assert log.emit("hot", sampled=True)
+        events = [r["event"] for r in read_log_lines(io.StringIO(stream.getvalue()))]
+        assert len(events) == 2
+
+    def test_rate_one_keeps_everything(self):
+        log, _ = _log(sample_rate=1.0)
+        assert all(
+            log.emit("e", trace_id=f"t{i}", sampled=True) for i in range(50)
+        )
+
+    def test_invalid_rate_raises(self):
+        with pytest.raises(ValueError, match="sample_rate"):
+            QueryLog(io.StringIO(), sample_rate=1.5)
+
+
+class TestSlowLane:
+    def test_slow_query_promoted_to_warning_unsampled(self):
+        log, stream = _log(sample_rate=0.0, slow_query_ms=10.0)
+        log.query_event("query.completed", trace_id="t", elapsed_ms=3.0)
+        log.query_event("query.completed", trace_id="t", elapsed_ms=10.0)
+        records = read_log_lines(io.StringIO(stream.getvalue()))
+        # The fast query was sampled away; the slow one always lands.
+        assert len(records) == 1
+        (slow,) = records
+        assert slow["level"] == "warning"
+        assert slow["slow"] is True
+        assert slow["elapsed_ms"] == 10.0
+
+    def test_is_slow_threshold_inclusive(self):
+        log, _ = _log(slow_query_ms=5.0)
+        assert not log.is_slow(4.9)
+        assert log.is_slow(5.0)
+        assert not log.is_slow(None)
+
+    def test_no_threshold_never_slow(self):
+        log, stream = _log()
+        log.query_event("query.completed", trace_id="t", elapsed_ms=1e9)
+        (record,) = read_log_lines(io.StringIO(stream.getvalue()))
+        assert record["level"] == "info" and "slow" not in record
+
+    def test_negative_threshold_raises(self):
+        with pytest.raises(ValueError, match="slow_query_ms"):
+            QueryLog(io.StringIO(), slow_query_ms=-1.0)
+
+
+class TestNullLog:
+    def test_null_log_is_falsy_and_inert(self):
+        assert not NULL_QUERY_LOG
+        assert not NULL_QUERY_LOG.enabled
+        assert NULL_QUERY_LOG.emit("e") is False
+        assert NULL_QUERY_LOG.query_event("e", trace_id="t") is None
+        assert not NULL_QUERY_LOG.is_slow(1e9)
+        assert isinstance(NULL_QUERY_LOG, NullQueryLog)
+        assert QueryLog(io.StringIO())  # the real sink is truthy
+
+
+class TestReader:
+    def test_torn_line_is_reported_with_line_number(self):
+        stream = io.StringIO('{"event":"a"}\n{"event": tor\n')
+        with pytest.raises(ValueError, match="line 2"):
+            read_log_lines(stream)
+
+    def test_blank_lines_skipped(self):
+        stream = io.StringIO('\n{"event":"a"}\n\n')
+        assert [r["event"] for r in read_log_lines(stream)] == ["a"]
+
+    def test_bad_source_type(self):
+        with pytest.raises(TypeError, match="path or stream"):
+            read_log_lines(42)
+
+
+class TestConcurrency:
+    def test_concurrent_emitters_never_tear_lines(self):
+        stream = io.StringIO()
+        log = QueryLog(stream)
+        barrier = threading.Barrier(8)
+
+        def worker(worker_id):
+            barrier.wait()
+            for i in range(100):
+                log.emit(
+                    "query.completed",
+                    trace_id=f"w{worker_id}-{i}",
+                    payload="x" * 50,
+                )
+
+        threads = [
+            threading.Thread(target=worker, args=(w,)) for w in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        records = read_log_lines(io.StringIO(stream.getvalue()))
+        assert len(records) == 800
+        assert log.emitted == 800
+        assert {r["trace_id"] for r in records} == {
+            f"w{w}-{i}" for w in range(8) for i in range(100)
+        }
+
+
+def test_levels_are_ordered():
+    assert (
+        LEVELS["debug"] < LEVELS["info"] < LEVELS["warning"] < LEVELS["error"]
+    )

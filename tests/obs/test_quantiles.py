@@ -1,0 +1,124 @@
+"""Deterministic quantile estimation: the estimate is a pure function
+of the bucket layout and counts — observation order, merge order, and
+repeated evaluation cannot change it."""
+
+import random
+
+import pytest
+
+from repro.obs.quantiles import (
+    DEFAULT_QUANTILES,
+    bucket_quantile,
+    quantiles_from_counts,
+    summarize_latency,
+)
+from repro.obs.registry import DEFAULT_LATENCY_BUCKETS_MS, Histogram
+
+
+def _histogram(values, name="h"):
+    h = Histogram(name, DEFAULT_LATENCY_BUCKETS_MS)
+    for value in values:
+        h.observe(value)
+    return h
+
+
+class TestBucketQuantile:
+    def test_worked_example(self):
+        # 2 observations in (0, 1], 2 in (1, 2], none past 4.
+        assert bucket_quantile([1.0, 2.0, 4.0], [0, 2, 4, 4], 0.5) == 2.0
+        assert bucket_quantile([1.0, 2.0, 4.0], [0, 2, 4, 4], 0.25) == 1.5
+
+    def test_empty_histogram_is_zero(self):
+        assert bucket_quantile([1.0, 2.0], [0, 0, 0], 0.5) == 0.0
+
+    def test_q_bounds(self):
+        buckets = [1.0, 2.0, 4.0]
+        counts = [1, 3, 4, 4]
+        assert bucket_quantile(buckets, counts, 0.0) == 0.0
+        assert bucket_quantile(buckets, counts, 1.0) == 4.0
+
+    def test_invalid_q_raises(self):
+        with pytest.raises(ValueError, match="quantile"):
+            bucket_quantile([1.0], [0, 0], -0.1)
+        with pytest.raises(ValueError, match="quantile"):
+            bucket_quantile([1.0], [0, 0], 1.5)
+
+    def test_count_shape_mismatch_raises(self):
+        with pytest.raises(ValueError, match="Inf bucket"):
+            bucket_quantile([1.0, 2.0], [0, 1], 0.5)
+
+    def test_overflow_clamps_to_highest_finite_bound(self):
+        # Every observation past the last finite bucket.
+        assert bucket_quantile([1.0, 2.0], [0, 0, 5], 0.99) == 2.0
+
+    def test_boundary_value_lands_in_its_upper_bucket(self):
+        # A single observation exactly on a bound: quantile(1.0) must
+        # return the bound exactly (bisect_left semantics).
+        h = _histogram([5.0])
+        assert h.quantile(1.0) == 5.0
+
+    def test_matches_histogram_observe_semantics(self):
+        h = _histogram([0.05, 0.3, 0.3, 7.0, 40.0])
+        snap = h.snapshot()
+        assert h.quantile(0.5) == bucket_quantile(
+            snap["buckets"], snap["counts"], 0.5
+        )
+
+
+class TestDeterminism:
+    def test_observation_order_is_irrelevant(self):
+        values = [random.Random(7).uniform(0.01, 900.0) for _ in range(500)]
+        shuffled = list(values)
+        random.Random(13).shuffle(shuffled)
+        a, b = _histogram(values), _histogram(shuffled)
+        for q in (0.0, 0.5, 0.9, 0.95, 0.99, 1.0):
+            assert a.quantile(q) == b.quantile(q)
+
+    def test_merged_counts_equal_single_stream(self):
+        rng = random.Random(21)
+        stream_a = [rng.uniform(0.01, 400.0) for _ in range(200)]
+        stream_b = [rng.uniform(0.01, 400.0) for _ in range(300)]
+        merged = _histogram(stream_a + stream_b)
+        ha, hb = _histogram(stream_a), _histogram(stream_b)
+        summed = [x + y for x, y in zip(ha.counts, hb.counts)]
+        # Rebuild cumulative counts from the per-bucket merge.
+        cumulative, running = [], 0
+        for count in summed:
+            running += count
+            cumulative.append(running)
+        for q in DEFAULT_QUANTILES:
+            assert merged.quantile(q) == bucket_quantile(
+                list(merged.buckets), cumulative, q
+            )
+
+    def test_repeated_evaluation_is_stable(self):
+        h = _histogram([0.2, 1.1, 3.0, 3.0, 80.0, 2000.0])
+        first = [h.quantile(q) for q in DEFAULT_QUANTILES]
+        for _ in range(5):
+            assert [h.quantile(q) for q in DEFAULT_QUANTILES] == first
+
+
+class TestSummaries:
+    def test_quantiles_from_counts_labels(self):
+        out = quantiles_from_counts([1.0, 2.0], [0, 2, 2])
+        assert sorted(out) == ["p50", "p95", "p99"]
+
+    def test_fractional_quantile_label(self):
+        out = quantiles_from_counts([1.0], [1, 1], qs=(0.999,))
+        assert list(out) == ["p99_9"]
+
+    def test_summarize_latency(self):
+        h = _histogram([1.0, 3.0])
+        summary = summarize_latency(h.snapshot())
+        assert summary["count"] == 2
+        assert summary["mean_ms"] == pytest.approx(2.0)
+        assert set(summary) == {
+            "count", "mean_ms", "p50_ms", "p95_ms", "p99_ms",
+        }
+
+    def test_summarize_empty(self):
+        summary = summarize_latency(Histogram("h", [1.0]).snapshot())
+        assert summary == {
+            "count": 0, "mean_ms": 0.0, "p50_ms": 0.0,
+            "p95_ms": 0.0, "p99_ms": 0.0,
+        }
