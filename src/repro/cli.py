@@ -912,9 +912,37 @@ def _run_serve(args: argparse.Namespace) -> int:
 
     from .obs.log import QueryLog
     from .service import JoinService, ServiceServer, serve_stdio
+    from .service.errors import ScaleOutConfigError
     from .service.protocol import encode_message
     from .storage.snapshot import SnapshotError
 
+    try:
+        shard_ranges = _check_scaleout_config(args)
+    except ScaleOutConfigError as error:
+        # Exit-code convention (PR 8): 64 = EX_USAGE, a configuration
+        # the operator must fix; the structured detail goes to stderr
+        # so supervisors can distinguish it from snapshot failures.
+        print(
+            json.dumps(
+                {"event": "config_error", **error.to_wire()},
+                sort_keys=True,
+            ),
+            file=sys.stderr,
+        )
+        return 64
+    service_kwargs = dict(
+        max_active=args.max_active,
+        max_queued=args.max_queued,
+        admit_timeout_s=args.admit_timeout_ms / 1e3,
+        default_deadline_ms=args.default_deadline_ms,
+        kernel=args.kernel,
+        tracing=args.tracing,
+        result_cache_size=args.result_cache_size,
+        shards=args.shards,
+        shard_ranges=shard_ranges,
+    )
+    if args.workers > 1:
+        return _run_serve_workers(args, service_kwargs)
     query_log = None
     if args.query_log:
         query_log = QueryLog(
@@ -924,13 +952,8 @@ def _run_serve(args: argparse.Namespace) -> int:
         )
     service = JoinService(
         args.index,
-        max_active=args.max_active,
-        max_queued=args.max_queued,
-        admit_timeout_s=args.admit_timeout_ms / 1e3,
-        default_deadline_ms=args.default_deadline_ms,
-        kernel=args.kernel,
-        tracing=args.tracing,
         query_log=query_log,
+        **service_kwargs,
     )
     try:
         generation = service.start()
@@ -1013,6 +1036,130 @@ def _swallow_refresh(service) -> None:
         service.refresh()
     except ServiceError:
         pass
+
+
+def _check_scaleout_config(args: argparse.Namespace):
+    """Validate the scale-out flags before any fork or snapshot load;
+    raises :class:`~repro.service.errors.ScaleOutConfigError` (exit 64)
+    on anything a retry cannot fix.  Returns the parsed shard plan (or
+    ``None``)."""
+    import json
+
+    from .service.errors import ScaleOutConfigError
+    from .service.router import validate_shard_ranges
+    from .service.workers import MAX_WORKERS
+
+    if not 1 <= args.workers <= MAX_WORKERS:
+        raise ScaleOutConfigError(
+            f"--workers must be in [1, {MAX_WORKERS}], got {args.workers}",
+            detail={"workers": args.workers},
+        )
+    if args.workers > 1 and args.stdio:
+        raise ScaleOutConfigError(
+            "--workers > 1 requires TCP mode; --stdio is one process "
+            "by construction"
+        )
+    if args.workers > 1 and args.metrics_port is not None:
+        raise ScaleOutConfigError(
+            "--metrics-port is not supported with --workers > 1 (each "
+            "worker owns its own registry; scrape per-worker control "
+            "ports or use the aggregated stats op)"
+        )
+    if args.result_cache_size < 0:
+        raise ScaleOutConfigError(
+            f"--result-cache-size must be >= 0, got "
+            f"{args.result_cache_size}",
+            detail={"result_cache_size": args.result_cache_size},
+        )
+    if args.shards is not None and args.shards < 1:
+        raise ScaleOutConfigError(
+            f"--shards must be >= 1, got {args.shards}",
+            detail={"shards": args.shards},
+        )
+    if args.shards is not None and args.shard_ranges is not None:
+        raise ScaleOutConfigError(
+            "--shards and --shard-ranges are mutually exclusive"
+        )
+    if args.shard_ranges is None:
+        return None
+    try:
+        parsed = json.loads(args.shard_ranges)
+    except ValueError as error:
+        raise ScaleOutConfigError(
+            f"--shard-ranges is not valid JSON: {error}"
+        ) from None
+    if not isinstance(parsed, list):
+        raise ScaleOutConfigError(
+            f"--shard-ranges must be a JSON list of [lo, hi] pairs, "
+            f"got {type(parsed).__name__}"
+        )
+    return validate_shard_ranges(parsed)
+
+
+def _run_serve_workers(
+    args: argparse.Namespace, service_kwargs: dict
+) -> int:
+    """The ``serve --workers N`` path: fork a pre-fork pool and
+    supervise it; the parent never serves a request."""
+    import json
+    import os
+
+    from .service.workers import WorkerStartupError, WorkerSupervisor
+
+    supervisor = WorkerSupervisor(
+        args.index,
+        workers=args.workers,
+        host=args.host,
+        port=args.port,
+        service_kwargs=service_kwargs,
+        drain_timeout_s=args.drain_timeout_s,
+        hard_stop_timeout_s=args.hard_stop_timeout_s,
+        query_log_path=args.query_log,
+        log_sample_rate=args.log_sample_rate,
+        slow_query_ms=args.slow_query_ms,
+    )
+    try:
+        info = supervisor.start()
+    except WorkerStartupError as error:
+        print(f"serve: {error}", file=sys.stderr)
+        supervisor.shutdown()
+        return error.exit_code
+    ready = {
+        "event": "ready",
+        "pid": os.getpid(),
+        "generation": info["generation"],
+        "path": args.index,
+        "host": info["host"],
+        "port": info["port"],
+        "workers": info["workers"],
+        "pids": info["pids"],
+    }
+    print(json.dumps(ready, sort_keys=True), flush=True)
+
+    def _stop(_signum, _frame):
+        supervisor.initiate_shutdown()
+
+    def _refresh(_signum, _frame):
+        supervisor.refresh()
+
+    previous: dict = {}
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            previous[sig] = signal.signal(sig, _stop)
+        except (ValueError, OSError):  # pragma: no cover - non-main thread
+            pass
+    hup = getattr(signal, "SIGHUP", None)
+    if hup is not None:
+        try:
+            previous[hup] = signal.signal(hup, _refresh)
+        except (ValueError, OSError):  # pragma: no cover
+            pass
+    try:
+        supervisor.run()
+    finally:
+        supervisor.shutdown()
+        _restore_handlers(previous)
+    return 0
 
 
 def _run_stats(args: argparse.Namespace) -> int:
@@ -1381,6 +1528,46 @@ def build_parser() -> argparse.ArgumentParser:
             "also serve Prometheus text exposition on GET /metrics at "
             "this port (0 picks an ephemeral port announced in the "
             "ready event); TCP mode only"
+        ),
+    )
+    serve_parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=(
+            "worker processes accepting on the shared listener; >1 "
+            "forks a pre-fork pool so probe work scales past one core "
+            "(default %(default)s; TCP mode only)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--result-cache-size",
+        type=int,
+        default=0,
+        help=(
+            "per-worker LRU capacity for finished response bodies, "
+            "keyed by (generation, request fingerprint); 0 disables "
+            "(default %(default)s)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help=(
+            "split every query's time domain into this many equal "
+            "ranges and scatter-gather an independent join per shard "
+            "(answers stay bit-identical to the unsharded join)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--shard-ranges",
+        default=None,
+        metavar="JSON",
+        help=(
+            'explicit shard plan as a JSON list of [lo, hi] pairs, e.g. '
+            '"[[1,5000],[5001,20000]]"; must tile the snapshot\'s time '
+            "domain without gaps or overlaps"
         ),
     )
     serve_parser.set_defaults(handler=_run_serve)

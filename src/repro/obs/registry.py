@@ -41,6 +41,7 @@ __all__ = [
     "MetricsRegistry",
     "DEFAULT_COUNT_BUCKETS",
     "DEFAULT_LATENCY_BUCKETS_MS",
+    "merge_histogram_snapshots",
 ]
 
 Number = Union[int, float]
@@ -173,6 +174,32 @@ class Histogram:
 
         snap = self.snapshot()
         return bucket_quantile(snap["buckets"], snap["counts"], q)
+
+
+def merge_histogram_snapshots(
+    a: Dict[str, Any], b: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Merge two exported histogram snapshots with identical buckets.
+
+    Cumulative per-bucket counts, ``sum`` and ``count`` add
+    elementwise; because boundaries are fixed at construction, any two
+    processes exporting the same metric name share the same layout and
+    the merge is exact (not an approximation).  Used by the cross-worker
+    ``stats`` aggregation, where each worker ships raw histograms and
+    quantiles are computed only *after* the merge — summarised quantiles
+    cannot be averaged, bucket counts can.
+    """
+    if list(a["buckets"]) != list(b["buckets"]):
+        raise ValueError(
+            "cannot merge histograms with different bucket layouts: "
+            f"{a['buckets']} vs {b['buckets']}"
+        )
+    return {
+        "buckets": list(a["buckets"]),
+        "counts": [x + y for x, y in zip(a["counts"], b["counts"])],
+        "sum": a["sum"] + b["sum"],
+        "count": a["count"] + b["count"],
+    }
 
 
 _Metric = Union[Counter, Gauge, Histogram]

@@ -8,19 +8,28 @@ Layering (each module usable on its own):
   load-validate-swap-drop hot-refresh protocol.
 * :mod:`~repro.service.service` — :class:`JoinService`: admission,
   deadlines, retries, breaker, drain, ``service.*`` metrics.
+* :mod:`~repro.service.cache` — per-generation LRU of finished
+  response bodies, keyed by canonical request fingerprint.
+* :mod:`~repro.service.router` — time-shard scatter-gather execution
+  with ownership-rule dedup (bit-identical to the unsharded join).
+* :mod:`~repro.service.workers` / :mod:`~repro.service.aggregate` —
+  pre-fork multi-process serving and fleet-wide stats aggregation.
 * :mod:`~repro.service.protocol` / :mod:`~repro.service.server` /
   :mod:`~repro.service.client` — line-delimited JSON over TCP or stdio.
 """
 
+from .cache import ResultCache, request_fingerprint
 from .client import RemoteServiceError, ServiceClient
 from .errors import (
     BadRequestError,
+    ScaleOutConfigError,
     ServiceError,
     ServiceOverloadError,
     ServiceUnavailableError,
     SnapshotSwapRejectedError,
 )
 from .protocol import trace_context
+from .router import TimeShardRouter, shard_ranges, validate_shard_ranges
 from .server import MetricsExporter, ServiceServer, serve_stdio
 from .service import (
     STATS_VERSION,
@@ -29,6 +38,7 @@ from .service import (
     summarize_result,
 )
 from .snapshots import ServingGeneration, SnapshotManager, join_kwargs_from_meta
+from .workers import WorkerStartupError, WorkerSupervisor
 
 __all__ = [
     "JoinService",
@@ -44,9 +54,17 @@ __all__ = [
     "offline_query",
     "summarize_result",
     "serve_stdio",
+    "ResultCache",
+    "request_fingerprint",
+    "TimeShardRouter",
+    "shard_ranges",
+    "validate_shard_ranges",
+    "WorkerSupervisor",
+    "WorkerStartupError",
     "ServiceError",
     "ServiceOverloadError",
     "ServiceUnavailableError",
     "SnapshotSwapRejectedError",
     "BadRequestError",
+    "ScaleOutConfigError",
 ]

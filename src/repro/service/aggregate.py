@@ -1,0 +1,185 @@
+"""Fleet-wide ``stats`` aggregation across a worker pool.
+
+Each worker in a ``serve --workers N`` pool is its own process with its
+own :class:`~repro.obs.MetricsRegistry`; before this module, ``repro
+stats`` reported whichever worker happened to accept the connection —
+quantiles and counters for 1/N of the traffic presented as if they were
+the whole service.
+
+The fix is structural: quantiles cannot be averaged after the fact, but
+the registry's fixed-bucket histograms *can* be merged exactly
+(:func:`~repro.obs.registry.merge_histogram_snapshots` adds bucket
+counts elementwise — every process shares the same immutable bucket
+layout).  So the answering worker fetches **raw** ``metrics`` and
+``health`` documents from its peers over their control endpoints
+(discovered through the parent-maintained roster file), merges counters
+and histograms first, and only then computes quantiles — the same
+numbers a single process serving all the traffic would have reported.
+
+Unreachable peers (mid-restart after a crash) degrade gracefully: the
+aggregation reports who answered and who did not rather than failing
+the whole op.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..obs.quantiles import summarize_latency
+from ..obs.registry import merge_histogram_snapshots
+from .service import STATS_VERSION
+
+__all__ = ["read_roster", "aggregate_stats"]
+
+
+def read_roster(path: str) -> Optional[Dict[str, Any]]:
+    """The supervisor's roster document, or ``None`` when missing or
+    torn (the parent replaces it atomically, so a partial read means a
+    race with an in-flight rewrite — the caller just degrades to a
+    local answer)."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            roster = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    if not isinstance(roster, dict) or "workers" not in roster:
+        return None
+    return roster
+
+
+def _fetch_peer(
+    host: str, port: int, timeout_s: float
+) -> Tuple[Dict[str, Any], Dict[str, Any]]:
+    """One peer's raw ``metrics`` + ``health`` over its control port."""
+    from .client import ServiceClient
+
+    with ServiceClient(host, port, timeout_s=timeout_s) as client:
+        return client.metrics(), client.health()
+
+
+def _merge_metrics(
+    target: Dict[str, Any], source: Dict[str, Any]
+) -> None:
+    """Fold one registry snapshot into the accumulator: counters add,
+    histograms merge elementwise, gauges keep per-worker meaning and
+    are dropped from the fleet view (state/inflight of *which* worker?
+    — the health section answers that instead)."""
+    for name, value in source.get("counters", {}).items():
+        target["counters"][name] = target["counters"].get(name, 0) + value
+    for name, hist in source.get("histograms", {}).items():
+        existing = target["histograms"].get(name)
+        if existing is None:
+            target["histograms"][name] = {
+                "buckets": list(hist["buckets"]),
+                "counts": list(hist["counts"]),
+                "sum": hist["sum"],
+                "count": hist["count"],
+            }
+        else:
+            target["histograms"][name] = merge_histogram_snapshots(
+                existing, hist
+            )
+
+
+def aggregate_stats(
+    service: Any, *, peer_timeout_s: float = 2.0
+) -> Dict[str, Any]:
+    """The fleet-wide ``service_stats`` document for the pool *service*
+    belongs to (it must have been constructed with ``roster_path``).
+
+    Shape-compatible with :meth:`JoinService.stats` (same version, same
+    ``endpoints``/``phases``/``counters`` sections computed from the
+    merged histograms) plus a ``workers`` section describing the pool.
+    """
+    roster = (
+        read_roster(service.roster_path)
+        if service.roster_path is not None
+        else None
+    )
+    local_health = service.health()
+    merged: Dict[str, Any] = {"counters": {}, "histograms": {}}
+    _merge_metrics(merged, service.publish_metrics())
+    queries_served = local_health["queries_served"]
+    uptime_s = local_health["uptime_s"] or 0.0
+    inflight = local_health["inflight"]
+    responding = [local_health.get("worker")]
+    unreachable: List[int] = []
+    configured = 1
+    restarts = 0
+    if roster is not None:
+        workers = roster.get("workers", [])
+        configured = len(workers) or 1
+        restarts = int(roster.get("restarts", 0))
+        own_pid = os.getpid()
+        for entry in workers:
+            if entry.get("pid") == own_pid:
+                continue
+            try:
+                peer_metrics, peer_health = _fetch_peer(
+                    entry.get("control_host", "127.0.0.1"),
+                    int(entry["control_port"]),
+                    peer_timeout_s,
+                )
+            except Exception:  # noqa: BLE001 - peer may be mid-restart
+                unreachable.append(entry.get("worker"))
+                continue
+            _merge_metrics(merged, peer_metrics)
+            queries_served += peer_health.get("queries_served", 0)
+            uptime_s = max(uptime_s, peer_health.get("uptime_s") or 0.0)
+            inflight += peer_health.get("inflight", 0)
+            responding.append(peer_health.get("worker"))
+    # Restarts are a pool-level fact the parent tracks; surface them in
+    # the counter namespace so dashboards need no special case.
+    merged["counters"]["service.worker.restarts"] = restarts
+    endpoints: Dict[str, Any] = {}
+    phases: Dict[str, Any] = {}
+    for name, hist in merged["histograms"].items():
+        if name.startswith("service.op.") and name.endswith(".latency_ms"):
+            key = name[len("service.op."):-len(".latency_ms")]
+            endpoints[key] = summarize_latency(hist)
+        elif name.startswith("service.phase.") and name.endswith(
+            ".latency_ms"
+        ):
+            key = name[len("service.phase."):-len(".latency_ms")]
+            phases[key] = summarize_latency(hist)
+    counters = {
+        name: value
+        for name, value in merged["counters"].items()
+        if name.startswith("service.")
+    }
+    document: Dict[str, Any] = {
+        "kind": "service_stats",
+        "version": STATS_VERSION,
+        "status": local_health["status"],
+        "generation": local_health["generation"],
+        "uptime_s": uptime_s,
+        "queries_served": queries_served,
+        "inflight": inflight,
+        "endpoints": endpoints,
+        "phases": phases,
+        "counters": counters,
+        "tracing": service.tracing,
+        "slow_query_ms": service.query_log.slow_query_ms,
+        "aggregated": True,
+        "workers": {
+            "configured": configured,
+            "responding": len(responding),
+            "responding_ids": sorted(
+                w for w in responding if w is not None
+            ),
+            "unreachable": sorted(
+                w for w in unreachable if w is not None
+            ),
+            "restarts": restarts,
+        },
+    }
+    if service.result_cache is not None:
+        cache_stats = service.result_cache.stats()
+        lookups = cache_stats["hits"] + cache_stats["misses"]
+        cache_stats["hit_rate"] = (
+            cache_stats["hits"] / lookups if lookups else 0.0
+        )
+        document["cache"] = cache_stats
+    return document

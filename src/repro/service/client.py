@@ -21,6 +21,7 @@ pre-telemetry protocol.
 from __future__ import annotations
 
 import socket
+import time
 from typing import Any, Dict, Optional, Sequence
 
 from ..obs.trace import NULL_TRACER, new_trace_id
@@ -53,9 +54,24 @@ class ServiceClient:
         *,
         timeout_s: Optional[float] = 30.0,
         tracer: Any = NULL_TRACER,
+        retries: int = 0,
+        retry_backoff_s: float = 0.05,
     ) -> None:
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
         self.host = host
         self.port = port
+        self.timeout_s = timeout_s
+        #: Reconnect-and-resend attempts after a dropped connection.
+        #: Against a worker pool a broken connection usually means one
+        #: worker died mid-request; the kernel routes the reconnect to a
+        #: surviving worker, so the retried request is re-served from
+        #: the same pinned generation.  Off by default — single-process
+        #: callers keep fail-fast semantics.
+        self.retries = int(retries)
+        self.retry_backoff_s = retry_backoff_s
+        #: Dropped-connection retries actually performed (test hook).
+        self.reconnects = 0
         self._sock = socket.create_connection((host, port), timeout=timeout_s)
         self._rfile = self._sock.makefile("rb")
         self._next_id = 0
@@ -64,6 +80,36 @@ class ServiceClient:
         self.last_trace_id: Optional[str] = None
 
     # -- plumbing ------------------------------------------------------------
+
+    def _reconnect(self) -> None:
+        try:
+            self.close()
+        except OSError:
+            pass
+        self._sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout_s
+        )
+        self._rfile = self._sock.makefile("rb")
+
+    def _exchange_with_retry(
+        self, op: str, request_id: int, message: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        attempt = 0
+        while True:
+            try:
+                return self._exchange(op, request_id, message)
+            except (ServiceError, OSError) as error:
+                dropped = isinstance(error, OSError) or (
+                    isinstance(error, ServiceError)
+                    and error.code == "disconnected"
+                )
+                if not dropped or attempt >= self.retries:
+                    raise
+                attempt += 1
+                if self.retry_backoff_s:
+                    time.sleep(self.retry_backoff_s * attempt)
+                self._reconnect()
+                self.reconnects += 1
 
     def request(self, op: str, **fields: Any) -> Dict[str, Any]:
         """Send one request and block for its response body."""
@@ -74,14 +120,14 @@ class ServiceClient:
             {key: value for key, value in fields.items() if value is not None}
         )
         if not self.tracer.enabled:
-            return self._exchange(op, request_id, message)
+            return self._exchange_with_retry(op, request_id, message)
         trace_id = new_trace_id()
         self.last_trace_id = trace_id
         message["trace"] = {"trace_id": trace_id}
         with self.tracer.span(
             "client.request", op=op, trace_id=trace_id
         ) as span:
-            response = self._exchange(op, request_id, message)
+            response = self._exchange_with_retry(op, request_id, message)
             if "service_ms" in response:
                 span.set("server_ms", response["service_ms"])
             return response
@@ -135,6 +181,7 @@ class ServiceClient:
         kernel: Optional[str] = None,
         include_pairs: bool = False,
         max_pairs: int = 1000,
+        shards: Optional[int] = None,
     ) -> Dict[str, Any]:
         return self.request(
             "join",
@@ -142,6 +189,7 @@ class ServiceClient:
             kernel=kernel,
             include_pairs=include_pairs or None,
             max_pairs=max_pairs,
+            shards=shards,
         )
 
     def lookup(
@@ -152,6 +200,7 @@ class ServiceClient:
         kernel: Optional[str] = None,
         include_pairs: bool = False,
         max_pairs: int = 1000,
+        shards: Optional[int] = None,
     ) -> Dict[str, Any]:
         return self.request(
             "lookup",
@@ -160,6 +209,7 @@ class ServiceClient:
             kernel=kernel,
             include_pairs=include_pairs or None,
             max_pairs=max_pairs,
+            shards=shards,
         )
 
     def health(self) -> Dict[str, Any]:
@@ -169,8 +219,13 @@ class ServiceClient:
         return self.request("metrics")["metrics"]
 
     def stats(self) -> Dict[str, Any]:
-        """The server's ``service_stats`` document (latency quantiles)."""
+        """The server's ``service_stats`` document (latency quantiles);
+        against a worker pool this is the fleet-wide aggregation."""
         return self.request("stats")["stats"]
+
+    def stats_local(self) -> Dict[str, Any]:
+        """The answering process's own stats, never aggregated."""
+        return self.request("stats_local")["stats"]
 
     def tracedump(
         self,

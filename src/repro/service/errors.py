@@ -18,6 +18,7 @@ __all__ = [
     "ServiceUnavailableError",
     "SnapshotSwapRejectedError",
     "BadRequestError",
+    "ScaleOutConfigError",
 ]
 
 
@@ -130,3 +131,18 @@ class BadRequestError(ServiceError):
 
     code = "bad_request"
     retriable = False
+
+
+class ScaleOutConfigError(ServiceError):
+    """An invalid scale-out configuration: a worker count that cannot
+    fork, a shard plan with overlapping or gapped ranges, ranges that do
+    not cover the snapshot's time domain.  Surfaces at ``serve`` startup
+    as exit code 64 (EX_USAGE) with the structured detail on stderr."""
+
+    code = "bad_config"
+    retriable = False
+
+    def __init__(
+        self, message: str, *, detail: Optional[Dict[str, Any]] = None
+    ) -> None:
+        super().__init__(message, detail=detail)

@@ -23,7 +23,7 @@ import socket
 import socketserver
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, Optional
+from typing import Any, Callable, Dict, Optional
 
 from .errors import ServiceError
 from .protocol import decode_line, encode_message
@@ -59,7 +59,10 @@ class _Handler(socketserver.StreamRequestHandler):
                         "stopping": True,
                     }
                 )
-                server.initiate_shutdown()
+                if server.on_shutdown_request is not None:
+                    server.on_shutdown_request()
+                else:
+                    server.initiate_shutdown()
                 return
             self._reply(server.service.handle_request(message))
 
@@ -76,6 +79,27 @@ class _TCPServer(socketserver.ThreadingTCPServer):
     allow_reuse_address = True
     #: Backpointer to the owning :class:`ServiceServer`.
     context: Optional["ServiceServer"] = None
+
+    def __init__(
+        self,
+        server_address: Any,
+        handler_class: Any,
+        *,
+        listener: Optional[socket.socket] = None,
+    ) -> None:
+        if listener is None:
+            super().__init__(server_address, handler_class)
+            return
+        # Adopt an already-bound, already-listening socket — the
+        # pre-fork worker model: the parent binds once, every forked
+        # worker accepts on the inherited fd and the kernel balances
+        # connections across them.
+        super().__init__(
+            listener.getsockname(), handler_class, bind_and_activate=False
+        )
+        self.socket.close()
+        self.socket = listener
+        self.server_address = listener.getsockname()
 
 
 class _MetricsHandler(BaseHTTPRequestHandler):
@@ -169,11 +193,18 @@ class ServiceServer:
         drain_timeout_s: float = 30.0,
         hard_stop_timeout_s: float = 5.0,
         metrics_port: Optional[int] = None,
+        listener: Optional[socket.socket] = None,
+        on_shutdown_request: Optional[Callable[[], None]] = None,
     ) -> None:
         self.service = service
         self.drain_timeout_s = drain_timeout_s
         self.hard_stop_timeout_s = hard_stop_timeout_s
-        self._tcp = _TCPServer((host, port), _Handler)
+        #: Worker-mode hook: a client ``shutdown`` op should stop the
+        #: whole pool, not just the worker that took the connection, so
+        #: the worker forwards the request to its parent supervisor
+        #: instead of draining locally.
+        self.on_shutdown_request = on_shutdown_request
+        self._tcp = _TCPServer((host, port), _Handler, listener=listener)
         self._tcp.context = self
         self._thread: Optional[threading.Thread] = None
         self._stopping = threading.Event()

@@ -38,6 +38,7 @@ query either completes or receives a structured ``cancelled`` error.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 import zlib
@@ -57,6 +58,7 @@ from ..obs.quantiles import summarize_latency
 from ..obs.registry import DEFAULT_LATENCY_BUCKETS_MS, MetricsRegistry
 from ..obs.trace import NULL_TRACER, TraceBuffer, Tracer, new_trace_id
 from ..storage.faults import StorageFaultError
+from .cache import ResultCache, request_fingerprint
 from .errors import (
     BadRequestError,
     ServiceError,
@@ -65,6 +67,7 @@ from .errors import (
     SnapshotSwapRejectedError,
 )
 from .protocol import trace_context
+from .router import TimeShardRouter
 from .snapshots import ServingGeneration, SnapshotManager
 
 __all__ = [
@@ -233,6 +236,12 @@ class JoinService:
         trace_capacity: int = 256,
         trace_max_depth: Optional[int] = 3,
         query_log: Optional[QueryLog] = None,
+        result_cache_size: int = 0,
+        shards: Optional[int] = None,
+        shard_ranges: Optional[Sequence[Sequence[int]]] = None,
+        shard_backend: str = "thread",
+        worker_id: Optional[int] = None,
+        roster_path: Optional[str] = None,
     ) -> None:
         if max_retries < 0:
             raise ValueError(f"max_retries must be >= 0, got {max_retries}")
@@ -282,6 +291,30 @@ class JoinService:
         #: NDJSON event sink; :data:`~repro.obs.log.NULL_QUERY_LOG`
         #: swallows everything when no log is configured.
         self.query_log = query_log if query_log is not None else NULL_QUERY_LOG
+        #: Per-generation LRU of finished response bodies; ``None``
+        #: disables caching entirely so the cache-off response bodies
+        #: are byte-for-byte the pre-cache bodies (no ``cached`` field).
+        self.result_cache = (
+            ResultCache(result_cache_size) if result_cache_size > 0 else None
+        )
+        #: Service-default time-shard router (``--shards`` /
+        #: ``--shard-ranges``); per-request ``shards`` overrides it.
+        self.shard_backend = shard_backend
+        self._router = (
+            TimeShardRouter(
+                shards=shards,
+                ranges=shard_ranges,
+                backend=shard_backend,
+                metrics=self.metrics,
+            )
+            if shards is not None or shard_ranges is not None
+            else None
+        )
+        #: Identity within a multi-process worker pool (``None`` when
+        #: running single-process) and the roster file the parent
+        #: supervisor maintains for cross-worker stats aggregation.
+        self.worker_id = worker_id
+        self.roster_path = roster_path
 
     # -- configuration -------------------------------------------------------
 
@@ -338,6 +371,14 @@ class JoinService:
             registry.gauge("service.breaker.state").set(
                 _BREAKER_VALUES[self._breaker.state]
             )
+            if self.result_cache is not None:
+                cache_stats = self.result_cache.stats()
+                registry.gauge("service.cache.size").set(
+                    cache_stats["size"]
+                )
+                registry.gauge("service.cache.capacity").set(
+                    cache_stats["capacity"]
+                )
             self._admission.publish_metrics(registry)
             self._breaker.publish_metrics(registry)
             return registry.snapshot()
@@ -408,6 +449,19 @@ class JoinService:
                 generation=report["generation"],
                 elapsed_ms=report["elapsed_ms"],
             )
+            if self.result_cache is not None:
+                # Second staleness defense (the first is the generation
+                # id inside every cache key): a swap empties the cache
+                # wholesale so retired generations cannot linger.
+                dropped = self.result_cache.invalidate()
+                self._count("service.cache.invalidations")
+                if dropped:
+                    self._count("service.cache.invalidated_entries", dropped)
+                self.query_log.emit(
+                    "cache.invalidated",
+                    generation=report["generation"],
+                    entries=dropped,
+                )
         else:
             self._count("service.swap.unchanged")
             self.query_log.emit("snapshot.unchanged", level="debug")
@@ -421,6 +475,8 @@ class JoinService:
         described = self._snapshots.describe()
         return {
             "status": status,
+            "pid": os.getpid(),
+            "worker": self.worker_id,
             "ready": status == SERVING
             and described["generation"] is not None,
             "generation": described["generation"],
@@ -514,10 +570,15 @@ class JoinService:
         include_pairs: bool = False,
         max_pairs: int = 1000,
         trace_id: Optional[str] = None,
+        shards: Optional[int] = None,
     ) -> Dict[str, Any]:
         """Execute one overlap join (or windowed lookup) against the
         pinned current generation.  Raises a :class:`ServiceError`
         subclass with a stable ``code`` on any failure.
+
+        ``shards`` requests time-shard scatter-gather execution for this
+        query (overriding any service-level shard plan); the answer
+        pairs and fingerprint stay bit-identical to the unsharded join.
 
         ``trace_id`` is the wire-propagated correlation id (typically
         stamped by :class:`~repro.service.client.ServiceClient`); when
@@ -532,6 +593,17 @@ class JoinService:
                 f"unknown op {op!r}; choose from {_OPS}"
             )
         checked_window = _check_window(window) if op == "lookup" else None
+        if shards is not None:
+            try:
+                shards = int(shards)
+            except (TypeError, ValueError):
+                raise BadRequestError(
+                    f"shards must be an integer, got {shards!r}"
+                ) from None
+            if shards < 1:
+                raise BadRequestError(
+                    f"shards must be >= 1, got {shards}"
+                )
         if deadline_ms is None:
             deadline_ms = self.default_deadline_ms
         if deadline_ms is not None and deadline_ms <= 0:
@@ -571,21 +643,24 @@ class JoinService:
                     submitted,
                     tracer,
                     trace_id,
+                    shards,
                 )
             service_ms = (self._clock() - submitted) * 1e3
             if trace_id is not None:
                 body["trace_id"] = trace_id
             body["service_ms"] = service_ms
             self._observe(f"service.op.{op}.latency_ms", service_ms)
-            self.query_log.query_event(
-                "query.completed",
-                trace_id=trace_id,
-                elapsed_ms=service_ms,
-                op=op,
-                generation=body.get("generation"),
-                pairs=body.get("pairs"),
-                attempts=body.get("attempts"),
-            )
+            log_fields: Dict[str, Any] = {
+                "trace_id": trace_id,
+                "elapsed_ms": service_ms,
+                "op": op,
+                "generation": body.get("generation"),
+                "pairs": body.get("pairs"),
+                "attempts": body.get("attempts"),
+            }
+            if "cached" in body:
+                log_fields["cached"] = body["cached"]
+            self.query_log.query_event("query.completed", **log_fields)
             return body
         except ServiceError as error:
             # Satellite fix: shed/deadline/unavailable responses used to
@@ -642,7 +717,37 @@ class JoinService:
         submitted: float,
         tracer: Any = NULL_TRACER,
         trace_id: Optional[str] = None,
+        shards: Optional[int] = None,
     ) -> Dict[str, Any]:
+        # Cache probe happens *before* admission: a hit costs no slot,
+        # no queue wait, and no snapshot pin (so ``queries_served``
+        # counts executed joins, not cache hits).  Reading
+        # ``_snapshots.current`` without pinning is a benign race — a
+        # concurrent swap at worst misses the cache, never serves stale,
+        # because the retiring generation's entries are keyed under its
+        # own id and invalidated wholesale the moment the swap lands.
+        cache = self.result_cache
+        fingerprint: Optional[str] = None
+        if cache is not None:
+            fingerprint = request_fingerprint(
+                op=op,
+                window=window,
+                kernel=kernel if kernel is not None else self.kernel,
+                shards=shards,
+                include_pairs=include_pairs,
+                max_pairs=max_pairs,
+            )
+            current = self._snapshots.current
+            if current is not None:
+                with tracer.span("cache.probe") as probe_span:
+                    hit = cache.lookup(current.generation, fingerprint)
+                    probe_span.set("hit", hit is not None)
+                if hit is not None:
+                    self._count("service.cache.hits")
+                    self._count("service.queries.completed")
+                    hit["cached"] = True
+                    return hit
+            self._count("service.cache.misses")
         admit_timeout = self.admit_timeout_s
         if deadline_ms is not None:
             budget_window = deadline_ms / 1e3
@@ -677,7 +782,7 @@ class JoinService:
                 generation = self._snapshots.acquire()
                 pin_span.set("generation", generation.generation)
             try:
-                return self._execute(
+                body = self._execute(
                     generation,
                     op,
                     window,
@@ -688,7 +793,16 @@ class JoinService:
                     submitted,
                     tracer,
                     trace_id,
+                    shards,
                 )
+                if cache is not None and fingerprint is not None:
+                    # Stored before ``trace_id``/``service_ms`` stamping
+                    # (those are per-request) and deep-copied inside the
+                    # cache, so a hit replays exactly the deterministic
+                    # part of the body.
+                    cache.store(generation.generation, fingerprint, body)
+                    body["cached"] = False
+                return body
             finally:
                 self._snapshots.release(generation)
         finally:
@@ -706,11 +820,20 @@ class JoinService:
         submitted: float,
         tracer: Any = NULL_TRACER,
         trace_id: Optional[str] = None,
+        shards: Optional[int] = None,
     ) -> Dict[str, Any]:
         token = CancellationToken()
         with self._lock:
             self._tokens.add(token)
             options = dict(self._join_options)
+        if shards is not None:
+            router: Optional[TimeShardRouter] = TimeShardRouter(
+                shards=shards,
+                backend=self.shard_backend,
+                metrics=self.metrics,
+            )
+        else:
+            router = self._router
         try:
             attempts = 0
             while True:
@@ -729,20 +852,54 @@ class JoinService:
                     budget = QueryBudget(deadline_ms=remaining_ms)
                 kwargs = generation.join_kwargs()
                 kwargs.update(options)
-                if tracer.enabled:
-                    # The join's own phase spans (oipcreate, probe,
-                    # kernels) nest under the open service.query span.
-                    kwargs["tracer"] = tracer
-                join = OIPJoin(
-                    index_provider=generation,
-                    kernel=kernel if kernel is not None else self.kernel,
-                    budget=budget,
-                    cancellation=token,
-                    circuit_breaker=self._breaker,
-                    **kwargs,
+                resolved_kernel = (
+                    kernel if kernel is not None else self.kernel
                 )
                 try:
-                    result = join.join(generation.outer, generation.inner)
+                    if router is not None:
+                        # Scatter-gather: each shard gets a *fresh* join
+                        # (OIPCREATE over its slice — the stored
+                        # partition lists describe the whole domain, not
+                        # a shard), sharing the budget, cancellation
+                        # token and breaker so governance spans shards.
+                        # The request tracer stays in this thread (the
+                        # router's scatter/merge spans); per-shard joins
+                        # run untraced in pool threads.
+                        shard_budget = budget
+                        shard_kwargs = dict(kwargs)
+
+                        def join_factory() -> OIPJoin:
+                            return OIPJoin(
+                                kernel=resolved_kernel,
+                                budget=shard_budget,
+                                cancellation=token,
+                                circuit_breaker=self._breaker,
+                                **shard_kwargs,
+                            )
+
+                        result = router.execute(
+                            generation.outer,
+                            generation.inner,
+                            join_factory=join_factory,
+                            tracer=tracer,
+                        )
+                    else:
+                        if tracer.enabled:
+                            # The join's own phase spans (oipcreate,
+                            # probe, kernels) nest under the open
+                            # service.query span.
+                            kwargs["tracer"] = tracer
+                        join = OIPJoin(
+                            index_provider=generation,
+                            kernel=resolved_kernel,
+                            budget=budget,
+                            cancellation=token,
+                            circuit_breaker=self._breaker,
+                            **kwargs,
+                        )
+                        result = join.join(
+                            generation.outer, generation.inner
+                        )
                     break
                 except BudgetExceededError as error:
                     raise ServiceError(
@@ -862,6 +1019,15 @@ class JoinService:
             "tracing": self.tracing,
             "slow_query_ms": self.query_log.slow_query_ms,
         }
+        if self.result_cache is not None:
+            cache_stats = self.result_cache.stats()
+            lookups = cache_stats["hits"] + cache_stats["misses"]
+            cache_stats["hit_rate"] = (
+                cache_stats["hits"] / lookups if lookups else 0.0
+            )
+            document["cache"] = cache_stats
+        if self.worker_id is not None:
+            document["worker"] = {"id": self.worker_id, "pid": os.getpid()}
         if self.traces is not None:
             document["traces"] = {
                 "buffered": len(self.traces),
@@ -915,12 +1081,25 @@ class JoinService:
                     include_pairs=bool(request.get("include_pairs")),
                     max_pairs=int(request.get("max_pairs", 1000)),
                     trace_id=trace_id,
+                    shards=request.get("shards"),
                 )
             elif op == "health":
                 body = self.health()
             elif op == "metrics":
                 body = {"metrics": self.publish_metrics()}
             elif op == "stats":
+                # In a worker pool the ``stats`` op answers for the
+                # whole fleet (satellite fix: ``repro stats`` used to
+                # report only the one process that happened to take the
+                # connection); ``stats_local`` keeps the single-process
+                # view addressable.
+                if self.roster_path is not None:
+                    from .aggregate import aggregate_stats
+
+                    body = {"stats": aggregate_stats(self)}
+                else:
+                    body = {"stats": self.stats()}
+            elif op == "stats_local":
                 body = {"stats": self.stats()}
             elif op == "tracedump":
                 limit = request.get("limit")

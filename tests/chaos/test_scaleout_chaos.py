@@ -1,0 +1,165 @@
+"""Scale-out differential chaos: sharded, cached, and multi-worker
+answers must stay bit-identical to the single-process unsharded
+service — under seeded storage fault profiles and mid-query generation
+swaps."""
+
+import shutil
+import threading
+
+import pytest
+
+from repro.core.interval import Interval
+from repro.service import (
+    JoinService,
+    ServiceClient,
+    ServiceError,
+    WorkerSupervisor,
+    offline_query,
+)
+from repro.storage import fault_profile, save_index
+from repro.workloads import long_lived_mixture
+
+
+def _relations(seed):
+    outer = long_lived_mixture(
+        200, 0.3, Interval(1, 15_000), seed=seed, name="outer"
+    )
+    inner = long_lived_mixture(
+        200, 0.3, Interval(1, 15_000), seed=seed + 1, name="inner"
+    )
+    return outer, inner
+
+
+@pytest.fixture
+def snapshot(tmp_path):
+    path = str(tmp_path / "scaleout.oip")
+    outer, inner = _relations(1201)
+    save_index(path, outer, inner)
+    return path
+
+
+class TestShardedUnderFaults:
+    @pytest.mark.parametrize("profile", ["transient", "latency"])
+    def test_sharded_and_cached_match_unsharded_under_faults(
+        self, snapshot, profile
+    ):
+        """Recovered storage faults inside shard workers must not
+        perturb a single pair: the sharded+cached service answers with
+        the same multiset (fingerprint) as the clean unsharded oracle.
+        Counters are *not* compared — boundary replication legitimately
+        does more per-shard work."""
+        chaos_options = {
+            "fault_policy": fault_profile(profile, seed=29),
+            "max_read_retries": 8,
+        }
+        oracle = offline_query(snapshot)
+        svc = JoinService(
+            snapshot,
+            shards=3,
+            result_cache_size=4,
+            join_options=chaos_options,
+        )
+        svc.start()
+        first = svc.query("join")
+        assert first["cached"] is False
+        assert first["fingerprint"] == oracle["fingerprint"]
+        assert first["pairs"] == oracle["pairs"]
+        hit = svc.query("join")
+        assert hit["cached"] is True
+        assert hit["fingerprint"] == oracle["fingerprint"]
+        svc.drain(timeout_s=5.0)
+
+
+class TestMidQueryGenerationSwap:
+    def test_pool_swap_under_concurrent_load(self, snapshot, tmp_path):
+        """Client threads hammer a 2-worker pool while the parent swaps
+        the snapshot underneath them (SIGHUP fan-out).  Every response
+        must match the offline oracle *for the generation that served
+        it* — a worker mid-query keeps its pinned generation, a cache
+        must never replay generation 0 after its worker swapped."""
+        keep0 = str(tmp_path / "gen0.keep")
+        shutil.copy(snapshot, keep0)
+        oracles = {0: offline_query(keep0)}
+
+        pool = WorkerSupervisor(
+            snapshot,
+            workers=2,
+            service_kwargs={"result_cache_size": 8},
+            drain_timeout_s=10.0,
+            hard_stop_timeout_s=2.0,
+        )
+        pool.start()
+        runner = threading.Thread(target=pool.run, daemon=True)
+        runner.start()
+        stop = threading.Event()
+        responses, errors = [], []
+        lock = threading.Lock()
+
+        def hammer():
+            while not stop.is_set():
+                try:
+                    with ServiceClient(
+                        "127.0.0.1", pool.port, retries=2
+                    ) as client:
+                        for _ in range(3):
+                            body = client.join()
+                            with lock:
+                                responses.append(body)
+                except (ServiceError, OSError) as error:
+                    with lock:
+                        errors.append(error)
+
+        threads = [threading.Thread(target=hammer) for _ in range(3)]
+        try:
+            for thread in threads:
+                thread.start()
+            # Let generation 0 serve (and cache) some answers first.
+            while True:
+                with lock:
+                    if len(responses) >= 6:
+                        break
+            outer, inner = _relations(1777)
+            save_index(snapshot, outer, inner)
+            oracles[1] = offline_query(snapshot)
+            assert (
+                oracles[1]["fingerprint"] != oracles[0]["fingerprint"]
+            ), "chaos needs distinguishable generations"
+            pool.refresh()
+            # Keep load flowing until both workers demonstrably serve
+            # generation 1.
+            def gen1_seen_twice():
+                with lock:
+                    return (
+                        sum(
+                            1
+                            for r in responses
+                            if r["generation"] == 1
+                        )
+                        >= 6
+                    )
+
+            deadline = threading.Event()
+            for _ in range(200):
+                if gen1_seen_twice():
+                    break
+                deadline.wait(0.1)
+            assert gen1_seen_twice(), "swap never propagated to workers"
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=20.0)
+            pool.initiate_shutdown()
+            pool.shutdown()
+            runner.join(timeout=10.0)
+        assert errors == []
+        assert len(responses) >= 12
+        swapped = {r["generation"] for r in responses}
+        assert swapped == {0, 1}
+        for body in responses:
+            oracle = oracles[body["generation"]]
+            assert body["fingerprint"] == oracle["fingerprint"], body
+            assert body["pairs"] == oracle["pairs"]
+        # The caches were exercised across the swap: at least one hit
+        # existed, and no hit ever crossed generations (checked above
+        # by fingerprint).
+        assert any(r.get("cached") for r in responses)

@@ -1,0 +1,210 @@
+"""Time-shard scatter-gather: plan validation, ownership-rule dedup,
+and the bit-identity differential against the unsharded join."""
+
+import pytest
+
+from repro.core.base import join_pair_key
+from repro.core.interval import Interval
+from repro.core.join import OIPJoin
+from repro.service import JoinService, offline_query
+from repro.service.errors import BadRequestError, ScaleOutConfigError
+from repro.service.router import (
+    TimeShardRouter,
+    shard_ranges,
+    shard_slice,
+    validate_shard_ranges,
+)
+from repro.storage import save_index
+from repro.workloads import long_lived_mixture
+
+
+def _relations(seed, n=250, domain=Interval(1, 15_000)):
+    outer = long_lived_mixture(n, 0.3, domain, seed=seed, name="outer")
+    inner = long_lived_mixture(n, 0.3, domain, seed=seed + 1, name="inner")
+    return outer, inner
+
+
+class TestShardPlanning:
+    def test_equal_width_tiles_domain_exactly(self):
+        ranges = shard_ranges((1, 100), 4)
+        assert ranges == [(1, 25), (26, 50), (51, 75), (76, 100)]
+
+    def test_remainder_spread_over_leading_shards(self):
+        ranges = shard_ranges((0, 9), 3)
+        assert ranges == [(0, 3), (4, 6), (7, 9)]
+        assert ranges[0][0] == 0 and ranges[-1][1] == 9
+
+    def test_more_shards_than_points_clamps(self):
+        ranges = shard_ranges((5, 7), 10)
+        assert ranges == [(5, 5), (6, 6), (7, 7)]
+
+    def test_invalid_plans_rejected(self):
+        with pytest.raises(ScaleOutConfigError):
+            shard_ranges((10, 5), 2)
+        with pytest.raises(ScaleOutConfigError):
+            shard_ranges((1, 10), 0)
+        with pytest.raises(ScaleOutConfigError):
+            validate_shard_ranges([])
+        with pytest.raises(ScaleOutConfigError, match="overlap"):
+            validate_shard_ranges([[1, 10], [5, 20]])
+        with pytest.raises(ScaleOutConfigError, match="gap"):
+            validate_shard_ranges([[1, 10], [12, 20]])
+        with pytest.raises(ScaleOutConfigError, match="ends before"):
+            validate_shard_ranges([[10, 1]])
+        with pytest.raises(ScaleOutConfigError, match="not a"):
+            validate_shard_ranges([["a", "b"]])
+        with pytest.raises(ScaleOutConfigError, match="cover"):
+            validate_shard_ranges([[5, 10]], domain=(1, 20))
+
+    def test_unsorted_input_normalized(self):
+        assert validate_shard_ranges([[11, 20], [1, 10]]) == [
+            (1, 10),
+            (11, 20),
+        ]
+
+    def test_router_requires_exactly_one_plan_source(self):
+        with pytest.raises(ScaleOutConfigError):
+            TimeShardRouter()
+        with pytest.raises(ScaleOutConfigError):
+            TimeShardRouter(shards=2, ranges=[[1, 10]])
+        with pytest.raises(ScaleOutConfigError):
+            TimeShardRouter(shards=2, backend="bogus")
+
+
+class TestShardSlice:
+    def test_boundary_spanning_tuples_replicated(self):
+        outer, _ = _relations(41)
+        lo, hi = 1, 7_500
+        left = shard_slice(outer, lo, hi)
+        right = shard_slice(outer, hi + 1, 15_000)
+        spanning = sum(
+            1 for t in outer if t.start <= hi and hi + 1 <= t.end
+        )
+        assert len(left) + len(right) == len(outer) + spanning
+        assert spanning > 0  # long-lived mixture guarantees spanners
+
+    def test_slice_shares_tuple_objects(self):
+        outer, _ = _relations(42)
+        sliced = shard_slice(outer, 1, 15_000)
+        assert len(sliced) == len(outer)
+        assert all(a is b for a, b in zip(sliced, outer))
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("shards", [2, 3, 7])
+    @pytest.mark.parametrize("seed", [101, 202])
+    def test_sharded_pairs_bit_identical(self, shards, seed):
+        outer, inner = _relations(seed)
+        base = OIPJoin(k=16).join(outer, inner)
+        router = TimeShardRouter(shards=shards, backend="thread")
+        merged = router.execute(
+            outer, inner, join_factory=lambda: OIPJoin(k=16)
+        )
+        assert merged.completed
+        assert sorted(map(join_pair_key, merged.pairs)) == sorted(
+            map(join_pair_key, base.pairs)
+        )
+
+    def test_explicit_ranges_bit_identical(self):
+        outer, inner = _relations(303)
+        domain = TimeShardRouter.domain_of(outer, inner)
+        mid = (domain[0] + domain[1]) // 2
+        router = TimeShardRouter(
+            ranges=[[domain[0], mid], [mid + 1, domain[1]]]
+        )
+        base = OIPJoin(k=16).join(outer, inner)
+        merged = router.execute(
+            outer, inner, join_factory=lambda: OIPJoin(k=16)
+        )
+        assert sorted(map(join_pair_key, merged.pairs)) == sorted(
+            map(join_pair_key, base.pairs)
+        )
+
+    def test_stale_explicit_plan_rejected_at_query_time(self):
+        outer, inner = _relations(404)
+        router = TimeShardRouter(ranges=[[1, 100]])  # far too narrow
+        with pytest.raises(ScaleOutConfigError, match="cover"):
+            router.execute(
+                outer, inner, join_factory=lambda: OIPJoin(k=16)
+            )
+
+    def test_duplicates_actually_dropped(self):
+        outer, inner = _relations(505)
+        router = TimeShardRouter(shards=5)
+        merged = router.execute(
+            outer, inner, join_factory=lambda: OIPJoin(k=16)
+        )
+        sharded = merged.details["sharded"]
+        # Long-lived intervals guarantee cross-boundary pairs, so the
+        # ownership rule must have rejected some discoveries.
+        assert sharded["duplicates_dropped"] > 0
+        assert sharded["replicated_outer"] > 0
+        found = sum(s["pairs"] for s in sharded["per_shard"])
+        assert found == len(merged.pairs)
+
+    def test_skew_metrics_published(self):
+        from repro.obs.registry import MetricsRegistry
+
+        registry = MetricsRegistry()
+        outer, inner = _relations(606)
+        router = TimeShardRouter(shards=3, metrics=registry)
+        router.execute(outer, inner, join_factory=lambda: OIPJoin(k=16))
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["service.router.queries"] == 1
+        assert snapshot["gauges"]["service.router.shards"] == 3
+        assert snapshot["gauges"]["service.router.latency_skew"] >= 1.0
+        hist = snapshot["histograms"]["service.router.shard.latency_ms"]
+        assert hist["count"] == 3
+
+
+class TestServiceIntegration:
+    @pytest.fixture(scope="class")
+    def snapshot(self, tmp_path_factory):
+        path = str(tmp_path_factory.mktemp("router") / "router.oip")
+        outer, inner = _relations(707)
+        save_index(path, outer, inner)
+        return path
+
+    def test_per_request_shards_match_oracle(self, snapshot):
+        svc = JoinService(snapshot)
+        svc.start()
+        oracle = offline_query(snapshot)
+        for shards in (1, 2, 4):
+            body = svc.query("join", shards=shards)
+            assert body["fingerprint"] == oracle["fingerprint"]
+            assert body["pairs"] == oracle["pairs"]
+
+    def test_service_level_shard_plan_matches_oracle(self, snapshot):
+        svc = JoinService(snapshot, shards=3)
+        svc.start()
+        oracle = offline_query(snapshot)
+        body = svc.query("join")
+        assert body["fingerprint"] == oracle["fingerprint"]
+
+    def test_sharded_lookup_matches_oracle(self, snapshot):
+        svc = JoinService(snapshot)
+        svc.start()
+        oracle = offline_query(snapshot, op="lookup", window=[1, 4_000])
+        body = svc.query("lookup", window=[1, 4_000], shards=3)
+        assert body["fingerprint"] == oracle["fingerprint"]
+        assert body["pairs"] == oracle["pairs"]
+
+    def test_bad_request_shards_rejected(self, snapshot):
+        svc = JoinService(snapshot)
+        svc.start()
+        with pytest.raises(BadRequestError):
+            svc.query("join", shards=0)
+        with pytest.raises(BadRequestError):
+            svc.query("join", shards="many")
+
+    def test_wire_dispatch_carries_shards(self, snapshot):
+        svc = JoinService(snapshot)
+        svc.start()
+        oracle = offline_query(snapshot)
+        response = svc.handle_request({"op": "join", "id": 1, "shards": 2})
+        assert response["ok"] and response["fingerprint"] == oracle[
+            "fingerprint"
+        ]
+        rejected = svc.handle_request({"op": "join", "id": 2, "shards": 0})
+        assert not rejected["ok"]
+        assert rejected["error"]["code"] == "bad_request"

@@ -1,0 +1,199 @@
+"""Multi-process worker pool: kernel-balanced accepts, fleet-wide
+stats aggregation, and crash supervision (SIGKILL chaos + client
+reconnect-retry)."""
+
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.core.interval import Interval
+from repro.service import (
+    ServiceClient,
+    ServiceError,
+    WorkerSupervisor,
+    offline_query,
+)
+from repro.service.aggregate import read_roster
+from repro.service.errors import ScaleOutConfigError
+from repro.service.workers import WorkerStartupError
+from repro.storage import save_index
+from repro.workloads import long_lived_mixture
+
+
+def _relations(seed):
+    outer = long_lived_mixture(
+        150, 0.3, Interval(1, 10_000), seed=seed, name="outer"
+    )
+    inner = long_lived_mixture(
+        150, 0.3, Interval(1, 10_000), seed=seed + 1, name="inner"
+    )
+    return outer, inner
+
+
+@pytest.fixture(scope="module")
+def snapshot(tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("pool") / "pool.oip")
+    outer, inner = _relations(811)
+    save_index(path, outer, inner)
+    return path
+
+
+@pytest.fixture
+def pool(snapshot):
+    supervisor = WorkerSupervisor(
+        snapshot,
+        workers=2,
+        service_kwargs={"result_cache_size": 8},
+        drain_timeout_s=10.0,
+        hard_stop_timeout_s=2.0,
+    )
+    supervisor.start()
+    runner = threading.Thread(target=supervisor.run, daemon=True)
+    runner.start()
+    yield supervisor
+    supervisor.initiate_shutdown()
+    supervisor.shutdown()
+    runner.join(timeout=10.0)
+
+
+def _wait_until(predicate, timeout_s=20.0, interval_s=0.2):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval_s)
+    return False
+
+
+class TestConfigValidation:
+    def test_zero_workers_rejected(self, snapshot):
+        with pytest.raises(ScaleOutConfigError):
+            WorkerSupervisor(snapshot, workers=0)
+
+    def test_missing_snapshot_propagates_exit_code(self, tmp_path):
+        supervisor = WorkerSupervisor(
+            str(tmp_path / "nope.oip"), workers=1, ready_timeout_s=30.0
+        )
+        with pytest.raises(WorkerStartupError) as excinfo:
+            supervisor.start()
+        assert excinfo.value.exit_code == 66
+        supervisor.shutdown()
+
+
+class TestPoolServing:
+    def test_connections_balance_and_answers_match_oracle(
+        self, pool, snapshot
+    ):
+        oracle = offline_query(snapshot)
+        pids = set()
+        for _ in range(20):
+            with ServiceClient("127.0.0.1", pool.port) as client:
+                pids.add(client.health()["pid"])
+                body = client.join()
+                assert body["fingerprint"] == oracle["fingerprint"]
+                assert body["pairs"] == oracle["pairs"]
+            if len(pids) == 2:
+                break
+        assert len(pids) == 2, "kernel never balanced across workers"
+        assert os.getpid() not in pids  # parent never serves
+
+    def test_sharded_and_cached_pool_answers_match_oracle(
+        self, pool, snapshot
+    ):
+        oracle = offline_query(snapshot)
+        with ServiceClient("127.0.0.1", pool.port) as client:
+            sharded = client.join(shards=3)
+            assert sharded["fingerprint"] == oracle["fingerprint"]
+            first = client.join()
+            again = client.join()
+            assert again["fingerprint"] == oracle["fingerprint"]
+            # Same connection -> same worker -> second identical
+            # request must be a cache hit.
+            assert first["cached"] is False
+            assert again["cached"] is True
+
+    def test_stats_aggregates_across_workers(self, pool):
+        total = 6
+        pids = set()
+        for _ in range(total):
+            with ServiceClient("127.0.0.1", pool.port) as client:
+                pids.add(client.health()["pid"])
+                client.join()
+        with ServiceClient("127.0.0.1", pool.port) as client:
+            fleet = client.stats()
+            local = client.stats_local()
+        assert fleet["aggregated"] is True
+        assert fleet["workers"]["configured"] == 2
+        assert fleet["workers"]["responding"] == 2
+        assert fleet["counters"]["service.queries.completed"] == total
+        assert "service.worker.restarts" in fleet["counters"]
+        assert "aggregated" not in local
+        if len(pids) == 2:
+            # Traffic reached both workers, so any single process must
+            # hold strictly less than the fleet total.
+            assert (
+                local["counters"]["service.queries.completed"] < total
+            )
+        # Quantile count equals the merged completions: the histogram
+        # merge, not one worker's view.
+        assert fleet["endpoints"]["join"]["count"] == total
+
+    def test_roster_describes_the_pool(self, pool):
+        roster = read_roster(pool.roster_path)
+        assert roster is not None
+        assert len(roster["workers"]) == 2
+        assert roster["parent_pid"] == os.getpid()
+        assert {w["worker"] for w in roster["workers"]} == {0, 1}
+
+
+class TestCrashSupervision:
+    def test_sigkill_worker_client_retries_and_pool_heals(
+        self, pool, snapshot
+    ):
+        oracle = offline_query(snapshot)
+        client = ServiceClient("127.0.0.1", pool.port, retries=4)
+        try:
+            victim = client.health()["pid"]
+            os.kill(victim, signal.SIGKILL)
+            # The connection is pinned to the dead worker; the next
+            # request must fail over via reconnect to a survivor and
+            # still produce the oracle answer.
+            body = client.join()
+            assert body["fingerprint"] == oracle["fingerprint"]
+            assert client.reconnects >= 1
+        finally:
+            client.close()
+        assert _wait_until(lambda: pool.restarts >= 1)
+        assert _wait_until(
+            lambda: (read_roster(pool.roster_path) or {}).get(
+                "restarts", 0
+            )
+            >= 1
+        )
+
+        def pool_fully_responding():
+            try:
+                with ServiceClient("127.0.0.1", pool.port) as probe:
+                    stats = probe.stats()
+            except (ServiceError, OSError):
+                return False
+            return (
+                stats["workers"]["responding"] == 2
+                and stats["counters"]["service.worker.restarts"] >= 1
+            )
+
+        assert _wait_until(pool_fully_responding)
+
+    def test_without_retries_dropped_connection_is_fatal(self, pool):
+        client = ServiceClient("127.0.0.1", pool.port)
+        try:
+            victim = client.health()["pid"]
+            os.kill(victim, signal.SIGKILL)
+            with pytest.raises((ServiceError, OSError)):
+                client.join()
+        finally:
+            client.close()
+        assert _wait_until(lambda: pool.restarts >= 1)
