@@ -99,7 +99,19 @@ class ServiceClient:
             try:
                 return self._exchange(op, request_id, message)
             except (ServiceError, OSError) as error:
-                dropped = isinstance(error, OSError) or (
+                # A timeout is NOT a dropped connection: the server is
+                # still working the (slow) request, and reconnecting
+                # would duplicate expensive in-flight work on a healthy
+                # worker.  socket.timeout is an OSError subclass
+                # (aliased to TimeoutError since 3.10), so exclude it
+                # explicitly — only genuinely broken connections
+                # (reset, EOF, refused) are worth re-sending.
+                dropped = (
+                    isinstance(error, OSError)
+                    and not isinstance(
+                        error, (TimeoutError, socket.timeout)
+                    )
+                ) or (
                     isinstance(error, ServiceError)
                     and error.code == "disconnected"
                 )

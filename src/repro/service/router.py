@@ -213,7 +213,22 @@ class TimeShardRouter:
         self.ranges = (
             None if ranges is None else validate_shard_ranges(ranges)
         )
-        if backend not in ("thread", "process", "inline"):
+        if backend == "process":
+            # Shard tasks close over per-query service state — the
+            # budget, cancellation token and circuit breaker shared by
+            # join_factory — none of which can cross a process
+            # boundary, so ProcessPoolExecutor would fail at pickling
+            # time on the first query.  Reject the configuration up
+            # front instead; cross-process scale-out is what the
+            # worker pool (``serve --workers``) provides.
+            raise ScaleOutConfigError(
+                "the 'process' shard backend is not supported: shard "
+                "tasks share in-process query state (budget, "
+                "cancellation, breaker) that cannot be pickled; use "
+                "backend='thread' for sharding within a process, or "
+                "scale across processes with serve --workers"
+            )
+        if backend not in ("thread", "inline"):
             raise ScaleOutConfigError(
                 f"unknown shard backend {backend!r}"
             )

@@ -860,15 +860,35 @@ class JoinService:
                         # Scatter-gather: each shard gets a *fresh* join
                         # (OIPCREATE over its slice — the stored
                         # partition lists describe the whole domain, not
-                        # a shard), sharing the budget, cancellation
-                        # token and breaker so governance spans shards.
+                        # a shard), sharing the cancellation token and
+                        # breaker, with a per-shard budget cut from the
+                        # query's absolute deadline, so governance spans
+                        # shards.
                         # The request tracer stays in this thread (the
                         # router's scatter/merge spans); per-shard joins
                         # run untraced in pool threads.
-                        shard_budget = budget
                         shard_kwargs = dict(kwargs)
 
                         def join_factory() -> OIPJoin:
+                            # OIPJoin measures ``deadline_ms`` from its
+                            # own start, so a shard wave that queued
+                            # behind earlier shards would restart the
+                            # clock if every shard shared one relative
+                            # budget.  Re-derive each shard's budget
+                            # from the query's *absolute* deadline at
+                            # the moment the shard actually starts; a
+                            # shard starting past the deadline gets a
+                            # zero budget and fails fast at preflight.
+                            shard_budget = budget
+                            if deadline_ms is not None:
+                                shard_budget = QueryBudget(
+                                    deadline_ms=max(
+                                        0.0,
+                                        deadline_ms
+                                        - (self._clock() - submitted)
+                                        * 1e3,
+                                    )
+                                )
                             return OIPJoin(
                                 kernel=resolved_kernel,
                                 budget=shard_budget,

@@ -278,7 +278,18 @@ class WorkerSupervisor:
             "roster": self.roster_path,
         }
 
-    def _spawn(self, index: int) -> Dict[str, Any]:
+    def _spawn(
+        self, index: int, *, teardown_on_failure: bool = True
+    ) -> Dict[str, Any]:
+        """Fork worker *index* and wait for its readiness report.
+
+        A startup failure during the initial ``start()`` tears the whole
+        pool down (``teardown_on_failure=True``): the pool never served,
+        so failing loudly with the classified exit code is correct.  A
+        failure while *replacing* a dead worker must instead reap only
+        the failed replacement — surviving workers keep serving on the
+        still-open listener and the caller retries the index later.
+        """
         parent_conn, child_conn = self._ctx.Pipe(duplex=False)
         proc = self._ctx.Process(
             target=_worker_main,
@@ -289,6 +300,7 @@ class WorkerSupervisor:
         child_conn.close()
         if not parent_conn.poll(self.ready_timeout_s):
             proc.terminate()
+            proc.join(timeout=5.0)
             raise WorkerStartupError(
                 f"worker {index} did not report ready within "
                 f"{self.ready_timeout_s:.0f}s"
@@ -297,7 +309,8 @@ class WorkerSupervisor:
         parent_conn.close()
         if not report.get("ok"):
             proc.join(timeout=5.0)
-            self._teardown_procs()
+            if teardown_on_failure:
+                self._teardown_procs()
             raise WorkerStartupError(
                 f"worker {index} failed to start: {report.get('error')}",
                 exit_code=int(report.get("exit_code", 70)),
@@ -331,30 +344,52 @@ class WorkerSupervisor:
 
     def run(self, poll_interval_s: float = 0.5) -> None:
         """Supervise until shutdown: wait on process sentinels, replace
-        any worker that dies, keep the roster current."""
+        any worker that dies, keep the roster current.
+
+        A replacement that itself fails to start (e.g. the snapshot went
+        bad mid-rotation) never touches the rest of the pool: the failed
+        fork is reaped, the listener stays open, surviving workers keep
+        serving their pinned generation, and the index stays *pending* —
+        retried on every supervision pass until a replacement sticks.
+        """
+        pending: set = set()
         while not self._stopping.is_set():
-            sentinels = [p.sentinel for p in self._procs if p.is_alive()]
-            if not sentinels:
-                break
-            multiprocessing.connection.wait(
-                sentinels, timeout=poll_interval_s
-            )
-            if self._stopping.is_set():
-                break
+            changed = False
             for proc in list(self._procs):
                 if proc.is_alive():
                     continue
                 index = int(proc.name.rsplit("-", 1)[1])
                 self._procs.remove(proc)
+                # Drop the dead worker's roster entry now so fleet-wide
+                # stats aggregation stops dialling its control port.
+                self._roster_entries = [
+                    e for e in self._roster_entries if e["worker"] != index
+                ]
                 self.restarts += 1
+                pending.add(index)
+                changed = True
+            for index in sorted(pending):
+                if self._stopping.is_set():
+                    break
                 try:
-                    self._spawn(index)
+                    self._spawn(index, teardown_on_failure=False)
                 except WorkerStartupError:
-                    # The snapshot went bad between forks; surviving
-                    # workers keep serving their pinned generation, and
-                    # the next supervision pass retries the replacement.
-                    time.sleep(poll_interval_s)
+                    continue  # retried on the next pass
+                pending.discard(index)
+                changed = True
+            if changed:
                 self._write_roster()
+            sentinels = [p.sentinel for p in self._procs if p.is_alive()]
+            if not sentinels and not pending:
+                break
+            if sentinels:
+                multiprocessing.connection.wait(
+                    sentinels, timeout=poll_interval_s
+                )
+            else:
+                # Every worker is down and awaiting respawn; pace the
+                # retry loop instead of spinning.
+                time.sleep(poll_interval_s)
 
     def refresh(self) -> None:
         """Fan the parent's SIGHUP out to every live worker."""

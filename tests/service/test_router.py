@@ -70,6 +70,13 @@ class TestShardPlanning:
         with pytest.raises(ScaleOutConfigError):
             TimeShardRouter(shards=2, backend="bogus")
 
+    def test_process_backend_rejected(self):
+        # Shard tasks close over unpicklable per-query state, so the
+        # process backend would fail at pickling time on the first
+        # query; the router must reject it at construction instead.
+        with pytest.raises(ScaleOutConfigError, match="process"):
+            TimeShardRouter(shards=2, backend="process")
+
 
 class TestShardSlice:
     def test_boundary_spanning_tuples_replicated(self):

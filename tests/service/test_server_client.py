@@ -96,3 +96,43 @@ class TestServerClient:
             assert client.shutdown()["stopping"] is True
         assert server.wait(10.0)
         assert server.service.status == "stopped"
+
+
+class TestTimeoutNotRetried:
+    def test_slow_response_fails_fast_without_reconnect(self):
+        """A request that times out on a healthy connection must not be
+        re-sent: the server is still working the slow query, and a
+        reconnect-resend would duplicate the in-flight work.  Only
+        genuinely dropped connections are retriable."""
+        import socket
+
+        listener = socket.create_server(("127.0.0.1", 0))
+        listener.settimeout(5.0)
+        accepted = []
+
+        def acceptor():
+            try:
+                while True:
+                    conn, _ = listener.accept()
+                    accepted.append(conn)  # accept, then stay silent
+            except OSError:
+                pass
+
+        thread = threading.Thread(target=acceptor, daemon=True)
+        thread.start()
+        client = ServiceClient(
+            "127.0.0.1",
+            listener.getsockname()[1],
+            timeout_s=0.2,
+            retries=3,
+        )
+        try:
+            with pytest.raises(TimeoutError):
+                client.ping()
+            assert client.reconnects == 0
+        finally:
+            client.close()
+            listener.close()
+            for conn in accepted:
+                conn.close()
+            thread.join(timeout=5.0)

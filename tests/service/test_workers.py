@@ -197,3 +197,107 @@ class TestCrashSupervision:
         finally:
             client.close()
         assert _wait_until(lambda: pool.restarts >= 1)
+
+
+class _StubProc:
+    """A dead-or-alive stand-in for a worker process: just enough
+    surface (name, liveness, a waitable sentinel fd) for the
+    supervision loop."""
+
+    def __init__(self, index, alive):
+        self.name = f"oip-worker-{index}"
+        self._alive = alive
+        self.sentinel, self._sentinel_write = os.pipe()
+
+    def is_alive(self):
+        return self._alive
+
+    def close_fds(self):
+        os.close(self.sentinel)
+        os.close(self._sentinel_write)
+
+
+class TestRespawnRetry:
+    def test_failed_replacement_retried_without_pool_teardown(
+        self, snapshot, monkeypatch
+    ):
+        """A replacement that fails to start must not SIGTERM survivors
+        or close the listener; its index stays pending and is retried
+        every supervision pass until a spawn sticks."""
+        supervisor = WorkerSupervisor(snapshot, workers=1)
+        closed = []
+
+        class _Listener:
+            def close(self):
+                closed.append(True)
+
+            def getsockname(self):
+                return ("127.0.0.1", 0)
+
+        supervisor._listener = _Listener()
+        dead = _StubProc(0, alive=False)
+        survivor = _StubProc(1, alive=True)
+        replacement = _StubProc(0, alive=True)
+        supervisor._procs = [dead, survivor]
+        supervisor._roster_entries = [
+            {
+                "worker": index,
+                "pid": 1000 + index,
+                "generation": 1,
+                "control_host": "127.0.0.1",
+                "control_port": 1 + index,
+            }
+            for index in (0, 1)
+        ]
+        rosters = []
+        monkeypatch.setattr(
+            supervisor,
+            "_write_roster",
+            lambda: rosters.append(
+                sorted(e["worker"] for e in supervisor._roster_entries)
+            ),
+        )
+        spawn_calls = []
+
+        def fake_spawn(index, teardown_on_failure=True):
+            spawn_calls.append((index, teardown_on_failure))
+            if len(spawn_calls) < 3:
+                raise WorkerStartupError(
+                    f"worker {index} failed to start: snapshot corrupt"
+                )
+            supervisor._procs.append(replacement)
+            entry = {
+                "worker": index,
+                "pid": 4321,
+                "generation": 2,
+                "control_host": "127.0.0.1",
+                "control_port": 9,
+            }
+            supervisor._roster_entries.append(entry)
+            return entry
+
+        monkeypatch.setattr(supervisor, "_spawn", fake_spawn)
+        runner = threading.Thread(
+            target=supervisor.run,
+            kwargs={"poll_interval_s": 0.01},
+            daemon=True,
+        )
+        runner.start()
+        try:
+            assert _wait_until(lambda: len(spawn_calls) >= 3)
+            assert _wait_until(lambda: replacement in supervisor._procs)
+        finally:
+            supervisor.initiate_shutdown()
+            runner.join(timeout=10.0)
+        assert not runner.is_alive()
+        # Every attempt targeted the dead index on the no-teardown path.
+        assert spawn_calls[:3] == [(0, False)] * 3
+        assert not closed, "listener was closed during a respawn retry"
+        assert survivor in supervisor._procs, "survivor was torn down"
+        assert supervisor.restarts == 1
+        # The dead worker's entry was dropped while pending, restored
+        # once the replacement stuck.
+        assert rosters[0] == [1]
+        assert rosters[-1] == [0, 1]
+        for proc in (dead, survivor, replacement):
+            proc.close_fds()
